@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out beyond
+ * the paper's own parameter sweep:
+ *
+ *  - concurrency-trigger hysteresis K and dead-band tolerance
+ *  - rare-type sampling cutoff R
+ *  - runtime scheduler policy (FIFO / work stealing / locality)
+ *
+ * Evaluated with lazy sampling at 16 threads on four benchmarks
+ * covering the main behaviour classes (regular kernel, decreasing
+ * parallelism, wavefront factorization, irregular divergence).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "runtime/scheduler.hh"
+
+using namespace tp;
+
+namespace {
+
+const std::vector<std::string> kBenchmarks = {
+    "vector-operation", "reduction", "cholesky", "dedup"};
+
+void
+evaluateRow(TextTable &table, const std::string &label,
+            const std::map<std::string, trace::TaskTrace> &traces,
+            const std::map<std::string, sim::SimResult> &refs,
+            const sampling::SamplingParams &params,
+            rt::SchedulerKind sched)
+{
+    std::vector<std::string> row = {label};
+    for (const std::string &name : kBenchmarks) {
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = 16;
+        spec.runtime.scheduler = sched;
+        const harness::SampledOutcome sam =
+            harness::runSampled(traces.at(name), spec, params);
+        const harness::ErrorSpeedup es =
+            harness::compare(refs.at(name), sam.result);
+        row.push_back(fmtDouble(es.errorPct, 2) + "% / " +
+                      fmtDouble(es.wallSpeedup, 1) + "x");
+    }
+    table.addRow(row);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+
+    std::map<std::string, trace::TaskTrace> traces;
+    std::map<std::string, sim::SimResult> refs;
+    std::map<std::string, sim::SimResult> refs_steal, refs_local;
+    for (const std::string &name : kBenchmarks) {
+        traces.emplace(name, work::generateWorkload(name, wp));
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = 16;
+        harness::progress(name + ": reference (fifo)");
+        refs.emplace(name, harness::runDetailed(traces.at(name),
+                                                spec));
+        spec.runtime.scheduler = rt::SchedulerKind::WorkStealing;
+        harness::progress(name + ": reference (steal)");
+        refs_steal.emplace(name,
+                           harness::runDetailed(traces.at(name),
+                                                spec));
+        spec.runtime.scheduler = rt::SchedulerKind::Locality;
+        harness::progress(name + ": reference (locality)");
+        refs_local.emplace(name,
+                           harness::runDetailed(traces.at(name),
+                                                spec));
+    }
+
+    std::vector<std::string> header = {"configuration"};
+    for (const auto &n : kBenchmarks)
+        header.push_back(n + " (err/speedup)");
+
+    TextTable t1("Ablation: concurrency-trigger hysteresis K "
+                 "(lazy, 16 threads)");
+    t1.setHeader(header);
+    for (std::uint32_t k : {1, 4, 8, 16}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.concurrencyHysteresis = k;
+        evaluateRow(t1, "K=" + std::to_string(k), traces, refs, p,
+                    rt::SchedulerKind::Fifo);
+    }
+    t1.print();
+    std::printf("\n");
+
+    TextTable t2("Ablation: concurrency dead-band tolerance");
+    t2.setHeader(header);
+    for (double tol : {0.0, 0.125, 0.25, 0.5}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.concurrencyTolerance = tol;
+        evaluateRow(t2, "tol=" + fmtDouble(tol, 3), traces, refs, p,
+                    rt::SchedulerKind::Fifo);
+    }
+    t2.print();
+    std::printf("\n");
+
+    TextTable t3("Ablation: rare-type sampling cutoff R");
+    t3.setHeader(header);
+    for (std::uint64_t r : {1, 3, 5, 10}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.rareCutoff = r;
+        evaluateRow(t3, "R=" + std::to_string(r), traces, refs, p,
+                    rt::SchedulerKind::Fifo);
+    }
+    t3.print();
+    std::printf("\n");
+
+    TextTable t4("Ablation: runtime scheduler policy (lazy defaults)");
+    t4.setHeader(header);
+    {
+        const sampling::SamplingParams p =
+            sampling::SamplingParams::lazy();
+        evaluateRow(t4, "fifo", traces, refs, p,
+                    rt::SchedulerKind::Fifo);
+        evaluateRow(t4, "steal", traces, refs_steal, p,
+                    rt::SchedulerKind::WorkStealing);
+        evaluateRow(t4, "locality", traces, refs_local, p,
+                    rt::SchedulerKind::Locality);
+    }
+    t4.print();
+    return 0;
+}

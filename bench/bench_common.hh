@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared driver code for the per-figure bench binaries.
+ *
+ * Every figure of the paper's evaluation reduces to: generate the 19
+ * workload traces, run the detailed reference and a TaskPoint-sampled
+ * simulation per (architecture, thread count), and print error and
+ * speedup per benchmark plus the average row the paper reports.
+ */
+
+#ifndef TP_BENCH_BENCH_COMMON_HH
+#define TP_BENCH_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/statistics.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace tp::bench {
+
+/** Options common to the figure benches. */
+struct FigureOptions
+{
+    double scale = 0.125;
+    double instrScale = 1.0;
+    std::uint64_t seed = 42;
+    std::vector<std::string> benchmarks; //!< empty = all 19
+};
+
+/** Parse the common CLI surface of a figure bench. */
+inline FigureOptions
+parseFigureOptions(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"scale", "instr-scale", "seed", "benchmarks"});
+    FigureOptions o;
+    o.scale = args.getDouble("scale", o.scale);
+    o.instrScale = args.getDouble("instr-scale", o.instrScale);
+    o.seed = args.getUint("seed", o.seed);
+    o.benchmarks = args.getList("benchmarks", {});
+    return o;
+}
+
+/** @return the selected workload names (default: all of Table I). */
+inline std::vector<std::string>
+selectedWorkloads(const FigureOptions &o)
+{
+    if (!o.benchmarks.empty())
+        return o.benchmarks;
+    std::vector<std::string> names;
+    for (const work::WorkloadInfo &w : work::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** One error/speedup figure (Figs. 7-10 of the paper). */
+inline void
+runErrorSpeedupFigure(const std::string &title,
+                      const cpu::ArchConfig &arch,
+                      const std::vector<std::uint32_t> &thread_counts,
+                      const sampling::SamplingParams &params,
+                      const FigureOptions &opts)
+{
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+
+    TextTable errors(title + " — absolute execution-time error [%]");
+    TextTable speedups(title + " — simulation speedup (wall clock)");
+    std::vector<std::string> header = {"benchmark"};
+    for (auto t : thread_counts)
+        header.push_back(std::to_string(t) + "t");
+    errors.setHeader(header);
+    speedups.setHeader(header);
+
+    std::map<std::uint32_t, std::vector<double>> all_err, all_spd;
+
+    for (const std::string &name : selectedWorkloads(opts)) {
+        const trace::TaskTrace t = work::generateWorkload(name, wp);
+        std::vector<std::string> erow = {name};
+        std::vector<std::string> srow = {name};
+        for (std::uint32_t threads : thread_counts) {
+            harness::RunSpec spec;
+            spec.arch = arch;
+            spec.threads = threads;
+            harness::progress(name + " @" + std::to_string(threads) +
+                              "t: reference");
+            const sim::SimResult ref = harness::runDetailed(t, spec);
+            harness::progress(name + " @" + std::to_string(threads) +
+                              "t: sampled");
+            const harness::SampledOutcome sam =
+                harness::runSampled(t, spec, params);
+            const harness::ErrorSpeedup es =
+                harness::compare(ref, sam.result);
+            erow.push_back(fmtDouble(es.errorPct, 2));
+            srow.push_back(fmtDouble(es.wallSpeedup, 1));
+            all_err[threads].push_back(es.errorPct);
+            all_spd[threads].push_back(es.wallSpeedup);
+        }
+        errors.addRow(erow);
+        speedups.addRow(srow);
+    }
+
+    std::vector<std::string> eavg = {"average"};
+    std::vector<std::string> savg = {"average"};
+    std::vector<std::string> emax = {"max"};
+    for (std::uint32_t threads : thread_counts) {
+        eavg.push_back(fmtDouble(mean(all_err[threads]), 2));
+        savg.push_back(fmtDouble(mean(all_spd[threads]), 1));
+        emax.push_back(fmtDouble(maxOf(all_err[threads]), 2));
+    }
+    errors.addSeparator();
+    errors.addRow(eavg);
+    errors.addRow(emax);
+    speedups.addSeparator();
+    speedups.addRow(savg);
+
+    errors.print();
+    std::printf("\n");
+    speedups.print();
+}
+
+} // namespace tp::bench
+
+#endif // TP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Paper Fig. 6: sensitivity of TaskPoint to its model parameters,
+ * averaged over 32- and 64-thread simulations of the five benchmarks
+ * the paper uses for the analysis (2d-convolution, 3d-stencil,
+ * atomic-monte-carlo-dynamics, knn, blackscholes):
+ *
+ *   (a) warmup interval W in [0, 10], with H=10, P=inf
+ *   (b) history size H in [1, 10], with W=2, P=inf
+ *   (c) sampling period P in [10, 1000], with W=2, H=4
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.hh"
+
+using namespace tp;
+
+namespace {
+
+const std::vector<std::string> kSensitiveBenchmarks = {
+    "2d-convolution", "3d-stencil", "atomic-monte-carlo-dynamics",
+    "knn", "blackscholes"};
+
+const std::vector<std::uint32_t> kThreads = {32, 64};
+
+struct SweepPoint
+{
+    double avgError = 0.0;
+    double avgSpeedup = 0.0;
+};
+
+/** Average error/speedup of one parameter set over all runs. */
+SweepPoint
+evaluate(const std::map<std::pair<std::string, std::uint32_t>,
+                        sim::SimResult> &refs,
+         const std::map<std::pair<std::string, std::uint32_t>,
+                        trace::TaskTrace> &traces,
+         const sampling::SamplingParams &params)
+{
+    std::vector<double> errs, spds;
+    for (const auto &[key, ref] : refs) {
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = key.second;
+        const harness::SampledOutcome sam =
+            harness::runSampled(traces.at(key), spec, params);
+        const harness::ErrorSpeedup es =
+            harness::compare(ref, sam.result);
+        errs.push_back(es.errorPct);
+        spds.push_back(es.wallSpeedup);
+    }
+    return SweepPoint{mean(errs), mean(spds)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+
+    // Shared detailed references.
+    std::map<std::pair<std::string, std::uint32_t>, trace::TaskTrace>
+        traces;
+    std::map<std::pair<std::string, std::uint32_t>, sim::SimResult>
+        refs;
+    for (const std::string &name : kSensitiveBenchmarks) {
+        for (std::uint32_t t : kThreads) {
+            const auto key = std::make_pair(name, t);
+            traces.emplace(key, work::generateWorkload(name, wp));
+            harness::RunSpec spec;
+            spec.arch = cpu::highPerformanceConfig();
+            spec.threads = t;
+            harness::progress(name + " @" + std::to_string(t) +
+                              "t: reference");
+            refs.emplace(key,
+                         harness::runDetailed(traces.at(key), spec));
+        }
+    }
+
+    // (a) Warmup interval W.
+    TextTable ta("Fig. 6a: error/speedup vs warmup interval W "
+                 "(H=10, P=inf; avg of 32 and 64 threads)");
+    ta.setHeader({"W", "avg error [%]", "avg speedup"});
+    for (std::uint64_t w : {0, 1, 2, 4, 6, 8, 10}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.warmup = w;
+        p.historySize = 10;
+        harness::progress("sweep W=" + std::to_string(w));
+        const SweepPoint s = evaluate(refs, traces, p);
+        ta.addRow({std::to_string(w), fmtDouble(s.avgError, 2),
+                   fmtDouble(s.avgSpeedup, 1)});
+    }
+    ta.print();
+    std::printf("\n");
+
+    // (b) History size H.
+    TextTable tb("Fig. 6b: error/speedup vs history size H "
+                 "(W=2, P=inf; avg of 32 and 64 threads)");
+    tb.setHeader({"H", "avg error [%]", "avg speedup"});
+    for (std::size_t h : {1, 2, 3, 4, 6, 8, 10}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.warmup = 2;
+        p.historySize = h;
+        harness::progress("sweep H=" + std::to_string(h));
+        const SweepPoint s = evaluate(refs, traces, p);
+        tb.addRow({std::to_string(h), fmtDouble(s.avgError, 2),
+                   fmtDouble(s.avgSpeedup, 1)});
+    }
+    tb.print();
+    std::printf("\n");
+
+    // (c) Sampling period P.
+    TextTable tc("Fig. 6c: error/speedup vs sampling period P "
+                 "(W=2, H=4; avg of 32 and 64 threads)");
+    tc.setHeader({"P", "avg error [%]", "avg speedup"});
+    for (std::uint64_t per : {10, 25, 50, 100, 250, 500, 1000}) {
+        sampling::SamplingParams p =
+            sampling::SamplingParams::periodic(per);
+        harness::progress("sweep P=" + std::to_string(per));
+        const SweepPoint s = evaluate(refs, traces, p);
+        tc.addRow({std::to_string(per), fmtDouble(s.avgError, 2),
+                   fmtDouble(s.avgSpeedup, 1)});
+    }
+    tc.print();
+    return 0;
+}

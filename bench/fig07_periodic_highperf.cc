@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Paper Fig. 7: error and speedup of periodic sampling (W=2, H=4,
+ * P=250) on the high-performance architecture with 8/16/32/64
+ * simulated threads, for all 19 benchmarks plus the average.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tp;
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+    bench::runErrorSpeedupFigure(
+        "Fig. 7: periodic sampling (P=250), high-performance",
+        cpu::highPerformanceConfig(), {8, 16, 32, 64},
+        sampling::SamplingParams::periodic(250), opts);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Paper Fig. 8: error and speedup of periodic sampling (P=250) on the
+ * low-power architecture with 1/2/4/8 simulated threads — the same
+ * sampling parameters chosen on the high-performance machine, testing
+ * TaskPoint's generalization (paper Section V-B).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tp;
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+    bench::runErrorSpeedupFigure(
+        "Fig. 8: periodic sampling (P=250), low-power",
+        cpu::lowPowerConfig(), {1, 2, 4, 8},
+        sampling::SamplingParams::periodic(250), opts);
+    return 0;
+}

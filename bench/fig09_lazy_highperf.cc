@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Paper Fig. 9: error and speedup of lazy sampling (P=∞) on the
+ * high-performance architecture with 8/16/32/64 simulated threads.
+ * The headline result: comparable error to periodic sampling at a
+ * much higher speedup (paper: avg error 1.8%, max 15%, speedup 19.1x
+ * at 64 threads).
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tp;
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+    bench::runErrorSpeedupFigure(
+        "Fig. 9: lazy sampling (P=inf), high-performance",
+        cpu::highPerformanceConfig(), {8, 16, 32, 64},
+        sampling::SamplingParams::lazy(), opts);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Paper Fig. 10: error and speedup of lazy sampling (P=∞) on the
+ * low-power architecture with 1/2/4/8 simulated threads.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tp;
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+    bench::runErrorSpeedupFigure(
+        "Fig. 10: lazy sampling (P=inf), low-power",
+        cpu::lowPowerConfig(), {1, 2, 4, 8},
+        sampling::SamplingParams::lazy(), opts);
+    return 0;
+}

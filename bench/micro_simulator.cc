@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Micro-benchmarks of the simulator substrate (google-benchmark):
+ * cache lookups, synthetic instruction-stream generation, detailed
+ * core throughput, and end-to-end engine runs in both modes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/rob_core.hh"
+#include "harness/experiment.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "trace/instr_stream.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace tp;
+
+namespace {
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    mem::Cache c("bm", mem::CacheConfig{32 * 1024, 8, 64, 4, 0});
+    c.access(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.access(0x1000, false).hit);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessStream(benchmark::State &state)
+{
+    mem::Cache c("bm", mem::CacheConfig{32 * 1024, 8, 64, 4, 0});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false).hit);
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    mem::Hierarchy h(cpu::highPerformanceConfig().memory, 4);
+    Rng rng(1);
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            h.access(0, rng.nextBounded(1 << 20), false, now));
+        now += 4;
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_InstrStreamGeneration(benchmark::State &state)
+{
+    trace::TraceBuilder b("bm", 1);
+    const auto ty = b.addTaskType("t", trace::KernelProfile{});
+    b.createTask(ty, 1u << 30);
+    const trace::TaskTrace t = b.build();
+    trace::InstrStream s(t.type(0), t.instance(0));
+    trace::Instr in;
+    for (auto _ : state) {
+        s.next(in);
+        benchmark::DoNotOptimize(in.addr);
+    }
+}
+BENCHMARK(BM_InstrStreamGeneration);
+
+void
+BM_DetailedCoreThroughput(benchmark::State &state)
+{
+    const cpu::ArchConfig arch = cpu::highPerformanceConfig();
+    mem::Hierarchy h(arch.memory, 1);
+    cpu::RobCore core(arch.core, h, 0);
+
+    trace::TraceBuilder b("bm", 1);
+    const auto ty = b.addTaskType("t", trace::KernelProfile{});
+    b.createTask(ty, 1u << 30);
+    const trace::TaskTrace t = b.build();
+    core.beginTask(t.type(0), t.instance(0), 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.step(1024));
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DetailedCoreThroughput);
+
+void
+BM_EngineDetailedRun(benchmark::State &state)
+{
+    work::WorkloadParams wp;
+    wp.scale = 0.015; // ~250 tasks: keep iterations short
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", wp);
+    for (auto _ : state) {
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = 8;
+        benchmark::DoNotOptimize(
+            harness::runDetailed(t, spec).totalCycles);
+    }
+}
+BENCHMARK(BM_EngineDetailedRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineSampledRun(benchmark::State &state)
+{
+    work::WorkloadParams wp;
+    wp.scale = 0.015;
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", wp);
+    for (auto _ : state) {
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = 8;
+        benchmark::DoNotOptimize(
+            harness::runSampled(t, spec,
+                                sampling::SamplingParams::lazy())
+                .result.totalCycles);
+    }
+}
+BENCHMARK(BM_EngineSampledRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Table I: the 19 task-based benchmarks — task-type counts,
+ * task-instance counts and detailed simulation time with 1 and 64
+ * threads.
+ *
+ * Instance counts are shown at the paper's scale and at this
+ * reproduction's default generation scale; simulation times are
+ * measured host wall-clock of our detailed simulator at the default
+ * scale (the paper reports hours on full-size traces — the *ratios*
+ * between benchmarks and between 1 and 64 threads are the comparable
+ * shape).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tp;
+    const bench::FigureOptions opts =
+        bench::parseFigureOptions(argc, argv);
+
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+
+    TextTable table(
+        "Table I: task-based parallel benchmarks (detailed simulation "
+        "at scale " + fmtDouble(opts.scale, 3) + ")");
+    table.setHeader({"benchmark", "types", "inst(paper)", "inst(gen)",
+                     "sim 1t [s]", "sim 64t [s]", "sim cycles 64t",
+                     "properties"});
+
+    for (const std::string &name : bench::selectedWorkloads(opts)) {
+        const work::WorkloadInfo &info = work::workloadByName(name);
+        const trace::TaskTrace t = work::generateWorkload(name, wp);
+        const trace::TraceStats ts = t.stats();
+        tp_assert(ts.numTypes == info.paperTaskTypes);
+
+        harness::RunSpec spec1;
+        spec1.arch = cpu::highPerformanceConfig();
+        spec1.threads = 1;
+        harness::progress(name + ": detailed 1 thread");
+        const sim::SimResult r1 = harness::runDetailed(t, spec1);
+
+        harness::RunSpec spec64 = spec1;
+        spec64.threads = 64;
+        harness::progress(name + ": detailed 64 threads");
+        const sim::SimResult r64 = harness::runDetailed(t, spec64);
+
+        table.addRow({info.name, std::to_string(ts.numTypes),
+                      std::to_string(info.paperInstances),
+                      std::to_string(ts.numInstances),
+                      fmtDouble(r1.wallSeconds, 2),
+                      fmtDouble(r64.wallSeconds, 2),
+                      fmtCount(r64.totalCycles), info.properties});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Paper Table II: architectural parameters of the high-performance
+ * and low-power configurations used for model validation, as realized
+ * by this reproduction (plus the DRAM/interconnect parameters the
+ * paper leaves unspecified; see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/arch_config.hh"
+
+namespace {
+
+std::string
+cacheDesc(const tp::mem::CacheConfig &c, bool shared)
+{
+    return tp::strprintf("%llu KiB %s, %llu cycles, %u-way",
+                         static_cast<unsigned long long>(
+                             c.sizeBytes / 1024),
+                         shared ? "shared" : "private",
+                         static_cast<unsigned long long>(c.latency),
+                         c.assoc);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tp;
+    const cpu::ArchConfig hp = cpu::highPerformanceConfig();
+    const cpu::ArchConfig lp = cpu::lowPowerConfig();
+
+    TextTable t("Table II: architectural parameters");
+    t.setHeader({"Parameter", "High-perf.", "Low-power"});
+    t.addRow({"Reorder-buffer size",
+              std::to_string(hp.core.robSize),
+              std::to_string(lp.core.robSize)});
+    t.addRow({"Issue width", std::to_string(hp.core.issueWidth),
+              std::to_string(lp.core.issueWidth)});
+    t.addRow({"Commit rate", std::to_string(hp.core.commitWidth),
+              std::to_string(lp.core.commitWidth)});
+    t.addRow({"Cache line size",
+              std::to_string(hp.memory.l1.lineBytes) + " B",
+              std::to_string(lp.memory.l1.lineBytes) + " B"});
+    t.addRow({"L1 cache", cacheDesc(hp.memory.l1, false),
+              cacheDesc(lp.memory.l1, false)});
+    t.addRow({"L2 cache",
+              cacheDesc(hp.memory.l2, hp.memory.l2Shared),
+              cacheDesc(lp.memory.l2, lp.memory.l2Shared)});
+    t.addRow({"L3 cache",
+              hp.memory.hasL3 ? cacheDesc(hp.memory.l3, true)
+                              : "none",
+              lp.memory.hasL3 ? cacheDesc(lp.memory.l3, true)
+                              : "none"});
+    t.addSeparator();
+    t.addRow({"DRAM latency (model)",
+              std::to_string(hp.memory.dram.latency) + " cycles",
+              std::to_string(lp.memory.dram.latency) + " cycles"});
+    t.addRow({"DRAM channels (model)",
+              std::to_string(hp.memory.dram.channels),
+              std::to_string(lp.memory.dram.channels)});
+    t.addRow({"DRAM cycles/line (model)",
+              std::to_string(hp.memory.dram.servicePeriod),
+              std::to_string(lp.memory.dram.servicePeriod)});
+    t.print();
+    return 0;
+}

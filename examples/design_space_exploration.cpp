@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Design-space exploration — the use case the paper recommends lazy
+ * sampling for (Section V, Summary): evaluating many architecture
+ * variants quickly, then verifying the short-listed ones with the
+ * slower periodic policy.
+ *
+ *   ./design_space_exploration [--workload=cholesky] [--threads=16]
+ *                              [--scale=0.0625]
+ *
+ * The exploration sweeps ROB size and L2 capacity around the
+ * high-performance configuration, ranks the variants by predicted
+ * execution time under lazy sampling, and re-evaluates the best
+ * variant with periodic sampling (P=250) as the paper's suggested
+ * second phase.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace tp;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, {"workload", "threads", "scale"});
+    const std::string name = args.getString("workload", "cholesky");
+    const auto threads =
+        static_cast<std::uint32_t>(args.getUint("threads", 16));
+
+    work::WorkloadParams wp;
+    wp.scale = args.getDouble("scale", 0.0625);
+    const trace::TaskTrace t = work::generateWorkload(name, wp);
+
+    struct Variant
+    {
+        std::string label;
+        cpu::ArchConfig arch;
+        Cycles predicted = 0;
+        double wall = 0.0;
+    };
+
+    std::vector<Variant> variants;
+    for (std::uint32_t rob : {96u, 168u, 256u}) {
+        for (std::uint64_t l2kb : {1024u, 2048u, 4096u}) {
+            cpu::ArchConfig a = cpu::highPerformanceConfig();
+            a.core.robSize = rob;
+            a.memory.l2.sizeBytes = l2kb * 1024;
+            Variant v;
+            v.label = strprintf("rob=%u l2=%lluKiB", rob,
+                                static_cast<unsigned long long>(
+                                    l2kb));
+            v.arch = a;
+            variants.push_back(v);
+        }
+    }
+
+    // Phase 1: lazy sampling across the whole space.
+    std::printf("phase 1: lazy sampling over %zu variants of %s "
+                "(%u threads)\n",
+                variants.size(), t.name().c_str(), threads);
+    for (Variant &v : variants) {
+        harness::RunSpec spec;
+        spec.arch = v.arch;
+        spec.threads = threads;
+        const harness::SampledOutcome out = harness::runSampled(
+            t, spec, sampling::SamplingParams::lazy());
+        v.predicted = out.result.totalCycles;
+        v.wall = out.result.wallSeconds;
+    }
+    std::sort(variants.begin(), variants.end(),
+              [](const Variant &a, const Variant &b) {
+                  return a.predicted < b.predicted;
+              });
+
+    TextTable table("predicted execution time (lazy sampling)");
+    table.setHeader({"rank", "variant", "cycles", "host [s]"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        table.addRow({std::to_string(i + 1), variants[i].label,
+                      fmtCount(variants[i].predicted),
+                      fmtDouble(variants[i].wall, 2)});
+    }
+    table.print();
+
+    // Phase 2: confirm the winner with periodic sampling.
+    const Variant &best = variants.front();
+    harness::RunSpec spec;
+    spec.arch = best.arch;
+    spec.threads = threads;
+    const harness::SampledOutcome confirm = harness::runSampled(
+        t, spec, sampling::SamplingParams::periodic(250));
+    std::printf("\nphase 2: periodic confirmation of '%s': %s cycles "
+                "(lazy predicted %s, delta %.2f%%)\n",
+                best.label.c_str(),
+                fmtCount(confirm.result.totalCycles).c_str(),
+                fmtCount(best.predicted).c_str(),
+                100.0 *
+                    (double(confirm.result.totalCycles) -
+                     double(best.predicted)) /
+                    double(confirm.result.totalCycles));
+    return 0;
+}

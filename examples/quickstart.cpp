@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark in full detail and with
+ * TaskPoint's lazy sampling, then compare.
+ *
+ *   ./quickstart [--workload=cholesky] [--threads=8]
+ *                [--arch=highperf|lowpower] [--scale=0.125]
+ *
+ * This walks through the whole public API: generate a task trace,
+ * run the detailed reference, run the sampled simulation, and report
+ * execution-time error and speedup.
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+using namespace tp;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv,
+                       {"workload", "threads", "arch", "scale"});
+
+    const std::string name = args.getString("workload", "cholesky");
+    const auto threads =
+        static_cast<std::uint32_t>(args.getUint("threads", 8));
+    const std::string arch = args.getString("arch", "highperf");
+
+    // 1. Generate the application's task trace.
+    work::WorkloadParams wp;
+    wp.scale = args.getDouble("scale", 0.125);
+    const trace::TaskTrace t = work::generateWorkload(name, wp);
+    const trace::TraceStats ts = t.stats();
+    std::printf("workload %s: %zu task types, %zu instances, %s "
+                "instructions\n",
+                t.name().c_str(), ts.numTypes, ts.numInstances,
+                fmtCount(ts.totalInstructions).c_str());
+
+    // 2. Full-detailed reference simulation.
+    harness::RunSpec spec;
+    spec.arch = cpu::archConfigByName(arch);
+    spec.threads = threads;
+    const sim::SimResult ref = harness::runDetailed(t, spec);
+    std::printf("detailed : %s cycles  (%.2fs host, %llu tasks "
+                "detailed)\n",
+                fmtCount(ref.totalCycles).c_str(), ref.wallSeconds,
+                static_cast<unsigned long long>(ref.detailedTasks));
+
+    // 3. TaskPoint sampled simulation (lazy policy: P = infinity).
+    const harness::SampledOutcome sampled =
+        harness::runSampled(t, spec, sampling::SamplingParams::lazy());
+    std::printf("sampled  : %s cycles  (%.2fs host, %llu detailed / "
+                "%llu fast tasks, %llu resamples)\n",
+                fmtCount(sampled.result.totalCycles).c_str(),
+                sampled.result.wallSeconds,
+                static_cast<unsigned long long>(
+                    sampled.result.detailedTasks),
+                static_cast<unsigned long long>(
+                    sampled.result.fastTasks),
+                static_cast<unsigned long long>(
+                    sampled.stats.resamples));
+
+    // 4. Compare.
+    const harness::ErrorSpeedup es =
+        harness::compare(ref, sampled.result);
+    std::printf("error %.2f%%  speedup %.1fx  (detail fraction "
+                "%.1f%%)\n",
+                es.errorPct, es.wallSpeedup,
+                100.0 * es.detailFraction);
+    return 0;
+}

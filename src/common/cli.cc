@@ -1,0 +1,119 @@
+#include "common/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tp {
+
+std::vector<std::string>
+splitString(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &allowed)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+        arg = arg.substr(2);
+        std::string key = arg;
+        std::string value = "1";
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+        if (std::find(allowed.begin(), allowed.end(), key) ==
+            allowed.end()) {
+            std::string known;
+            for (const auto &a : allowed)
+                known += " --" + a;
+            fatal("unknown option '--%s'; known options:%s",
+                  key.c_str(), known.c_str());
+        }
+        values_[key] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name,
+                   const std::string &fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        fatal("option --%s expects an integer, got '%s'",
+              name.c_str(), it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+CliArgs::getUint(const std::string &name, std::uint64_t fallback) const
+{
+    const std::int64_t v =
+        getInt(name, static_cast<std::int64_t>(fallback));
+    if (v < 0)
+        fatal("option --%s expects a non-negative integer",
+              name.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("option --%s expects a number, got '%s'",
+              name.c_str(), it->second.c_str());
+    return v;
+}
+
+std::vector<std::string>
+CliArgs::getList(const std::string &name,
+                 const std::vector<std::string> &fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return splitString(it->second, ',');
+}
+
+} // namespace tp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal command-line parsing for benches and examples.
+ *
+ * All experiment binaries accept `--key=value` / `--flag` options.
+ * Unknown options are fatal so typos cannot silently run the wrong
+ * experiment.
+ */
+
+#ifndef TP_COMMON_CLI_HH
+#define TP_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tp {
+
+/** Parsed command line with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Accepted forms: `--key=value`, `--flag`.
+     *
+     * @param allowed  the set of option names this binary understands;
+     *                 anything else is a fatal user error.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &allowed);
+
+    /** @return true if --name was present (with or without value). */
+    bool has(const std::string &name) const;
+
+    /** @return string value of --name, or fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** @return integer value of --name, or fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** @return unsigned value of --name, or fallback. */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t fallback) const;
+
+    /** @return double value of --name, or fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** @return comma-separated list value, or fallback. */
+    std::vector<std::string>
+    getList(const std::string &name,
+            const std::vector<std::string> &fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/** Split a string on a delimiter, dropping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char delim);
+
+} // namespace tp
+
+#endif // TP_COMMON_CLI_HH

@@ -1,0 +1,174 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tp {
+
+namespace {
+
+/** splitmix64 step used for seed expansion. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+    // Guard against the all-zero state, which xoshiro cannot escape.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 0x1ULL;
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    tp_assert(bound > 0);
+    // Lemire's nearly-divisionless method would be overkill; simple
+    // rejection keeps the distribution exactly uniform.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    tp_assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::uniform01()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform01();
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    spareNormal_ = mag * std::sin(two_pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    tp_assert(median > 0.0);
+    return median * std::exp(sigma * normal());
+}
+
+double
+Rng::exponential(double mean)
+{
+    tp_assert(mean > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform01();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform01() < p;
+}
+
+double
+Rng::pareto(double x_m, double alpha)
+{
+    tp_assert(x_m > 0.0 && alpha > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform01();
+    } while (u <= 0.0);
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    tp_assert(n > 0);
+    // Inverse-CDF on a truncated harmonic approximation: accurate
+    // enough for access-locality skew and O(1) per draw.
+    if (s == 1.0)
+        s = 1.0 + 1e-9; // avoid the harmonic singularity
+    const double u = uniform01();
+    const double h = std::pow(static_cast<double>(n), 1.0 - s);
+    const double x = std::pow(u * (h - 1.0) + 1.0, 1.0 / (1.0 - s));
+    std::uint64_t r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+} // namespace tp

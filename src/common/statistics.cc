@@ -1,0 +1,172 @@
+#include "common/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tp {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    tp_assert(!xs.empty());
+    double log_sum = 0.0;
+    for (double x : xs) {
+        tp_assert(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    tp_assert(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    tp_assert(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    tp_assert(!xs.empty());
+    tp_assert(p >= 0.0 && p <= 100.0);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+BoxplotStats
+boxplot(const std::vector<double> &xs)
+{
+    tp_assert(!xs.empty());
+    BoxplotStats b;
+    b.count = xs.size();
+    b.median = percentile(xs, 50.0);
+    b.q1 = percentile(xs, 25.0);
+    b.q3 = percentile(xs, 75.0);
+    b.whiskerLo = percentile(xs, 5.0);
+    b.whiskerHi = percentile(xs, 95.0);
+    b.min = minOf(xs);
+    b.max = maxOf(xs);
+    for (double x : xs) {
+        if (x < b.whiskerLo || x > b.whiskerHi)
+            ++b.outliers;
+    }
+    return b;
+}
+
+std::vector<double>
+normalizeToMeanPct(const std::vector<double> &xs, double group_mean)
+{
+    tp_assert(group_mean != 0.0);
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs)
+        out.push_back(100.0 * (x / group_mean - 1.0));
+    return out;
+}
+
+double
+absPctError(double value, double reference)
+{
+    tp_assert(reference != 0.0);
+    return 100.0 * std::abs(value - reference) / std::abs(reference);
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double m = mean();
+    double v = sumSq_ / static_cast<double>(n_) - m * m;
+    return v < 0.0 ? 0.0 : v;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    tp_assert(n_ > 0);
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    tp_assert(n_ > 0);
+    return max_;
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+}
+
+} // namespace tp

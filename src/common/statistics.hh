@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation harness.
+ *
+ * The paper reports boxplot statistics (quartiles, 5th/95th percentile
+ * whiskers, outliers) for IPC variation (Figs. 1 and 5) and
+ * mean/absolute errors for the sampling evaluation (Figs. 6-10).
+ */
+
+#ifndef TP_COMMON_STATISTICS_HH
+#define TP_COMMON_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tp {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive samples. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; panics on an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; panics on an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ *
+ * Uses the same convention as numpy.percentile(..., method="linear"),
+ * which the paper's matplotlib boxplots are built on.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Boxplot summary as drawn in Figs. 1 and 5: solid box from the first
+ * to the third quartile, whiskers from the 5th to the 95th percentile,
+ * everything outside the whiskers counted as outliers.
+ */
+struct BoxplotStats
+{
+    double median = 0.0;
+    double q1 = 0.0;       //!< first quartile (25th percentile)
+    double q3 = 0.0;       //!< third quartile (75th percentile)
+    double whiskerLo = 0.0; //!< 5th percentile
+    double whiskerHi = 0.0; //!< 95th percentile
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;
+    std::size_t outliers = 0; //!< samples outside the whiskers
+};
+
+/** Compute the boxplot summary; panics on an empty sample. */
+BoxplotStats boxplot(const std::vector<double> &xs);
+
+/**
+ * Normalize each sample to the mean of its group, expressed as a
+ * percentage deviation: 100 * (x / groupMean - 1).
+ *
+ * This is the per-task-type IPC normalization the paper applies before
+ * plotting Figs. 1 and 5.
+ */
+std::vector<double>
+normalizeToMeanPct(const std::vector<double> &xs, double group_mean);
+
+/** Relative error in percent: 100 * |value - reference| / reference. */
+double absPctError(double value, double reference);
+
+/** Online mean/min/max accumulator for streaming statistics. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return number of observations. */
+    std::size_t count() const { return n_; }
+
+    /** @return running arithmetic mean (0 if empty). */
+    double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+
+    /** @return running population variance (0 if fewer than 2). */
+    double variance() const;
+
+    /** @return running population standard deviation. */
+    double stddev() const;
+
+    /** @return smallest observation (panics if empty). */
+    double min() const;
+
+    /** @return largest observation (panics if empty). */
+    double max() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tp
+
+#endif // TP_COMMON_STATISTICS_HH

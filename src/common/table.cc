@@ -1,0 +1,129 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tp {
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+fmtCount(unsigned long long v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int c = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (c && c % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++c;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        width[i] = header_[i].size();
+    for (const auto &r : rows_) {
+        for (std::size_t i = 0; i < r.cells.size(); ++i)
+            width[i] = std::max(width[i], r.cells[i].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            line += cell;
+            if (i + 1 < ncols)
+                line += std::string(width[i] - cell.size() + 2, ' ');
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < ncols; ++i)
+        total += width[i] + (i + 1 < ncols ? 2 : 0);
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    if (!header_.empty()) {
+        out += render_row(header_);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.separator)
+            out += std::string(total, '-') + "\n";
+        else
+            out += render_row(r.cells);
+    }
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::toCsv() const
+{
+    std::string out;
+    auto emit = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out += cells[i];
+            if (i + 1 < cells.size())
+                out += ",";
+        }
+        out += "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_) {
+        if (!r.separator)
+            emit(r.cells);
+    }
+    return out;
+}
+
+} // namespace tp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table rendering for the experiment harness.
+ *
+ * Every bench binary prints the rows/series of its paper table or
+ * figure through TextTable so output is aligned, diffable and easy to
+ * paste into EXPERIMENTS.md.
+ */
+
+#ifndef TP_COMMON_TABLE_HH
+#define TP_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tp {
+
+/** Column-aligned ASCII table with an optional title and header. */
+class TextTable
+{
+  public:
+    /** Create a table; the title is printed above the header. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (cells may be any width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Render as CSV (no alignment, no separators). */
+    std::string toCsv() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a cycle/instruction count with thousands separators. */
+std::string fmtCount(unsigned long long v);
+
+} // namespace tp
+
+#endif // TP_COMMON_TABLE_HH

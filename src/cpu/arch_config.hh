@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Architecture configurations (paper Table II).
+ *
+ * Two radically different multi-core design points bound the space the
+ * paper explores: a server-class high-performance configuration (large
+ * ROB, three cache levels) and a mobile low-power configuration (small
+ * ROB, two levels, shared L2). TaskPoint's parameters are tuned on the
+ * former and validated unchanged on the latter (paper Section V).
+ */
+
+#ifndef TP_CPU_ARCH_CONFIG_HH
+#define TP_CPU_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "memory/hierarchy.hh"
+
+namespace tp::cpu {
+
+/** Out-of-order core parameters consumed by the ROB model. */
+struct CoreConfig
+{
+    std::uint32_t robSize = 168;
+    std::uint32_t issueWidth = 4;
+    std::uint32_t commitWidth = 4;
+};
+
+/** A complete simulated architecture: cores + memory hierarchy. */
+struct ArchConfig
+{
+    std::string name;
+    CoreConfig core;
+    mem::MemoryConfig memory;
+};
+
+/**
+ * Paper Table II, "High-perf." column: ROB 168, 4-wide, 32 KiB 8-way
+ * private L1 (4 cycles), 2 MiB 8-way private L2 (11 cycles), 20 MiB
+ * 20-way shared L3 (28 cycles). DRAM parameters model DDR3-class
+ * bandwidth (not in the table; documented in DESIGN.md).
+ */
+ArchConfig highPerformanceConfig();
+
+/**
+ * Paper Table II, "Low-power" column: ROB 40, 3-wide, 32 KiB 2-way
+ * private L1 (4 cycles), 1 MiB 16-way *shared* L2 (21 cycles), no L3,
+ * single-channel low-bandwidth DRAM.
+ */
+ArchConfig lowPowerConfig();
+
+/** Look up a config by name ("highperf" / "lowpower"). */
+ArchConfig archConfigByName(const std::string &name);
+
+} // namespace tp::cpu
+
+#endif // TP_CPU_ARCH_CONFIG_HH

@@ -1,0 +1,137 @@
+#include "cpu/rob_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tp::cpu {
+
+RobCore::RobCore(const CoreConfig &config, mem::Hierarchy &mem,
+                 ThreadId id)
+    : config_(config), mem_(mem), id_(id),
+      rob_(config.robSize, 0), hist_(kHistSize, 0)
+{
+    tp_assert(config_.robSize > 0);
+    tp_assert(config_.issueWidth > 0);
+    tp_assert(config_.commitWidth > 0);
+}
+
+void
+RobCore::beginTask(const trace::TaskType &type,
+                   const trace::TaskInstance &inst, Cycles start)
+{
+    tp_assert(!stream_.has_value());
+    stream_.emplace(type, inst);
+    taskStart_ = start;
+    lastEventCycle_ = start;
+    lastCommit_ = start;
+    dispatch_.reset(start, config_.issueWidth);
+    commit_.reset(start, config_.commitWidth);
+    robHead_ = 0;
+    robCount_ = 0;
+    std::fill(hist_.begin(), hist_.end(), start);
+    instIndex_ = 0;
+    stats_ = DetailedRunStats{};
+}
+
+Cycles
+RobCore::commitHead()
+{
+    tp_assert(robCount_ > 0);
+    const Cycles complete = rob_[robHead_];
+    const Cycles at = commit_.reserve(std::max(complete, lastCommit_));
+    lastCommit_ = at;
+    robHead_ = (robHead_ + 1) % rob_.size();
+    --robCount_;
+    return at;
+}
+
+bool
+RobCore::step(InstCount quantum)
+{
+    tp_assert(stream_.has_value());
+    trace::InstrStream &stream = *stream_;
+
+    trace::Instr in;
+    for (InstCount n = 0; n < quantum && stream.next(in); ++n) {
+        // Free a ROB slot first if the window is full: dispatch of
+        // this instruction cannot precede the head's commit.
+        Cycles slot_free = 0;
+        if (robCount_ == rob_.size())
+            slot_free = commitHead();
+
+        const Cycles disp =
+            dispatch_.reserve(std::max(slot_free, Cycles{0}));
+
+        // Register-dependency ready time from the completion history.
+        Cycles ready = disp;
+        if (in.depDist != 0 && in.depDist <= instIndex_) {
+            const std::uint64_t dep = instIndex_ - in.depDist;
+            ready = std::max(ready, hist_[dep % kHistSize]);
+        }
+
+        // Resolve execution latency.
+        Cycles complete;
+        switch (in.cls) {
+          case trace::InstrClass::Load: {
+            const mem::AccessResult r =
+                mem_.access(id_, in.addr, false, ready);
+            complete = ready + in.execLat + r.latency;
+            ++stats_.loads;
+            if (r.level != mem::HitLevel::L1)
+                ++stats_.l1Misses;
+            break;
+          }
+          case trace::InstrClass::Store: {
+            // Stores retire through the store buffer: the cache state
+            // and bandwidth are affected, but commit is not delayed
+            // by the write latency.
+            const mem::AccessResult r =
+                mem_.access(id_, in.addr, true, ready);
+            (void)r;
+            complete = ready + 1;
+            ++stats_.stores;
+            break;
+          }
+          default:
+            complete = ready + in.execLat;
+            break;
+        }
+        if (complete <= disp)
+            complete = disp + 1;
+
+        // Insert into ROB and history.
+        const std::size_t tail =
+            (robHead_ + robCount_) % rob_.size();
+        rob_[tail] = complete;
+        ++robCount_;
+        hist_[instIndex_ % kHistSize] = complete;
+        ++instIndex_;
+
+        lastEventCycle_ = std::max(lastEventCycle_, disp);
+        ++stats_.instructions;
+    }
+
+    if (!stream.done())
+        return false;
+
+    // Task over: drain the pipeline so finishTime() is the commit
+    // cycle of the last instruction.
+    while (robCount_ > 0)
+        commitHead();
+    lastEventCycle_ = std::max(lastEventCycle_, lastCommit_);
+    stats_.cycles = lastCommit_ > taskStart_
+                        ? lastCommit_ - taskStart_
+                        : Cycles{1};
+    stream_.reset();
+    return true;
+}
+
+Cycles
+RobCore::finishTime() const
+{
+    tp_assert(!stream_.has_value());
+    return lastCommit_;
+}
+
+} // namespace tp::cpu

@@ -1,0 +1,201 @@
+#include "memory/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace tp::mem {
+
+Cache::Cache(std::string name, const CacheConfig &config)
+    : name_(std::move(name)), config_(config)
+{
+    if (config_.lineBytes == 0 ||
+        !std::has_single_bit(config_.lineBytes)) {
+        fatal("cache '%s': line size must be a power of two",
+              name_.c_str());
+    }
+    if (config_.assoc == 0)
+        fatal("cache '%s': associativity must be positive",
+              name_.c_str());
+    const std::uint64_t line_capacity =
+        config_.sizeBytes / config_.lineBytes;
+    if (line_capacity == 0 || line_capacity % config_.assoc != 0) {
+        fatal("cache '%s': size %llu not divisible into %u ways",
+              name_.c_str(),
+              static_cast<unsigned long long>(config_.sizeBytes),
+              config_.assoc);
+    }
+    numSets_ = line_capacity / config_.assoc;
+    if (!std::has_single_bit(numSets_))
+        fatal("cache '%s': number of sets must be a power of two",
+              name_.c_str());
+    lineShift_ =
+        static_cast<std::uint32_t>(std::countr_zero(config_.lineBytes));
+    ways_.assign(numSets_ * config_.assoc, Way{});
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheAccessOutcome
+Cache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * config_.assoc];
+
+    Way *victim = &set[0];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.tag == tag) {
+            ++stats_.hits;
+            way.lru = ++lruTick_;
+            way.dirty |= is_write;
+            return {true, false};
+        }
+        // Prefer an invalid way as victim; otherwise the LRU one.
+        if (!way.valid) {
+            if (victim->valid)
+                victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    CacheAccessOutcome out{false, false};
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            out.writebackVictim = true;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = config_.scanResistantInsert ? 0 : ++lruTick_;
+    return out;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * config_.assoc];
+    Way *victim = &set[0];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.tag == tag)
+            return; // already resident; leave LRU untouched
+        if (!way.valid) {
+            if (victim->valid)
+                victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = false;
+    victim->lru = config_.scanResistantInsert ? 0 : ++lruTick_;
+    ++stats_.prefetchFills;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = tagOf(addr);
+    const Way *set = &ways_[setIndex(addr) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = tagOf(addr);
+    Way *set = &ways_[setIndex(addr) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            set[w].dirty = false;
+            ++stats_.invalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Way &w : ways_)
+        w = Way{};
+    lruTick_ = 0;
+}
+
+void
+Cache::prepollute()
+{
+    // Tags above 2^50 lie far outside every region the trace
+    // generators use, so junk lines can never be hit.
+    for (Way &w : ways_) {
+        w.valid = true;
+        w.dirty = false;
+        w.tag = nextJunkTag_++;
+        w.lru = 0; // evicted before anything the program touches
+    }
+}
+
+void
+Cache::ageLines(std::uint64_t lines)
+{
+    lines = std::min<std::uint64_t>(lines, ways_.size());
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        const std::uint64_t set = ageCursor_++ % numSets_;
+        Way *ways = &ways_[set * config_.assoc];
+        Way *victim = &ways[0];
+        for (std::uint32_t w = 1; w < config_.assoc; ++w) {
+            if (!ways[w].valid) {
+                victim = &ways[w];
+                break;
+            }
+            if (victim->valid && ways[w].lru < victim->lru)
+                victim = &ways[w];
+        }
+        victim->valid = true;
+        victim->dirty = false;
+        victim->tag = nextJunkTag_++;
+        victim->lru = ++lruTick_;
+    }
+}
+
+double
+Cache::occupancy() const
+{
+    std::uint64_t valid = 0;
+    for (const Way &w : ways_)
+        valid += w.valid ? 1 : 0;
+    return ways_.empty() ? 0.0
+                         : double(valid) / double(ways_.size());
+}
+
+} // namespace tp::mem

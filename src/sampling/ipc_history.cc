@@ -1,0 +1,40 @@
+#include "sampling/ipc_history.hh"
+
+#include "common/logging.hh"
+
+namespace tp::sampling {
+
+IpcHistory::IpcHistory(std::size_t capacity) : buf_(capacity, 0.0)
+{
+    tp_assert(capacity > 0);
+}
+
+void
+IpcHistory::add(double ipc)
+{
+    tp_assert(ipc > 0.0);
+    buf_[next_] = ipc;
+    next_ = (next_ + 1) % buf_.size();
+    if (size_ < buf_.size())
+        ++size_;
+}
+
+void
+IpcHistory::clear()
+{
+    next_ = 0;
+    size_ = 0;
+}
+
+double
+IpcHistory::mean() const
+{
+    if (size_ == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < size_; ++i)
+        s += buf_[i];
+    return s / static_cast<double>(size_);
+}
+
+} // namespace tp::sampling

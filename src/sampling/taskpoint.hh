@@ -1,0 +1,219 @@
+/**
+ * @file
+ * TaskPoint: the sampled-simulation methodology (paper Section III).
+ *
+ * TaskPointController implements the sampling *mechanism* — warmup,
+ * sampling, accurate fast-forwarding — and the sampling *policies* on
+ * top of it:
+ *
+ *  - Initial warmup: W task instances per participating thread are
+ *    simulated in detail; their IPC goes to the history of all
+ *    samples only.
+ *  - Sampling: detailed task instances contribute valid samples until
+ *    either (1) every observed task type's valid history is full, or
+ *    (2) the rare-type cutoff fires: every participating thread has
+ *    simulated R consecutive instances without encountering a type
+ *    whose valid history is not yet full.
+ *  - Fast-forward: each instance runs at the mean IPC of its type's
+ *    valid history (fallback: the all-samples history), for
+ *    C_i = ceil(I_i / IPC_T) cycles.
+ *  - Resampling triggers: (a) periodic policy — a thread has executed
+ *    P instances in fast mode (P = ∞ ≡ lazy sampling); (b) the first
+ *    instance of a task type with no samples at all; (c) a persistent
+ *    change in the number of threads executing tasks. Resampling
+ *    discards all valid histories, re-warms with one detailed
+ *    instance per participating thread, and samples again.
+ *
+ * Mode switching happens only at task-instance boundaries; instances
+ * that started before a phase change finish in their original mode,
+ * and detailed instances finishing after the transition to fast mode
+ * contribute to the all-samples history only (paper Section III-B).
+ */
+
+#ifndef TP_SAMPLING_TASKPOINT_HH
+#define TP_SAMPLING_TASKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sampling/type_profile.hh"
+#include "sim/mode_controller.hh"
+#include "trace/trace.hh"
+
+namespace tp::sampling {
+
+/** TaskPoint model parameters (paper Section V-A defaults). */
+struct SamplingParams
+{
+    /** W: warmup instances per thread at simulation start. */
+    std::uint64_t warmup = 2;
+    /** H: size of both IPC histories. */
+    std::size_t historySize = 4;
+    /** P: fast instances per thread before resampling (∞ = lazy). */
+    std::uint64_t period = kInfinitePeriod;
+    /** R: rare-type sampling cutoff (instances per thread). */
+    std::uint64_t rareCutoff = 5;
+    /**
+     * Consecutive fast-mode task starts that must observe a changed
+     * active-thread count before the concurrency trigger resamples.
+     * The paper does not specify a debounce; we expose it and ablate
+     * it in bench/ablation_sampling.
+     */
+    std::uint32_t concurrencyHysteresis = 8;
+    /**
+     * Relative dead band for the concurrency trigger: the active
+     * count must leave [c*(1-tol), c*(1+tol)] (and at least by one
+     * thread) around the sampled concurrency before divergence is
+     * counted. Filters the dips every dependency stall produces.
+     */
+    double concurrencyTolerance = 0.25;
+
+    /** @return params for the lazy policy (P = ∞). */
+    static SamplingParams
+    lazy()
+    {
+        return SamplingParams{};
+    }
+
+    /** @return params for the periodic policy with the given P. */
+    static SamplingParams
+    periodic(std::uint64_t p)
+    {
+        SamplingParams s;
+        s.period = p;
+        return s;
+    }
+};
+
+/** Sampling phases (paper Fig. 2). */
+enum class Phase : std::uint8_t { Warmup, Sampling, Fast };
+
+/** @return printable phase name. */
+const char *toString(Phase p);
+
+/** Why a resample was triggered. */
+enum class ResampleReason : std::uint8_t {
+    Period,      //!< periodic policy expired (P fast instances)
+    NewType,     //!< first instance of an unsampled task type
+    Concurrency, //!< active-thread count changed persistently
+};
+
+/** Counters reported by the controller after a run. */
+struct SamplingStats
+{
+    std::uint64_t warmupTasks = 0;
+    std::uint64_t sampleTasks = 0;
+    std::uint64_t fastTasks = 0;
+    std::uint64_t resamples = 0;
+    std::uint64_t resamplesPeriod = 0;
+    std::uint64_t resamplesNewType = 0;
+    std::uint64_t resamplesConcurrency = 0;
+    std::uint64_t phaseChanges = 0;
+};
+
+/** One phase-transition event (for tests and debugging). */
+struct PhaseChange
+{
+    Cycles at = 0;
+    Phase to = Phase::Warmup;
+};
+
+/** See file comment. */
+class TaskPointController : public sim::ModeController
+{
+  public:
+    /**
+     * @param trace  the application being simulated (not owned)
+     * @param params model parameters (W, H, P, R)
+     */
+    TaskPointController(const trace::TaskTrace &trace,
+                        const SamplingParams &params);
+
+    sim::ModeDecision decideTask(const trace::TaskInstance &inst,
+                                 ThreadId thread,
+                                 const sim::EngineStatus &status)
+        override;
+
+    void taskFinished(const trace::TaskInstance &inst, ThreadId thread,
+                      sim::SimMode mode, double ipc,
+                      const sim::EngineStatus &status) override;
+
+    /** @return current phase. */
+    Phase phase() const { return phase_; }
+
+    /** @return accumulated counters. */
+    const SamplingStats &stats() const { return stats_; }
+
+    /** @return phase-transition log. */
+    const std::vector<PhaseChange> &phaseLog() const
+    {
+        return phaseLog_;
+    }
+
+    /** @return per-type sampling state (indexed by TaskTypeId). */
+    const std::vector<TypeProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /** @return model parameters. */
+    const SamplingParams &params() const { return params_; }
+
+  private:
+    /** Per-thread bookkeeping, reset at each phase change. */
+    struct ThreadState
+    {
+        std::uint64_t startedInPhase = 0;
+        std::uint64_t finishedInPhase = 0;
+        std::uint64_t sinceUnsampled = 0;
+        std::uint64_t fastStarted = 0;
+        bool inPhase = false; //!< started >= 1 task in current phase
+    };
+
+    /** Decision record per instance (for finish-time attribution). */
+    struct StartInfo
+    {
+        std::uint32_t phaseSeq = 0;
+        Phase phase = Phase::Warmup;
+        bool decided = false;
+    };
+
+    void enterPhase(Phase p, Cycles at);
+    void resample(ResampleReason reason, Cycles at);
+    bool warmupComplete() const;
+    bool allSeenTypesSampled() const;
+    bool rareCutoffReached() const;
+
+    const trace::TaskTrace &trace_;
+    SamplingParams params_;
+
+    std::vector<TypeProfile> profiles_;
+    std::vector<ThreadState> threads_;
+    /**
+     * Tasks decided but not yet finished, per thread. Unlike
+     * ThreadState this survives phase changes: warmup completion must
+     * wait for threads still draining tasks from an earlier phase
+     * (the paper requires *every* thread to simulate one instance in
+     * detail before resampling — otherwise samples would measure a
+     * contention-free machine while other threads fast-forward).
+     */
+    std::vector<std::uint32_t> inFlight_;
+    std::vector<StartInfo> startInfo_;
+
+    Phase phase_ = Phase::Warmup;
+    std::uint32_t phaseSeq_ = 0;
+    std::uint64_t warmupTarget_;
+    std::uint32_t sampledConcurrency_ = 0;
+    std::uint32_t concurrencyDivergence_ = 0;
+    /** Ask the engine to age caches on the next detailed decision. */
+    bool pendingStateAging_ = false;
+
+    SamplingStats stats_;
+    std::vector<PhaseChange> phaseLog_;
+};
+
+} // namespace tp::sampling
+
+#endif // TP_SAMPLING_TASKPOINT_HH

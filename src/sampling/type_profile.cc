@@ -1,0 +1,39 @@
+#include "sampling/type_profile.hh"
+
+namespace tp::sampling {
+
+TypeProfile::TypeProfile(std::size_t history_size)
+    : valid_(history_size), all_(history_size)
+{
+}
+
+void
+TypeProfile::addValidSample(double ipc)
+{
+    valid_.add(ipc);
+    all_.add(ipc);
+}
+
+void
+TypeProfile::addAnySample(double ipc)
+{
+    all_.add(ipc);
+}
+
+void
+TypeProfile::clearValid()
+{
+    valid_.clear();
+}
+
+double
+TypeProfile::predictIpc() const
+{
+    if (!valid_.empty())
+        return valid_.mean();
+    if (!all_.empty())
+        return all_.mean();
+    return 0.0;
+}
+
+} // namespace tp::sampling

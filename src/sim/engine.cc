@@ -1,0 +1,222 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tp::sim {
+
+Engine::Engine(const SimConfig &config, const trace::TaskTrace &trace)
+    : config_(config), trace_(trace),
+      mem_(config.arch.memory, config.numThreads),
+      runtime_(trace, config.runtime, config.numThreads),
+      noise_(config.noise)
+{
+    if (config_.numThreads == 0)
+        fatal("simulation needs at least one thread");
+    if (config_.quantum == 0)
+        fatal("quantum must be positive");
+
+    cores_.reserve(config_.numThreads);
+    for (ThreadId c = 0; c < config_.numThreads; ++c)
+        cores_.emplace_back(config_.arch.core, mem_, c);
+    states_.resize(config_.numThreads);
+}
+
+std::uint32_t
+Engine::countActive() const
+{
+    std::uint32_t n = 0;
+    for (const CoreState &s : states_)
+        n += s.st != CoreState::St::Idle ? 1 : 0;
+    return n;
+}
+
+EngineStatus
+Engine::status(Cycles now, bool counting_new_task) const
+{
+    EngineStatus st;
+    st.now = now;
+    st.activeCores = countActive() + (counting_new_task ? 1 : 0);
+    const std::uint64_t could_run =
+        st.activeCores + runtime_.readyCount();
+    st.effectiveConcurrency = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(could_run, config_.numThreads));
+    st.totalCores = config_.numThreads;
+    st.completedTasks = runtime_.numCompleted();
+    return st;
+}
+
+void
+Engine::startTask(ThreadId core, TaskInstanceId id, Cycles now)
+{
+    const trace::TaskInstance &inst = trace_.instance(id);
+    const trace::TaskType &type = trace_.type(inst.type);
+    Cycles start = now + runtime_.dispatchOverhead();
+    if (config_.runtime.dispatchJitter > 0) {
+        start +=
+            jitterRng_.nextBounded(config_.runtime.dispatchJitter);
+    }
+
+    ModeDecision decision; // default: detailed
+    if (controller_ != nullptr)
+        decision = controller_->decideTask(inst, core,
+                                           status(now, true));
+
+    if (decision.reconstructState) {
+        mem_.applyFastForwardAging(fastInstsSinceAging_);
+        fastInstsSinceAging_ = 0;
+    }
+
+    CoreState &s = states_[core];
+    s.task = id;
+    s.start = start;
+    if (decision.mode == SimMode::Detailed) {
+        s.st = CoreState::St::Detailed;
+        cores_[core].beginTask(type, inst, start);
+    } else {
+        if (!(decision.fastIpc > 0.0))
+            panic("fast-mode decision without a positive IPC");
+        s.st = CoreState::St::Fast;
+        const double cycles = std::ceil(
+            static_cast<double>(inst.instCount) / decision.fastIpc);
+        s.finish = start + std::max<Cycles>(
+            static_cast<Cycles>(cycles), 1);
+        fastInstsSinceAging_ += inst.instCount;
+    }
+}
+
+void
+Engine::completeTask(ThreadId core, Cycles finish)
+{
+    CoreState &s = states_[core];
+    tp_assert(s.st != CoreState::St::Idle);
+    const trace::TaskInstance &inst = trace_.instance(s.task);
+    const SimMode mode = s.st == CoreState::St::Detailed
+                             ? SimMode::Detailed
+                             : SimMode::Fast;
+
+    if (mode == SimMode::Detailed && noise_.enabled()) {
+        const Cycles dur = finish - s.start;
+        finish = s.start + noise_.perturb(dur);
+    }
+
+    const Cycles dur = finish > s.start ? finish - s.start : Cycles{1};
+    const double ipc =
+        static_cast<double>(inst.instCount) / static_cast<double>(dur);
+
+    if (mode == SimMode::Detailed) {
+        ++result_.detailedTasks;
+        result_.detailedInsts += inst.instCount;
+    } else {
+        ++result_.fastTasks;
+        result_.fastInsts += inst.instCount;
+    }
+    busyCycles_ += dur;
+    lastCompletion_ = std::max(lastCompletion_, finish);
+
+    if (config_.recordTasks) {
+        result_.tasks.push_back(TaskRecord{inst.id, inst.type, core,
+                                           s.start, finish,
+                                           inst.instCount, mode, ipc});
+    }
+
+    s.st = CoreState::St::Idle;
+    s.task = kNoTaskInstance;
+
+    runtime_.taskCompleted(inst.id, core);
+
+    if (controller_ != nullptr) {
+        controller_->taskFinished(inst, core, mode, ipc,
+                                  status(finish, false));
+    }
+
+    assignTasks(finish);
+}
+
+void
+Engine::assignTasks(Cycles now)
+{
+    for (ThreadId c = 0; c < config_.numThreads; ++c) {
+        if (states_[c].st != CoreState::St::Idle)
+            continue;
+        const TaskInstanceId id = runtime_.fetchTask(c);
+        if (id == kNoTaskInstance)
+            break; // scheduler empty (FIFO/steal both drain globally)
+        startTask(c, id, now);
+    }
+}
+
+SimResult
+Engine::run(ModeController *controller)
+{
+    if (ran_)
+        fatal("Engine::run may only be called once per instance");
+    ran_ = true;
+    controller_ = controller;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    assignTasks(0);
+
+    while (!runtime_.allDone()) {
+        // Pick the lagging core: fast cores are keyed by their known
+        // completion time, detailed cores by their local progress.
+        ThreadId best = kNoThread;
+        Cycles best_time = kNoCycle;
+        for (ThreadId c = 0; c < config_.numThreads; ++c) {
+            const CoreState &s = states_[c];
+            Cycles t = kNoCycle;
+            if (s.st == CoreState::St::Fast)
+                t = s.finish;
+            else if (s.st == CoreState::St::Detailed)
+                t = std::max(cores_[c].localNow(), s.start);
+            if (t < best_time) {
+                best_time = t;
+                best = c;
+            }
+        }
+        if (best == kNoThread) {
+            panic("deadlock: %llu of %llu tasks completed but no core "
+                  "is runnable",
+                  static_cast<unsigned long long>(
+                      runtime_.numCompleted()),
+                  static_cast<unsigned long long>(trace_.size()));
+        }
+
+        CoreState &s = states_[best];
+        if (s.st == CoreState::St::Fast) {
+            completeTask(best, s.finish);
+        } else {
+            if (cores_[best].step(config_.quantum))
+                completeTask(best, cores_[best].finishTime());
+        }
+    }
+
+    const auto wall_end = std::chrono::steady_clock::now();
+    result_.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    result_.totalCycles = lastCompletion_;
+    result_.avgActiveCores =
+        lastCompletion_ > 0
+            ? static_cast<double>(busyCycles_) /
+                  static_cast<double>(lastCompletion_)
+            : 0.0;
+    result_.memStats = mem_.stats();
+
+    controller_ = nullptr;
+    return result_;
+}
+
+SimResult
+runDetailedReference(const SimConfig &config,
+                     const trace::TaskTrace &trace)
+{
+    SimConfig ref = config;
+    ref.noise.enabled = false;
+    Engine engine(ref, trace);
+    return engine.run(nullptr);
+}
+
+} // namespace tp::sim

@@ -1,0 +1,26 @@
+#include "sim/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tp::sim {
+
+NoiseModel::NoiseModel(const NoiseConfig &config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+Cycles
+NoiseModel::perturb(Cycles duration)
+{
+    if (!config_.enabled)
+        return duration;
+    double d = static_cast<double>(duration);
+    d *= std::exp(config_.sigma * rng_.normal());
+    if (rng_.bernoulli(config_.preemptProb))
+        d += rng_.exponential(config_.preemptMeanCycles);
+    const double clamped = std::max(d, 1.0);
+    return static_cast<Cycles>(clamped);
+}
+
+} // namespace tp::sim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Simulation-mode vocabulary shared by the engine and TaskPoint.
+ */
+
+#ifndef TP_SIM_SIM_MODE_HH
+#define TP_SIM_SIM_MODE_HH
+
+#include <cstdint>
+
+namespace tp::sim {
+
+/**
+ * How one task instance is simulated (paper Section III-B): detailed
+ * mode runs the ROB/cache models instruction by instruction; fast
+ * (burst) mode advances time at a predicted IPC. Mode switches happen
+ * only at task-instance boundaries.
+ */
+enum class SimMode : std::uint8_t {
+    Detailed,
+    Fast,
+};
+
+/** @return printable mode name. */
+inline const char *
+toString(SimMode m)
+{
+    return m == SimMode::Detailed ? "detailed" : "fast";
+}
+
+} // namespace tp::sim
+
+#endif // TP_SIM_SIM_MODE_HH

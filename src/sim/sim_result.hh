@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Results of one simulation run.
+ */
+
+#ifndef TP_SIM_SIM_RESULT_HH
+#define TP_SIM_SIM_RESULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+#include "sim/sim_mode.hh"
+
+namespace tp::sim {
+
+/** Execution record of one task instance. */
+struct TaskRecord
+{
+    TaskInstanceId id = 0;
+    TaskTypeId type = 0;
+    ThreadId thread = 0;
+    Cycles start = 0;
+    Cycles end = 0;
+    InstCount insts = 0;
+    SimMode mode = SimMode::Detailed;
+    /** Measured IPC (detailed) or applied prediction (fast). */
+    double ipc = 0.0;
+};
+
+/** Aggregate outcome of Engine::run(). */
+struct SimResult
+{
+    /** Predicted application execution time in cycles. */
+    Cycles totalCycles = 0;
+    std::uint64_t detailedTasks = 0;
+    std::uint64_t fastTasks = 0;
+    InstCount detailedInsts = 0;
+    InstCount fastInsts = 0;
+    /** Host wall-clock seconds spent simulating. */
+    double wallSeconds = 0.0;
+    /** Time-weighted mean number of busy cores. */
+    double avgActiveCores = 0.0;
+    /** Per-instance records in completion order (optional). */
+    std::vector<TaskRecord> tasks;
+    mem::HierarchyStats memStats;
+
+    /**
+     * Fraction of dynamic instructions simulated in detailed mode —
+     * the machine-independent cost proxy for speedup.
+     */
+    double
+    detailFraction() const
+    {
+        const double total =
+            double(detailedInsts) + double(fastInsts);
+        return total > 0.0 ? double(detailedInsts) / total : 1.0;
+    }
+};
+
+} // namespace tp::sim
+
+#endif // TP_SIM_SIM_RESULT_HH

@@ -1,0 +1,145 @@
+#include "trace/instr_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tp::trace {
+
+namespace {
+
+/** Functional-unit latencies per instruction class. */
+constexpr std::uint8_t kIntAluLat = 1;
+constexpr std::uint8_t kIntMulLat = 3;
+constexpr std::uint8_t kFpAluLat = 3;
+constexpr std::uint8_t kFpMulLat = 5;
+constexpr std::uint8_t kBranchLat = 1;
+constexpr std::uint8_t kMemBaseLat = 1; // hierarchy adds the rest
+
+constexpr Addr kLine = 64;
+
+} // namespace
+
+InstrStream::InstrStream(const TaskType &type, const TaskInstance &inst)
+    : prof_(type.variants.at(inst.variant)),
+      total_(inst.instCount),
+      rng_(inst.seed),
+      privBase_(inst.privBase),
+      privSize_(std::max<Addr>(inst.privFootprint, kLine)),
+      sharedBase_(sharedRegionBase(inst.type)),
+      sharedLines_(std::max<Addr>(prof_.pattern.sharedFootprint, kLine)
+                   / kLine)
+{
+    tp_assert(total_ > 0);
+}
+
+Addr
+InstrStream::privateAddress()
+{
+    const MemPattern &p = prof_.pattern;
+    switch (p.kind) {
+      case MemPatternKind::Sequential:
+        cursor_ = (cursor_ + 8) % privSize_;
+        return privBase_ + cursor_;
+      case MemPatternKind::Strided:
+        cursor_ = (cursor_ + p.strideBytes) % privSize_;
+        return privBase_ + cursor_;
+      case MemPatternKind::RandomUniform:
+        return privBase_ + rng_.nextBounded(privSize_);
+      case MemPatternKind::Zipf: {
+        const Addr lines = std::max<Addr>(privSize_ / kLine, 1);
+        return privBase_ + rng_.zipf(lines, p.zipfS) * kLine +
+               rng_.nextBounded(kLine);
+      }
+      case MemPatternKind::PointerChase:
+        return privBase_ + rng_.nextBounded(privSize_ / 8) * 8;
+    }
+    panic("unreachable memory pattern kind");
+}
+
+Addr
+InstrStream::sharedAddress()
+{
+    // Shared accesses model cross-task data reuse: hot lines are
+    // selected with Zipf skew so a few lines (reduction variables,
+    // histogram bins, hot tiles) dominate.
+    const Addr line = rng_.zipf(sharedLines_, prof_.pattern.zipfS);
+    return sharedBase_ + line * kLine + rng_.nextBounded(kLine / 8) * 8;
+}
+
+std::uint32_t
+InstrStream::drawDepDist()
+{
+    if (rng_.bernoulli(prof_.indepFrac))
+        return 0;
+    // Uniform on [1, 2*ilpMean]: same mean as a geometric with mean
+    // ilpMean at a fraction of the per-instruction cost.
+    const auto span =
+        std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(2.0 * prof_.ilpMean), 1);
+    const auto d =
+        static_cast<std::uint32_t>(1 + rng_.nextBounded(span));
+    return std::min<std::uint32_t>(d, 64);
+}
+
+bool
+InstrStream::next(Instr &out)
+{
+    if (produced_ >= total_)
+        return false;
+    ++produced_;
+    ++sinceLastMem_;
+
+    const double u = rng_.uniform01();
+    const double mem_frac = prof_.loadFrac + prof_.storeFrac;
+
+    if (u < mem_frac) {
+        const bool is_load = u < prof_.loadFrac;
+        out.cls = is_load ? InstrClass::Load : InstrClass::Store;
+        out.execLat = kMemBaseLat;
+        const bool shared =
+            rng_.bernoulli(prof_.pattern.sharedFrac);
+        out.addr = shared ? sharedAddress() : privateAddress();
+        if (is_load &&
+            prof_.pattern.kind == MemPatternKind::PointerChase &&
+            !shared) {
+            // Serialized dependent loads: depend on the previous
+            // memory operation, capped to the dependence window.
+            out.depDist = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(sinceLastMem_, 64));
+        } else if (is_load && rng_.bernoulli(0.35)) {
+            // Loads are often address-independent array accesses
+            // (induction-variable indexing) — extra MLP.
+            out.depDist = 0;
+        } else {
+            out.depDist = drawDepDist();
+        }
+        sinceLastMem_ = 0;
+        return true;
+    }
+
+    if (u < mem_frac + prof_.branchFrac) {
+        out.cls = InstrClass::Branch;
+        out.execLat = kBranchLat;
+        out.depDist = drawDepDist();
+        out.addr = 0;
+        return true;
+    }
+
+    // Arithmetic remainder.
+    const bool fp = rng_.bernoulli(prof_.fpFrac);
+    const bool mul = rng_.bernoulli(prof_.mulFrac);
+    if (fp) {
+        out.cls = mul ? InstrClass::FpMul : InstrClass::FpAlu;
+        out.execLat = mul ? kFpMulLat : kFpAluLat;
+    } else {
+        out.cls = mul ? InstrClass::IntMul : InstrClass::IntAlu;
+        out.execLat = mul ? kIntMulLat : kIntAluLat;
+    }
+    out.depDist = drawDepDist();
+    out.addr = 0;
+    return true;
+}
+
+} // namespace tp::trace

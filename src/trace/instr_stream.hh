@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic synthetic instruction stream for one task instance.
+ *
+ * The stream is a pure function of (task type profile, instance
+ * descriptor): reconstructing it twice — e.g. once in the reference
+ * detailed simulation and once inside a sampled simulation — yields
+ * bit-identical instruction sequences, exactly like replaying a
+ * recorded trace. The paper's fast-forward mechanism needs only the
+ * instance's dynamic instruction count; the detailed core consumes the
+ * full stream.
+ */
+
+#ifndef TP_TRACE_INSTR_STREAM_HH
+#define TP_TRACE_INSTR_STREAM_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/task.hh"
+
+namespace tp::trace {
+
+/** Generator of one task instance's dynamic instruction stream. */
+class InstrStream
+{
+  public:
+    /**
+     * @param type     the instance's task type (provides the profile)
+     * @param inst     the instance descriptor (count, seed, region)
+     */
+    InstrStream(const TaskType &type, const TaskInstance &inst);
+
+    /**
+     * Produce the next instruction.
+     * @return false when the stream is exhausted (out untouched).
+     */
+    bool next(Instr &out);
+
+    /** @return instructions produced so far. */
+    InstCount produced() const { return produced_; }
+
+    /** @return total instructions this stream will produce. */
+    InstCount total() const { return total_; }
+
+    /** @return true when all instructions have been produced. */
+    bool done() const { return produced_ >= total_; }
+
+  private:
+    Addr privateAddress();
+    Addr sharedAddress();
+    std::uint32_t drawDepDist();
+
+    const KernelProfile &prof_;
+    InstCount total_;
+    InstCount produced_ = 0;
+    Rng rng_;
+
+    Addr privBase_;
+    Addr privSize_;
+    Addr sharedBase_;
+    Addr sharedLines_;
+    Addr cursor_ = 0;          //!< walk position for seq/strided
+    std::uint64_t sinceLastMem_ = 0; //!< distance to previous memory op
+};
+
+} // namespace tp::trace
+
+#endif // TP_TRACE_INSTR_STREAM_HH

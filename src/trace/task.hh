@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Task type and task instance records.
+ *
+ * Terminology follows the paper (Section II-A): every execution of a
+ * task declaration statement creates a *task instance*; all instances
+ * created from the same declaration are of the same *task type*. The
+ * number of types is small (1-11 in Table I); instances number in the
+ * thousands.
+ */
+
+#ifndef TP_TRACE_TASK_HH
+#define TP_TRACE_TASK_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/kernel_profile.hh"
+
+namespace tp::trace {
+
+/** Static description of a task type. */
+struct TaskType
+{
+    TaskTypeId id = 0;
+    std::string name;
+    /**
+     * Behaviour variants of this type. Most types have exactly one;
+     * types with large-scale control-flow divergence inside one task
+     * declaration (the paper's freqmine observation, Section V-B) have
+     * several, selected per instance.
+     */
+    std::vector<KernelProfile> variants;
+};
+
+/** One dynamic task instance in creation order. */
+struct TaskInstance
+{
+    TaskInstanceId id = 0;
+    TaskTypeId type = 0;
+    /** Dynamic instruction count I_i (drives C_i = I_i / IPC_T). */
+    InstCount instCount = 0;
+    /** Size in bytes of this instance's private working set. */
+    Addr privFootprint = 1ULL << 16;
+    /** Base address of the private region (assigned by the builder). */
+    Addr privBase = 0;
+    /** Seed for deterministic instruction-stream synthesis. */
+    std::uint64_t seed = 0;
+    /** Index into TaskType::variants. */
+    std::uint16_t variant = 0;
+    /** Barrier epoch; a task only becomes eligible when all tasks of
+     *  earlier epochs have completed (taskwait semantics). */
+    std::uint32_t epoch = 0;
+};
+
+} // namespace tp::trace
+
+#endif // TP_TRACE_TASK_HH

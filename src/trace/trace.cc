@@ -1,0 +1,104 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tp::trace {
+
+const TaskType &
+TaskTrace::type(TaskTypeId t) const
+{
+    tp_assert(t < types_.size());
+    return types_[t];
+}
+
+const TaskInstance &
+TaskTrace::instance(TaskInstanceId i) const
+{
+    tp_assert(i < instances_.size());
+    return instances_[i];
+}
+
+std::uint32_t
+TaskTrace::inDegree(TaskInstanceId i) const
+{
+    tp_assert(i < inDegree_.size());
+    return inDegree_[i];
+}
+
+std::span<const TaskInstanceId>
+TaskTrace::successors(TaskInstanceId i) const
+{
+    tp_assert(i + 1 < succOffsets_.size());
+    const auto begin = succOffsets_[i];
+    const auto end = succOffsets_[i + 1];
+    return {succs_.data() + begin, succs_.data() + end};
+}
+
+std::uint64_t
+TaskTrace::epochSize(std::uint32_t e) const
+{
+    tp_assert(e < epochSizes_.size());
+    return epochSizes_[e];
+}
+
+TraceStats
+TaskTrace::stats() const
+{
+    TraceStats s;
+    s.numTypes = types_.size();
+    s.numInstances = instances_.size();
+    s.numDependencies = succs_.size();
+    s.numEpochs = epochSizes_.size();
+    s.totalInstructions = totalInsts_;
+    if (!instances_.empty()) {
+        auto [mn, mx] = std::minmax_element(
+            instances_.begin(), instances_.end(),
+            [](const TaskInstance &a, const TaskInstance &b) {
+                return a.instCount < b.instCount;
+            });
+        s.minInstPerTask = mn->instCount;
+        s.maxInstPerTask = mx->instCount;
+    }
+    return s;
+}
+
+void
+TaskTrace::validate() const
+{
+    tp_assert(!types_.empty());
+    tp_assert(instances_.size() + 1 == succOffsets_.size());
+    tp_assert(inDegree_.size() == instances_.size());
+
+    for (std::size_t t = 0; t < types_.size(); ++t) {
+        tp_assert(types_[t].id == t);
+        tp_assert(!types_[t].variants.empty());
+    }
+
+    std::vector<std::uint32_t> indeg_check(instances_.size(), 0);
+    std::uint32_t prev_epoch = 0;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const TaskInstance &ti = instances_[i];
+        tp_assert(ti.id == i);
+        tp_assert(ti.type < types_.size());
+        tp_assert(ti.variant < types_[ti.type].variants.size());
+        tp_assert(ti.instCount > 0);
+        tp_assert(ti.epoch >= prev_epoch);
+        tp_assert(ti.epoch < epochSizes_.size());
+        prev_epoch = ti.epoch;
+        for (TaskInstanceId s : successors(i)) {
+            tp_assert(s > i && s < instances_.size());
+            ++indeg_check[s];
+        }
+    }
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        tp_assert(indeg_check[i] == inDegree_[i]);
+
+    std::uint64_t epoch_total = 0;
+    for (std::uint64_t es : epochSizes_)
+        epoch_total += es;
+    tp_assert(epoch_total == instances_.size());
+}
+
+} // namespace tp::trace

@@ -1,0 +1,164 @@
+#include "trace/trace_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tp::trace {
+
+TraceBuilder::TraceBuilder(std::string name, std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed),
+      nextPrivBase_(kPrivateRegionBase)
+{
+}
+
+TaskTypeId
+TraceBuilder::addTaskType(std::string name, KernelProfile profile)
+{
+    TaskType t;
+    t.id = static_cast<TaskTypeId>(types_.size());
+    t.name = std::move(name);
+    t.variants.push_back(profile);
+    types_.push_back(std::move(t));
+    return types_.back().id;
+}
+
+std::uint16_t
+TraceBuilder::addVariant(TaskTypeId type, KernelProfile profile)
+{
+    tp_assert(type < types_.size());
+    types_[type].variants.push_back(profile);
+    return static_cast<std::uint16_t>(types_[type].variants.size() - 1);
+}
+
+void
+TraceBuilder::setRegionPool(TaskTypeId type, std::size_t entries,
+                            Addr entry_bytes)
+{
+    if (type >= types_.size())
+        fatal("setRegionPool: unknown task type %u", type);
+    if (entries == 0 || entry_bytes == 0)
+        fatal("setRegionPool: entries and entry size must be "
+              "positive");
+    if (pools_.size() <= type)
+        pools_.resize(types_.size());
+    RegionPool &pool = pools_[type];
+    pool.entryBytes = entry_bytes;
+    pool.bases.clear();
+    pool.bases.reserve(entries);
+    const Addr span = ((entry_bytes + 63) & ~Addr{63}) + 64;
+    for (std::size_t e = 0; e < entries; ++e) {
+        pool.bases.push_back(nextPrivBase_);
+        nextPrivBase_ += span;
+    }
+    pool.next = 0;
+}
+
+TaskInstanceId
+TraceBuilder::createTask(TaskTypeId type, InstCount inst_count,
+                         Addr footprint, std::uint16_t variant)
+{
+    if (type >= types_.size())
+        fatal("createTask: unknown task type %u", type);
+    if (inst_count == 0)
+        fatal("createTask: instruction count must be positive");
+    if (variant >= types_[type].variants.size())
+        fatal("createTask: variant %u out of range for type '%s'",
+              variant, types_[type].name.c_str());
+
+    TaskInstance ti;
+    ti.id = static_cast<TaskInstanceId>(instances_.size());
+    ti.type = type;
+    ti.instCount = inst_count;
+    ti.privFootprint = footprint ? footprint : (1ULL << 16);
+    if (type < pools_.size() && !pools_[type].bases.empty()) {
+        // Cyclic pool: working sets are revisited across instances.
+        RegionPool &pool = pools_[type];
+        ti.privBase = pool.bases[pool.next];
+        pool.next = (pool.next + 1) % pool.bases.size();
+        ti.privFootprint =
+            std::min<Addr>(ti.privFootprint, pool.entryBytes);
+    } else {
+        // Bump-allocate a fresh line-aligned region with one guard
+        // line so streams never alias accidentally.
+        ti.privBase = nextPrivBase_;
+        nextPrivBase_ += ((ti.privFootprint + 63) & ~Addr{63}) + 64;
+    }
+    ti.seed = rng_.next();
+    ti.variant = variant;
+    ti.epoch = currentEpoch_;
+    instances_.push_back(ti);
+    return ti.id;
+}
+
+void
+TraceBuilder::addDependency(TaskInstanceId pred, TaskInstanceId succ)
+{
+    if (pred >= instances_.size() || succ >= instances_.size())
+        fatal("addDependency: instance id out of range");
+    if (pred >= succ)
+        fatal("addDependency: dependencies must point forward in "
+              "creation order (pred=%llu succ=%llu)",
+              static_cast<unsigned long long>(pred),
+              static_cast<unsigned long long>(succ));
+    edges_.emplace_back(pred, succ);
+}
+
+void
+TraceBuilder::barrier()
+{
+    // A barrier with no tasks since the previous one is a no-op.
+    if (instances_.empty() || instances_.back().epoch != currentEpoch_)
+        return;
+    ++currentEpoch_;
+}
+
+TaskTrace
+TraceBuilder::build()
+{
+    if (types_.empty())
+        fatal("build: trace has no task types");
+    if (instances_.empty())
+        fatal("build: trace has no task instances");
+
+    TaskTrace t;
+    t.name_ = std::move(name_);
+    t.types_ = std::move(types_);
+    t.instances_ = std::move(instances_);
+
+    // Deduplicate and sort edges, then build CSR successor lists.
+    std::sort(edges_.begin(), edges_.end());
+    edges_.erase(std::unique(edges_.begin(), edges_.end()),
+                 edges_.end());
+
+    const std::size_t n = t.instances_.size();
+    t.inDegree_.assign(n, 0);
+    t.succOffsets_.assign(n + 1, 0);
+    for (const auto &[pred, succ] : edges_) {
+        ++t.succOffsets_[pred + 1];
+        ++t.inDegree_[succ];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        t.succOffsets_[i + 1] += t.succOffsets_[i];
+    t.succs_.resize(edges_.size());
+    std::vector<std::uint64_t> cursor(t.succOffsets_.begin(),
+                                      t.succOffsets_.end() - 1);
+    for (const auto &[pred, succ] : edges_)
+        t.succs_[cursor[pred]++] = succ;
+
+    t.epochSizes_.assign(currentEpoch_ + 1, 0);
+    t.totalInsts_ = 0;
+    for (const auto &ti : t.instances_) {
+        ++t.epochSizes_[ti.epoch];
+        t.totalInsts_ += ti.instCount;
+    }
+
+    edges_.clear();
+    currentEpoch_ = 0;
+    nextPrivBase_ = kPrivateRegionBase;
+
+    t.validate();
+    return t;
+}
+
+} // namespace tp::trace

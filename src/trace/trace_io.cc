@@ -1,0 +1,250 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace tp::trace {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5450545243453101ULL; // "TPTRCE1."
+constexpr std::uint32_t kVersion = 1;
+
+class Writer
+{
+  public:
+    explicit Writer(const std::string &path)
+        : out_(path, std::ios::binary)
+    {
+        if (!out_)
+            fatal("cannot open '%s' for writing", path.c_str());
+    }
+
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        out_.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        pod<std::uint64_t>(s.size());
+        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        pod<std::uint64_t>(v.size());
+        out_.write(reinterpret_cast<const char *>(v.data()),
+                   static_cast<std::streamsize>(v.size() * sizeof(T)));
+    }
+
+    bool good() const { return out_.good(); }
+
+  private:
+    std::ofstream out_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string &path)
+        : in_(path, std::ios::binary)
+    {
+        if (!in_)
+            fatal("cannot open '%s' for reading", path.c_str());
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        T v{};
+        in_.read(reinterpret_cast<char *>(&v), sizeof(T));
+        if (!in_)
+            fatal("trace file truncated");
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const auto n = pod<std::uint64_t>();
+        if (n > (1ULL << 20))
+            fatal("trace file corrupt: unreasonable string length");
+        std::string s(n, '\0');
+        in_.read(s.data(), static_cast<std::streamsize>(n));
+        if (!in_)
+            fatal("trace file truncated");
+        return s;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vec()
+    {
+        const auto n = pod<std::uint64_t>();
+        if (n > (1ULL << 32))
+            fatal("trace file corrupt: unreasonable vector length");
+        std::vector<T> v(n);
+        in_.read(reinterpret_cast<char *>(v.data()),
+                 static_cast<std::streamsize>(n * sizeof(T)));
+        if (!in_)
+            fatal("trace file truncated");
+        return v;
+    }
+
+  private:
+    std::ifstream in_;
+};
+
+void
+writeProfile(Writer &w, const KernelProfile &p)
+{
+    w.pod(p.loadFrac);
+    w.pod(p.storeFrac);
+    w.pod(p.branchFrac);
+    w.pod(p.fpFrac);
+    w.pod(p.mulFrac);
+    w.pod(p.ilpMean);
+    w.pod(p.indepFrac);
+    w.pod(static_cast<std::uint8_t>(p.pattern.kind));
+    w.pod(p.pattern.strideBytes);
+    w.pod(p.pattern.sharedFrac);
+    w.pod(p.pattern.zipfS);
+    w.pod(p.pattern.sharedFootprint);
+}
+
+KernelProfile
+readProfile(Reader &r)
+{
+    KernelProfile p;
+    p.loadFrac = r.pod<double>();
+    p.storeFrac = r.pod<double>();
+    p.branchFrac = r.pod<double>();
+    p.fpFrac = r.pod<double>();
+    p.mulFrac = r.pod<double>();
+    p.ilpMean = r.pod<double>();
+    p.indepFrac = r.pod<double>();
+    p.pattern.kind =
+        static_cast<MemPatternKind>(r.pod<std::uint8_t>());
+    p.pattern.strideBytes = r.pod<std::uint32_t>();
+    p.pattern.sharedFrac = r.pod<double>();
+    p.pattern.zipfS = r.pod<double>();
+    p.pattern.sharedFootprint = r.pod<Addr>();
+    return p;
+}
+
+} // namespace
+
+void
+serializeTrace(const TaskTrace &trace, const std::string &path)
+{
+    Writer w(path);
+    w.pod(kMagic);
+    w.pod(kVersion);
+    w.str(trace.name());
+
+    w.pod<std::uint64_t>(trace.types().size());
+    for (const TaskType &t : trace.types()) {
+        w.pod(t.id);
+        w.str(t.name);
+        w.pod<std::uint64_t>(t.variants.size());
+        for (const KernelProfile &p : t.variants)
+            writeProfile(w, p);
+    }
+
+    w.pod<std::uint64_t>(trace.instances().size());
+    for (const TaskInstance &ti : trace.instances()) {
+        w.pod(ti.id);
+        w.pod(ti.type);
+        w.pod(ti.instCount);
+        w.pod(ti.privFootprint);
+        w.pod(ti.privBase);
+        w.pod(ti.seed);
+        w.pod(ti.variant);
+        w.pod(ti.epoch);
+    }
+
+    // Dependency CSR: emit per-instance successor lists.
+    for (TaskInstanceId i = 0; i < trace.size(); ++i) {
+        const auto succs = trace.successors(i);
+        w.pod<std::uint64_t>(succs.size());
+        for (TaskInstanceId s : succs)
+            w.pod(s);
+    }
+
+    if (!w.good())
+        fatal("error writing trace to '%s'", path.c_str());
+}
+
+TaskTrace
+deserializeTrace(const std::string &path)
+{
+    Reader r(path);
+    if (r.pod<std::uint64_t>() != kMagic)
+        fatal("'%s' is not a TaskPoint trace file", path.c_str());
+    if (r.pod<std::uint32_t>() != kVersion)
+        fatal("'%s': unsupported trace version", path.c_str());
+
+    TaskTrace t;
+    t.name_ = r.str();
+
+    const auto ntypes = r.pod<std::uint64_t>();
+    t.types_.resize(ntypes);
+    for (auto &type : t.types_) {
+        type.id = r.pod<TaskTypeId>();
+        type.name = r.str();
+        const auto nvar = r.pod<std::uint64_t>();
+        type.variants.reserve(nvar);
+        for (std::uint64_t v = 0; v < nvar; ++v)
+            type.variants.push_back(readProfile(r));
+    }
+
+    const auto ninst = r.pod<std::uint64_t>();
+    t.instances_.resize(ninst);
+    std::uint32_t max_epoch = 0;
+    t.totalInsts_ = 0;
+    for (auto &ti : t.instances_) {
+        ti.id = r.pod<TaskInstanceId>();
+        ti.type = r.pod<TaskTypeId>();
+        ti.instCount = r.pod<InstCount>();
+        ti.privFootprint = r.pod<Addr>();
+        ti.privBase = r.pod<Addr>();
+        ti.seed = r.pod<std::uint64_t>();
+        ti.variant = r.pod<std::uint16_t>();
+        ti.epoch = r.pod<std::uint32_t>();
+        max_epoch = std::max(max_epoch, ti.epoch);
+        t.totalInsts_ += ti.instCount;
+    }
+
+    t.inDegree_.assign(ninst, 0);
+    t.succOffsets_.assign(ninst + 1, 0);
+    for (TaskInstanceId i = 0; i < ninst; ++i) {
+        const auto nsucc = r.pod<std::uint64_t>();
+        t.succOffsets_[i + 1] = t.succOffsets_[i] + nsucc;
+        for (std::uint64_t k = 0; k < nsucc; ++k) {
+            const auto s = r.pod<TaskInstanceId>();
+            t.succs_.push_back(s);
+            if (s >= ninst)
+                fatal("'%s': successor id out of range", path.c_str());
+            ++t.inDegree_[s];
+        }
+    }
+
+    t.epochSizes_.assign(max_epoch + 1, 0);
+    for (const auto &ti : t.instances_)
+        ++t.epochSizes_[ti.epoch];
+
+    t.validate();
+    return t;
+}
+
+} // namespace tp::trace

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Binary (de)serialization of TaskTraces.
+ *
+ * The on-disk format lets users snapshot generated workloads and feed
+ * identical traces to different simulator configurations, mirroring
+ * the trace-driven workflow of TaskSim.
+ */
+
+#ifndef TP_TRACE_TRACE_IO_HH
+#define TP_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tp::trace {
+
+/** Write a trace to `path` in the native binary format. */
+void serializeTrace(const TaskTrace &trace, const std::string &path);
+
+/** Read a trace back; validates and panics/fatals on corruption. */
+TaskTrace deserializeTrace(const std::string &path);
+
+} // namespace tp::trace
+
+#endif // TP_TRACE_TRACE_IO_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * blackscholes (PARSEC; Table I: 2 task types, 24500 instances;
+ * option price calculation).
+ *
+ * Rounds of independent price_chunk tasks (closed-form Black-Scholes:
+ * FP transcendental heavy, tiny working set, extremely regular) plus
+ * one aggregate task per round. One of the warmup-sensitive
+ * benchmarks used for the Fig. 6 sensitivity analysis.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeBlackscholes(const WorkloadParams &p)
+{
+    const std::size_t chunks = 244;
+    const std::size_t total = scaledCount(24500, p);
+    const std::size_t rounds =
+        std::max<std::size_t>(total / (chunks + 1), 1);
+
+    trace::TraceBuilder b("blackscholes", p.seed);
+
+    trace::KernelProfile price = computeProfile();
+    price.loadFrac = 0.14;
+    price.storeFrac = 0.05;
+    price.fpFrac = 0.88;
+    price.mulFrac = 0.60; // exp/log/sqrt chains
+    price.ilpMean = 6.0;
+    price.pattern.kind = trace::MemPatternKind::Sequential;
+    price.pattern.sharedFrac = 0.0;
+    const TaskTypeId price_t = b.addTaskType("price_chunk", price);
+
+    trace::KernelProfile agg = streamProfile();
+    agg.loadFrac = 0.36;
+    const TaskTypeId agg_t = b.addTaskType("aggregate", agg);
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        std::vector<TaskInstanceId> ids(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            ids[c] = b.createTask(
+                price_t, jitteredInsts(b.rng(), 12000, 0.02, p),
+                16 * 1024);
+        }
+        const TaskInstanceId a = b.createTask(
+            agg_t, jitteredInsts(b.rng(), 3000, 0.03, p), 64 * 1024);
+        for (TaskInstanceId id : ids)
+            b.addDependency(id, a);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

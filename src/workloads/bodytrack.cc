@@ -1,0 +1,128 @@
+/**
+ * @file
+ * bodytrack (PARSEC; Table I: 7 task types, 21439 instances; human
+ * body tracking with multiple cameras).
+ *
+ * Per-frame pipeline of seven stages (edge detection, edge smoothing,
+ * gradient, particle weight evaluation across annealing layers,
+ * particle resampling, pose update, image load), with stage-internal
+ * data parallelism and a taskwait between frames. Stage sizes differ
+ * by an order of magnitude, giving a mixed-type workload.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeBodytrack(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(21439, p);
+    // Per frame: 1 load + 16 edge + 16 smooth + 16 gradient +
+    // 5 annealing layers * (48 weights + 8 resample) + 1 update.
+    const std::size_t per_frame = 1 + 16 + 16 + 16 + 5 * (48 + 8) + 1;
+    const std::size_t frames =
+        std::max<std::size_t>(total / per_frame, 1);
+
+    trace::TraceBuilder b("bodytrack", p.seed);
+
+    trace::KernelProfile loadp = streamProfile();
+    loadp.storeFrac = 0.20;
+    const TaskTypeId load_t = b.addTaskType("load_frame", loadp);
+
+    trace::KernelProfile edge = streamProfile();
+    edge.loadFrac = 0.34;
+    edge.branchFrac = 0.12;
+    edge.pattern.kind = trace::MemPatternKind::Strided;
+    edge.pattern.strideBytes = 128;
+    const TaskTypeId edge_t = b.addTaskType("edge_detect", edge);
+
+    trace::KernelProfile smooth = streamProfile();
+    smooth.fpFrac = 0.55;
+    smooth.pattern.kind = trace::MemPatternKind::Strided;
+    smooth.pattern.strideBytes = 128;
+    const TaskTypeId smooth_t = b.addTaskType("edge_smooth", smooth);
+
+    trace::KernelProfile grad = computeProfile();
+    grad.loadFrac = 0.28;
+    grad.fpFrac = 0.70;
+    const TaskTypeId grad_t = b.addTaskType("gradient", grad);
+
+    trace::KernelProfile weight = irregularProfile();
+    weight.loadFrac = 0.26;
+    weight.fpFrac = 0.55;
+    weight.branchFrac = 0.14;
+    weight.pattern.sharedFrac = 0.25; // shared camera/edge maps
+    weight.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId weight_t = b.addTaskType("particle_weights",
+                                              weight);
+
+    trace::KernelProfile resample = irregularProfile();
+    resample.branchFrac = 0.20;
+    const TaskTypeId resample_t = b.addTaskType("resample", resample);
+
+    trace::KernelProfile update = computeProfile();
+    const TaskTypeId update_t = b.addTaskType("pose_update", update);
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const TaskInstanceId lf = b.createTask(
+            load_t, jitteredInsts(b.rng(), 8000, 0.04, p),
+            96 * 1024);
+        std::vector<TaskInstanceId> edges(16);
+        for (std::size_t i = 0; i < 16; ++i) {
+            edges[i] = b.createTask(
+                edge_t, jitteredInsts(b.rng(), 14000, 0.06, p),
+                96 * 1024);
+            b.addDependency(lf, edges[i]);
+        }
+        std::vector<TaskInstanceId> smooths(16);
+        for (std::size_t i = 0; i < 16; ++i) {
+            smooths[i] = b.createTask(
+                smooth_t, jitteredInsts(b.rng(), 11000, 0.05, p),
+                96 * 1024);
+            b.addDependency(edges[i], smooths[i]);
+        }
+        std::vector<TaskInstanceId> grads(16);
+        for (std::size_t i = 0; i < 16; ++i) {
+            grads[i] = b.createTask(
+                grad_t, jitteredInsts(b.rng(), 9000, 0.05, p),
+                128 * 1024);
+            b.addDependency(smooths[i], grads[i]);
+        }
+        std::vector<TaskInstanceId> layer_gates;
+        for (std::size_t layer = 0; layer < 5; ++layer) {
+            std::vector<TaskInstanceId> weights(48);
+            for (std::size_t w = 0; w < 48; ++w) {
+                weights[w] = b.createTask(
+                    weight_t,
+                    jitteredInsts(b.rng(), 13000, 0.12, p),
+                    96 * 1024);
+                for (TaskInstanceId g : grads)
+                    b.addDependency(g, weights[w]);
+                for (TaskInstanceId gate : layer_gates)
+                    b.addDependency(gate, weights[w]);
+            }
+            // Eight-way parallel resampling after each layer; the
+            // next layer's weights wait for all resample shards.
+            layer_gates.assign(8, kNoTaskInstance);
+            for (std::size_t r = 0; r < 8; ++r) {
+                layer_gates[r] = b.createTask(
+                    resample_t,
+                    jitteredInsts(b.rng(), 4000, 0.08, p),
+                    32 * 1024);
+                for (TaskInstanceId w : weights)
+                    b.addDependency(w, layer_gates[r]);
+            }
+        }
+        const TaskInstanceId up = b.createTask(
+            update_t, jitteredInsts(b.rng(), 5000, 0.05, p),
+            32 * 1024);
+        (void)up;
+        b.barrier();
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * canneal (PARSEC; Table I: 1 task type, 16384 instances; cache-aware
+ * simulated annealing).
+ *
+ * Each task performs a batch of swap evaluations over a large shared
+ * netlist: dependent pointer-chasing loads with poor locality across
+ * a multi-megabyte shared structure. Memory bound with visible
+ * sensitivity to shared-cache occupancy.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeCanneal(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+
+    trace::TraceBuilder b("canneal", p.seed);
+
+    trace::KernelProfile k = irregularProfile();
+    k.loadFrac = 0.34;
+    k.storeFrac = 0.06;
+    k.branchFrac = 0.14;
+    k.fpFrac = 0.25;
+    k.ilpMean = 3.0;
+    k.indepFrac = 0.25;
+    k.pattern.kind = trace::MemPatternKind::PointerChase;
+    k.pattern.sharedFrac = 0.50; // the netlist
+    k.pattern.zipfS = 0.75;      // element-popularity skew
+    k.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId swap_t = b.addTaskType("swap_batch", k);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        const InstCount insts = jitteredInsts(b.rng(), 11000, 0.05, p);
+        b.createTask(swap_t, insts, 32 * 1024);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * cholesky (Table I: 4 task types, 19600 instances; decomposition of
+ * Hermitian positive-definite matrices).
+ *
+ * Classic tiled right-looking Cholesky over an N*N tile grid. The
+ * paper's instance count 19600 is exactly N=48 tiles:
+ *   N potrf + N(N-1)/2 trsm + N(N-1)/2 syrk + N(N-1)(N-2)/6 gemm.
+ * Dependencies follow the textbook data flow via a last-writer map on
+ * tiles. gemm dominates the instruction count and is compute bound.
+ */
+
+#include <vector>
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+namespace {
+
+std::size_t
+taskCount(std::size_t n)
+{
+    return n + n * (n - 1) + n * (n - 1) * (n - 2) / 6;
+}
+
+} // namespace
+
+trace::TaskTrace
+makeCholesky(const WorkloadParams &p)
+{
+    const std::size_t target = scaledCount(19600, p, 5488);
+    std::size_t n = 4;
+    while (n < 48 && taskCount(n + 1) <= target)
+        ++n;
+
+    trace::TraceBuilder b("cholesky", p.seed);
+
+    trace::KernelProfile potrf = computeProfile();
+    potrf.loadFrac = 0.22;
+    potrf.mulFrac = 0.55; // sqrt/div chains
+    potrf.ilpMean = 4.0;
+    const TaskTypeId potrf_t = b.addTaskType("potrf", potrf);
+
+    trace::KernelProfile trsm = computeProfile();
+    trsm.loadFrac = 0.24;
+    trsm.fpFrac = 0.80;
+    const TaskTypeId trsm_t = b.addTaskType("trsm", trsm);
+
+    trace::KernelProfile syrk = computeProfile();
+    syrk.loadFrac = 0.24;
+    syrk.fpFrac = 0.82;
+    syrk.ilpMean = 9.0;
+    const TaskTypeId syrk_t = b.addTaskType("syrk", syrk);
+
+    trace::KernelProfile gemm = computeProfile();
+    gemm.loadFrac = 0.22;
+    gemm.fpFrac = 0.85;
+    gemm.mulFrac = 0.50;
+    gemm.ilpMean = 10.0;
+    gemm.pattern.kind = trace::MemPatternKind::Zipf;
+    gemm.pattern.zipfS = 0.85;
+    gemm.pattern.sharedFrac = 0.40; // reused input tiles
+    gemm.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId gemm_t = b.addTaskType("gemm", gemm);
+
+    // last[i*n+j]: task that last wrote tile (i,j); lower triangle.
+    std::vector<TaskInstanceId> last(n * n, kNoTaskInstance);
+    auto dep_on = [&](TaskInstanceId task, std::size_t i,
+                      std::size_t j) {
+        if (last[i * n + j] != kNoTaskInstance)
+            b.addDependency(last[i * n + j], task);
+    };
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const TaskInstanceId f = b.createTask(
+            potrf_t, jitteredInsts(b.rng(), 16000, 0.04, p),
+            48 * 1024);
+        dep_on(f, k, k);
+        last[k * n + k] = f;
+
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const TaskInstanceId t = b.createTask(
+                trsm_t, jitteredInsts(b.rng(), 18000, 0.03, p),
+                48 * 1024);
+            b.addDependency(f, t);
+            dep_on(t, i, k);
+            last[i * n + k] = t;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const TaskInstanceId s = b.createTask(
+                syrk_t, jitteredInsts(b.rng(), 17000, 0.03, p),
+                48 * 1024);
+            b.addDependency(last[i * n + k], s); // trsm(k,i)
+            dep_on(s, i, i);
+            last[i * n + i] = s;
+            for (std::size_t j = k + 1; j < i; ++j) {
+                const TaskInstanceId g = b.createTask(
+                    gemm_t, jitteredInsts(b.rng(), 21000, 0.02, p),
+                    48 * 1024);
+                b.addDependency(last[i * n + k], g); // trsm(k,i)
+                b.addDependency(last[j * n + k], g); // trsm(k,j)
+                dep_on(g, i, j);
+                last[i * n + j] = g;
+            }
+        }
+    }
+    return b.build();
+}
+
+} // namespace tp::work

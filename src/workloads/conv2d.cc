@@ -1,0 +1,54 @@
+/**
+ * @file
+ * 2d-convolution (Table I: 1 task type, 16384 instances; kernel with
+ * strided memory accesses).
+ *
+ * Structure: F frames, each decomposed into T independent tile tasks;
+ * a taskwait separates frames (the output of frame f is the input of
+ * frame f+1). Tiles walk their private image block with a row stride
+ * larger than a cache line and read the filter coefficients from the
+ * type-shared region.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeConv2d(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+    // Keep frames wide relative to thread counts and warmup: the
+    // paper-scale trace has ~2k tiles per frame.
+    const std::size_t frames =
+        std::max<std::size_t>(std::min<std::size_t>(total / 1024, 8),
+                              2);
+    const std::size_t tiles = std::max<std::size_t>(total / frames, 1);
+
+    trace::TraceBuilder b("2d-convolution", p.seed);
+
+    trace::KernelProfile k = streamProfile();
+    k.loadFrac = 0.32;
+    k.storeFrac = 0.10;
+    k.fpFrac = 0.65;
+    k.mulFrac = 0.35;
+    k.pattern.kind = trace::MemPatternKind::Strided;
+    k.pattern.strideBytes = 192;      // image row walk, 3 lines apart
+    k.pattern.sharedFrac = 0.10;      // filter coefficients
+    k.pattern.sharedFootprint = 16 * 1024;
+    const TaskTypeId conv = b.addTaskType("conv_tile", k);
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        for (std::size_t t = 0; t < tiles; ++t) {
+            const InstCount insts =
+                jitteredInsts(b.rng(), 12000, 0.04, p);
+            b.createTask(conv, insts, 48 * 1024);
+        }
+        b.barrier();
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * dedup (PARSEC; Table I: 4 task types, 15738 instances;
+ * deduplication — combination of global and local compression).
+ *
+ * Four-stage pipeline per data chunk: fragment -> hash (dominant
+ * type, 99.9% of instructions in the paper) -> compress -> write
+ * (serialized output chain). The hash/compress work is strongly
+ * input dependent: per-instance instruction counts span a ~7x range
+ * (paper: 3.5M..25.1M) and three behaviour variants model
+ * incompressible/duplicate/normal chunks. This makes dedup the
+ * highest-error benchmark under lazy sampling (paper Fig. 9, 15.0%).
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeDedup(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(15738, p);
+    const std::size_t chunks = std::max<std::size_t>(total / 4, 2);
+
+    trace::TraceBuilder b("dedup", p.seed);
+
+    trace::KernelProfile frag = streamProfile();
+    frag.loadFrac = 0.38;
+    frag.branchFrac = 0.12; // rolling-hash boundary detection
+    frag.fpFrac = 0.02;
+    const TaskTypeId frag_t = b.addTaskType("fragment", frag);
+
+    // hash: dominant type with input-dependent behaviour variants.
+    trace::KernelProfile hash_normal = streamProfile();
+    hash_normal.loadFrac = 0.30;
+    hash_normal.storeFrac = 0.08;
+    hash_normal.branchFrac = 0.14;
+    hash_normal.fpFrac = 0.05;
+    hash_normal.mulFrac = 0.35; // hash arithmetic
+    hash_normal.ilpMean = 4.5;
+    hash_normal.pattern.kind = trace::MemPatternKind::Sequential;
+    hash_normal.pattern.sharedFrac = 0.18; // global hash table
+    hash_normal.pattern.zipfS = 0.7;
+    hash_normal.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId hash_t = b.addTaskType("hash_chunk", hash_normal);
+
+    trace::KernelProfile hash_dup = hash_normal; // duplicate: table-walk
+    hash_dup.loadFrac = 0.36;
+    hash_dup.storeFrac = 0.02;
+    hash_dup.pattern.kind = trace::MemPatternKind::RandomUniform;
+    hash_dup.ilpMean = 3.0;
+    const std::uint16_t v_dup = b.addVariant(hash_t, hash_dup);
+
+    trace::KernelProfile hash_hard = hash_normal; // incompressible
+    hash_hard.branchFrac = 0.20;
+    hash_hard.ilpMean = 2.5;
+    hash_hard.indepFrac = 0.20;
+    const std::uint16_t v_hard = b.addVariant(hash_t, hash_hard);
+
+    trace::KernelProfile comp = streamProfile();
+    comp.loadFrac = 0.30;
+    comp.storeFrac = 0.16;
+    comp.branchFrac = 0.16;
+    comp.fpFrac = 0.02;
+    comp.ilpMean = 3.5;
+    const TaskTypeId comp_t = b.addTaskType("compress", comp);
+
+    trace::KernelProfile wr = streamProfile();
+    wr.storeFrac = 0.26;
+    const TaskTypeId write_t = b.addTaskType("write_out", wr);
+
+    TaskInstanceId prev_write = kNoTaskInstance;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const TaskInstanceId f = b.createTask(
+            frag_t, jitteredInsts(b.rng(), 2500, 0.10, p), 96 * 1024);
+
+        // Input-dependent chunk class.
+        const double u = b.rng().uniform01();
+        std::uint16_t variant = 0;
+        double size_mult = 1.0;
+        if (u < 0.25) {
+            variant = v_dup;    // duplicate chunk: cheap
+            size_mult = 0.30;
+        } else if (u < 0.40) {
+            variant = v_hard;   // incompressible: expensive
+            size_mult = 2.2;
+        }
+        // ~7x dynamic range, mirroring the paper's 3.5M..25.1M.
+        const InstCount hash_insts = std::max<InstCount>(
+            static_cast<InstCount>(
+                double(jitteredInsts(b.rng(), 16000, 0.35, p)) *
+                size_mult),
+            64);
+        const TaskInstanceId h = b.createTask(
+            hash_t, hash_insts, 96 * 1024, variant);
+        b.addDependency(f, h);
+
+        const TaskInstanceId cp = b.createTask(
+            comp_t, jitteredInsts(b.rng(), 5000, 0.30, p), 96 * 1024);
+        b.addDependency(h, cp);
+
+        const TaskInstanceId w = b.createTask(
+            write_t, jitteredInsts(b.rng(), 1200, 0.10, p),
+            32 * 1024);
+        b.addDependency(cp, w);
+        if (prev_write != kNoTaskInstance)
+            b.addDependency(prev_write, w); // ordered output
+        prev_write = w;
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * histogram (Table I: 1 task type, 16384 instances; atomic
+ * operations).
+ *
+ * Each task streams a private input block and scatters increments
+ * into a small shared bin array. The store-heavy shared traffic
+ * causes write-invalidate ping-pong between cores, so per-task IPC
+ * degrades as the active-thread count grows — feeding the
+ * concurrency-change resampling trigger.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeHistogram(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+
+    trace::TraceBuilder b("histogram", p.seed);
+
+    trace::KernelProfile k = streamProfile();
+    k.loadFrac = 0.32;
+    k.storeFrac = 0.16; // bin increments
+    k.branchFrac = 0.10;
+    k.fpFrac = 0.10;
+    k.pattern.kind = trace::MemPatternKind::Sequential;
+    k.pattern.sharedFrac = 0.30;        // the bins
+    k.pattern.zipfS = 1.1;              // skewed bin popularity
+    k.pattern.sharedFootprint = 32 * 1024;
+    const TaskTypeId hist = b.addTaskType("hist_block", k);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        const InstCount insts = jitteredInsts(b.rng(), 10000, 0.04, p);
+        b.createTask(hist, insts, 32 * 1024);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * kmeans (Table I: 6 task types, 16337 instances; clustering based on
+ * Lloyd's algorithm).
+ *
+ * Iterative structure: init_points, then per iteration assign_points
+ * blocks (dominant, centroid table shared/hot), partial_sums
+ * reductions, update_centroids, compute_cost, converge_check, with a
+ * taskwait per iteration. Centroid reads hit a small hot shared set
+ * (Zipf) — high reuse, warm-cache sensitive.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeKmeans(const WorkloadParams &p)
+{
+    const std::size_t target = scaledCount(16337, p);
+    const std::size_t blocks = 384;
+    const std::size_t per_iter = blocks + blocks / 8 + 3;
+    const std::size_t iters = std::max<std::size_t>(
+        (target > blocks ? target - blocks : 1) / per_iter, 1);
+
+    trace::TraceBuilder b("kmeans", p.seed);
+
+    trace::KernelProfile initp = streamProfile();
+    initp.storeFrac = 0.22;
+    const TaskTypeId init_t = b.addTaskType("init_points", initp);
+
+    trace::KernelProfile assign = computeProfile();
+    assign.loadFrac = 0.30;
+    assign.branchFrac = 0.12; // min-distance comparisons
+    assign.fpFrac = 0.70;
+    assign.pattern.kind = trace::MemPatternKind::Sequential;
+    assign.pattern.sharedFrac = 0.35; // centroid table
+    assign.pattern.zipfS = 0.9;
+    assign.pattern.sharedFootprint = 64 * 1024;
+    const TaskTypeId assign_t = b.addTaskType("assign_points", assign);
+
+    trace::KernelProfile partial = streamProfile();
+    partial.pattern.sharedFrac = 0.15;
+    partial.pattern.sharedFootprint = 64 * 1024;
+    const TaskTypeId partial_t = b.addTaskType("partial_sums",
+                                               partial);
+
+    trace::KernelProfile update = computeProfile();
+    update.mulFrac = 0.50;
+    const TaskTypeId update_t = b.addTaskType("update_centroids",
+                                              update);
+
+    trace::KernelProfile cost = streamProfile();
+    cost.fpFrac = 0.60;
+    const TaskTypeId cost_t = b.addTaskType("compute_cost", cost);
+
+    trace::KernelProfile conv = irregularProfile();
+    conv.loadFrac = 0.15;
+    conv.branchFrac = 0.20;
+    const TaskTypeId conv_t = b.addTaskType("converge_check", conv);
+
+    for (std::size_t bl = 0; bl < blocks; ++bl) {
+        b.createTask(init_t, jitteredInsts(b.rng(), 6000, 0.02, p),
+                     96 * 1024);
+    }
+    b.barrier();
+
+    for (std::size_t it = 0; it < iters; ++it) {
+        std::vector<TaskInstanceId> assigns(blocks);
+        for (std::size_t bl = 0; bl < blocks; ++bl) {
+            assigns[bl] = b.createTask(
+                assign_t, jitteredInsts(b.rng(), 15000, 0.04, p),
+                96 * 1024);
+        }
+        std::vector<TaskInstanceId> partials(blocks / 8);
+        for (std::size_t g = 0; g < blocks / 8; ++g) {
+            partials[g] = b.createTask(
+                partial_t, jitteredInsts(b.rng(), 4000, 0.04, p),
+                32 * 1024);
+            for (std::size_t m = 0; m < 8; ++m)
+                b.addDependency(assigns[g * 8 + m], partials[g]);
+        }
+        const TaskInstanceId upd = b.createTask(
+            update_t, jitteredInsts(b.rng(), 3000, 0.03, p),
+            16 * 1024);
+        for (TaskInstanceId pt : partials)
+            b.addDependency(pt, upd);
+        const TaskInstanceId cost_id = b.createTask(
+            cost_t, jitteredInsts(b.rng(), 5000, 0.03, p), 64 * 1024);
+        b.addDependency(upd, cost_id);
+        const TaskInstanceId cc = b.createTask(
+            conv_t, jitteredInsts(b.rng(), 800, 0.10, p), 4 * 1024);
+        b.addDependency(cost_id, cc);
+        b.barrier();
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * knn (Table I: 2 task types, 18400 instances; instance-based machine
+ * learning).
+ *
+ * Per query batch: `dist` distance-computation tasks over training
+ * shards (FP streaming, dominant) feeding one select_k task (branchy
+ * partial sort). 18400 = 800 batches * (22 dist + 1 select).
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeKnn(const WorkloadParams &p)
+{
+    const std::size_t dist_per_batch = 22;
+    const std::size_t total = scaledCount(18400, p);
+    const std::size_t batches =
+        std::max<std::size_t>(total / (dist_per_batch + 1), 1);
+
+    trace::TraceBuilder b("knn", p.seed);
+
+    trace::KernelProfile dist = computeProfile();
+    dist.loadFrac = 0.30;
+    dist.fpFrac = 0.78;
+    dist.mulFrac = 0.45;
+    dist.ilpMean = 11.0;
+    dist.pattern.kind = trace::MemPatternKind::Sequential;
+    dist.pattern.sharedFrac = 0.12; // query vector broadcast
+    dist.pattern.sharedFootprint = 32 * 1024;
+    const TaskTypeId dist_t = b.addTaskType("compute_distances", dist);
+
+    trace::KernelProfile sel = irregularProfile();
+    sel.loadFrac = 0.26;
+    sel.branchFrac = 0.22; // heap comparisons
+    sel.ilpMean = 3.0;
+    const TaskTypeId sel_t = b.addTaskType("select_k", sel);
+
+    for (std::size_t q = 0; q < batches; ++q) {
+        std::vector<TaskInstanceId> dists(dist_per_batch);
+        for (std::size_t d = 0; d < dist_per_batch; ++d) {
+            dists[d] = b.createTask(
+                dist_t, jitteredInsts(b.rng(), 16000, 0.05, p),
+                64 * 1024);
+        }
+        const TaskInstanceId s = b.createTask(
+            sel_t, jitteredInsts(b.rng(), 4500, 0.10, p), 48 * 1024);
+        for (TaskInstanceId d : dists)
+            b.addDependency(d, s);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

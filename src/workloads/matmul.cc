@@ -1,0 +1,62 @@
+/**
+ * @file
+ * dense-matrix-multiplication (Table I: 1 task type, 17576 = 26^3
+ * instances; high data reuse, compute bound).
+ *
+ * Tiled GEMM over an n*n tile grid with an n-deep k loop: task
+ * (i,j,k) accumulates A(i,k)*B(k,j) into C(i,j) and therefore depends
+ * on task (i,j,k-1). The A/B tiles live in the type-shared region and
+ * are reused heavily across tasks (Zipf hot set), which keeps the
+ * kernel compute bound once caches are warm — the behaviour that
+ * makes warmup matter (paper Fig. 6a).
+ */
+
+#include <cmath>
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeMatmul(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(17576, p);
+    const std::size_t n = std::max<std::size_t>(
+        static_cast<std::size_t>(std::cbrt(double(total))), 4);
+
+    trace::TraceBuilder b("dense-matrix-multiplication", p.seed);
+
+    trace::KernelProfile k = computeProfile();
+    k.loadFrac = 0.22;
+    k.storeFrac = 0.06;
+    k.fpFrac = 0.85;
+    k.mulFrac = 0.50;
+    k.ilpMean = 10.0;
+    k.indepFrac = 0.50;
+    k.pattern.kind = trace::MemPatternKind::Zipf;
+    k.pattern.zipfS = 0.9;        // hot A/B tiles
+    k.pattern.sharedFrac = 0.55;
+    k.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId gemm = b.addTaskType("gemm_tile", k);
+
+    // prevK[i*n + j] is task (i, j, k-1).
+    std::vector<TaskInstanceId> prev_k(n * n, kNoTaskInstance);
+    for (std::size_t kk = 0; kk < n; ++kk) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const InstCount insts =
+                    jitteredInsts(b.rng(), 22000, 0.02, p);
+                const TaskInstanceId id =
+                    b.createTask(gemm, insts, 32 * 1024);
+                if (prev_k[i * n + j] != kNoTaskInstance)
+                    b.addDependency(prev_k[i * n + j], id);
+                prev_k[i * n + j] = id;
+            }
+        }
+    }
+    return b.build();
+}
+
+} // namespace tp::work

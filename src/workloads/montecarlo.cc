@@ -1,0 +1,44 @@
+/**
+ * @file
+ * atomic-monte-carlo-dynamics (Table I: 1 task type, 16384 instances;
+ * embarrassingly parallel kernel).
+ *
+ * Independent particle-ensemble tasks; FP-heavy with a small working
+ * set and a tiny shared accumulator updated at the end of each task
+ * (the "atomic" part). The per-task instruction count varies slightly
+ * with the accepted/rejected move ratio.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeMonteCarlo(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+
+    trace::TraceBuilder b("atomic-monte-carlo-dynamics", p.seed);
+
+    trace::KernelProfile k = computeProfile();
+    k.loadFrac = 0.10;
+    k.storeFrac = 0.05;
+    k.branchFrac = 0.12; // accept/reject branches
+    k.fpFrac = 0.80;
+    k.mulFrac = 0.50;
+    k.pattern.kind = trace::MemPatternKind::Zipf;
+    k.pattern.zipfS = 0.6;
+    k.pattern.sharedFrac = 0.04; // atomic energy accumulator
+    k.pattern.sharedFootprint = 4 * 1024;
+    const TaskTypeId mc = b.addTaskType("mc_ensemble", k);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        const InstCount insts = jitteredInsts(b.rng(), 9000, 0.05, p);
+        b.createTask(mc, insts, 16 * 1024);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

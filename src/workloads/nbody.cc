@@ -1,0 +1,66 @@
+/**
+ * @file
+ * n-body (Table I: 2 task types, 25000 instances; irregular memory
+ * accesses).
+ *
+ * Timestepped simulation: per step, `blocks` force tasks (irregular
+ * gather over the particle set, FP heavy) followed by `blocks` update
+ * tasks (cheap streaming integration). update(b) depends on force(b);
+ * the next step's force tasks depend on all updates of the previous
+ * step via a taskwait, matching the usual OmpSs formulation.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeNBody(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(25000, p);
+    const std::size_t blocks = 250;
+    const std::size_t steps =
+        std::max<std::size_t>(total / (2 * blocks), 1);
+
+    trace::TraceBuilder b("n-body", p.seed);
+
+    trace::KernelProfile force = irregularProfile();
+    force.loadFrac = 0.28;
+    force.storeFrac = 0.04;
+    force.fpFrac = 0.70;
+    force.mulFrac = 0.45;
+    force.pattern.kind = trace::MemPatternKind::RandomUniform;
+    force.pattern.sharedFrac = 0.35; // remote particle positions
+    force.pattern.zipfS = 0.7;
+    force.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId force_t = b.addTaskType("compute_forces", force);
+
+    trace::KernelProfile update = streamProfile();
+    update.loadFrac = 0.30;
+    update.storeFrac = 0.15;
+    update.fpFrac = 0.60;
+    const TaskTypeId update_t = b.addTaskType("update_positions",
+                                              update);
+
+    for (std::size_t s = 0; s < steps; ++s) {
+        std::vector<TaskInstanceId> force_ids(blocks);
+        for (std::size_t bl = 0; bl < blocks; ++bl) {
+            const InstCount insts =
+                jitteredInsts(b.rng(), 16000, 0.06, p);
+            force_ids[bl] = b.createTask(force_t, insts, 48 * 1024);
+        }
+        for (std::size_t bl = 0; bl < blocks; ++bl) {
+            const InstCount insts =
+                jitteredInsts(b.rng(), 5000, 0.03, p);
+            const TaskInstanceId id =
+                b.createTask(update_t, insts, 32 * 1024);
+            b.addDependency(force_ids[bl], id);
+        }
+        b.barrier();
+    }
+    return b.build();
+}
+
+} // namespace tp::work

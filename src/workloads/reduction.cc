@@ -1,0 +1,67 @@
+/**
+ * @file
+ * reduction (Table I: 2 task types, 16384 instances; parallelism
+ * decreases over time).
+ *
+ * A blocked sum: `leaves` leaf tasks reduce private blocks, then a
+ * 4-ary combine tree merges partial results. Parallelism shrinks from
+ * thousands of ready tasks to one — exercising TaskPoint's
+ * thread-count-change resampling trigger (paper Fig. 4a).
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeReduction(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+    // A 4-ary tree over L leaves has ~L/3 internal nodes; pick L so
+    // that leaves + internals ~= total.
+    const std::size_t leaves = std::max<std::size_t>(total * 3 / 4, 16);
+
+    trace::TraceBuilder b("reduction", p.seed);
+
+    trace::KernelProfile leaf = streamProfile();
+    leaf.loadFrac = 0.40;
+    leaf.storeFrac = 0.04;
+    leaf.fpFrac = 0.50;
+    leaf.ilpMean = 12.0;
+    const TaskTypeId leaf_t = b.addTaskType("reduce_block", leaf);
+
+    trace::KernelProfile comb = computeProfile();
+    comb.loadFrac = 0.20;
+    comb.storeFrac = 0.08;
+    comb.pattern.sharedFrac = 0.20; // partial-result exchange
+    comb.pattern.sharedFootprint = 64 * 1024;
+    const TaskTypeId comb_t = b.addTaskType("combine", comb);
+
+    std::vector<TaskInstanceId> level;
+    level.reserve(leaves);
+    for (std::size_t i = 0; i < leaves; ++i) {
+        const InstCount insts = jitteredInsts(b.rng(), 11000, 0.03, p);
+        level.push_back(b.createTask(leaf_t, insts, 64 * 1024));
+    }
+
+    while (level.size() > 1) {
+        std::vector<TaskInstanceId> next;
+        next.reserve(level.size() / 4 + 1);
+        for (std::size_t i = 0; i < level.size(); i += 4) {
+            const InstCount insts =
+                jitteredInsts(b.rng(), 2500, 0.05, p);
+            const TaskInstanceId id =
+                b.createTask(comb_t, insts, 8 * 1024);
+            const std::size_t hi = std::min(i + 4, level.size());
+            for (std::size_t c = i; c < hi; ++c)
+                b.addDependency(level[c], id);
+            next.push_back(id);
+        }
+        level = std::move(next);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

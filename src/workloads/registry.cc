@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload registry: Table I metadata + generator dispatch.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace tp::work {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"2d-convolution", "Kernel: strided memory accesses", 1, 16384,
+         &makeConv2d},
+        {"3d-stencil", "Kernel: strided memory accesses", 1, 16370,
+         &makeStencil3d},
+        {"atomic-monte-carlo-dynamics",
+         "Kernel: embarrassingly parallel", 1, 16384, &makeMonteCarlo},
+        {"dense-matrix-multiplication",
+         "Kernel: high data reuse, compute bound", 1, 17576,
+         &makeMatmul},
+        {"histogram", "Kernel: atomic operations", 1, 16384,
+         &makeHistogram},
+        {"n-body", "Kernel: irregular memory accesses", 2, 25000,
+         &makeNBody},
+        {"reduction", "Kernel: parallelism decreases over time", 2,
+         16384, &makeReduction},
+        {"sparse-matrix-vector-multiplication",
+         "Kernel: load imbalance, memory bound", 1, 1024, &makeSpmv},
+        {"vector-operation", "Kernel: regular, memory bound", 1, 16400,
+         &makeVecOp},
+        {"checkSparseLU", "Decomposition of large, sparse matrices",
+         11, 22058, &makeSparseLu},
+        {"cholesky",
+         "Decomposition of Hermitian positive-definite matrices", 4,
+         19600, &makeCholesky},
+        {"kmeans", "Clustering based on Lloyd's algorithm", 6, 16337,
+         &makeKmeans},
+        {"knn", "Instance-based machine learning algorithm", 2, 18400,
+         &makeKnn},
+        {"blackscholes", "Option price calculation", 2, 24500,
+         &makeBlackscholes},
+        {"bodytrack", "Human body tracking with multiple cameras", 7,
+         21439, &makeBodytrack},
+        {"canneal", "Cache-aware simulated annealing", 1, 16384,
+         &makeCanneal},
+        {"dedup",
+         "Deduplication: combination of global and local compression",
+         4, 15738, &makeDedup},
+        {"freqmine",
+         "Frequent Pattern Growth method for Frequent Item Mining", 7,
+         1932, &makeFreqmine},
+        {"swaptions",
+         "Monte-Carlo simulation to calculate swaption prices", 1,
+         16384, &makeSwaptions},
+    };
+    return registry;
+}
+
+const WorkloadInfo &
+workloadByName(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s' (see allWorkloads())", name.c_str());
+}
+
+trace::TaskTrace
+generateWorkload(const std::string &name, const WorkloadParams &params)
+{
+    return workloadByName(name).generate(params);
+}
+
+} // namespace tp::work

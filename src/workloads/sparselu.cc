@@ -1,0 +1,243 @@
+/**
+ * @file
+ * checkSparseLU (Table I: 11 task types, 22058 instances;
+ * decomposition of large sparse matrices).
+ *
+ * Blocked sparse LU with fill-in plus a verification sweep — the
+ * OmpSs "checkSparseLU" app. Eleven task types: genmat, alloc_block,
+ * lu0, fwd, bdiv, bmod (dominant), copy_block, check_diag, check_lower,
+ * check_upper, free_blocks. The factorization wavefront gives deep
+ * dependency chains; bmod instances take two control-flow variants
+ * (existing block update vs. fill-in allocation path), reproducing
+ * this benchmark's position as the largest-variation workload of
+ * Fig. 1 (-28%..+24%).
+ */
+
+#include <vector>
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+namespace {
+
+/** Count tasks a given block count would generate (for sizing). */
+std::size_t
+countTasks(std::size_t nb, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<char> mask(nb * nb, 0);
+    for (std::size_t i = 0; i < nb * nb; ++i)
+        mask[i] = rng.bernoulli(density) ? 1 : 0;
+    for (std::size_t i = 0; i < nb; ++i)
+        mask[i * nb + i] = 1; // non-singular diagonal
+    std::size_t tasks = 0;
+    for (std::size_t i = 0; i < nb * nb; ++i)
+        tasks += mask[i] ? 2 : 0; // genmat + alloc
+    for (std::size_t k = 0; k < nb; ++k) {
+        ++tasks; // lu0
+        for (std::size_t j = k + 1; j < nb; ++j)
+            tasks += mask[k * nb + j] ? 1 : 0; // fwd
+        for (std::size_t i = k + 1; i < nb; ++i)
+            tasks += mask[i * nb + k] ? 1 : 0; // bdiv
+        for (std::size_t i = k + 1; i < nb; ++i) {
+            if (!mask[i * nb + k])
+                continue;
+            for (std::size_t j = k + 1; j < nb; ++j) {
+                if (!mask[k * nb + j])
+                    continue;
+                ++tasks; // bmod
+                mask[i * nb + j] = 1; // fill-in
+            }
+        }
+    }
+    tasks += nb;          // check_diag
+    tasks += 2 * nb;      // check_lower / check_upper sweeps
+    tasks += nb;          // copy_block row sweeps
+    tasks += 1;           // free_blocks
+    return tasks;
+}
+
+} // namespace
+
+trace::TaskTrace
+makeSparseLu(const WorkloadParams &p)
+{
+    const std::size_t target = scaledCount(22058, p, 6200);
+    const double density = 0.45;
+
+    // Size the block grid to approximate the scaled task count.
+    std::size_t nb = 8;
+    for (std::size_t trial = 8; trial <= 72; ++trial) {
+        if (countTasks(trial, density, p.seed) >= target) {
+            nb = trial;
+            break;
+        }
+        nb = trial;
+    }
+
+    trace::TraceBuilder b("checkSparseLU", p.seed);
+
+    trace::KernelProfile gen = streamProfile();
+    gen.storeFrac = 0.22;
+    const TaskTypeId genmat_t = b.addTaskType("genmat", gen);
+
+    trace::KernelProfile alloc = irregularProfile();
+    alloc.loadFrac = 0.20;
+    alloc.storeFrac = 0.18;
+    const TaskTypeId alloc_t = b.addTaskType("alloc_block", alloc);
+
+    trace::KernelProfile lu0 = computeProfile();
+    lu0.loadFrac = 0.24;
+    lu0.branchFrac = 0.10;
+    lu0.ilpMean = 4.0; // pivot chains
+    const TaskTypeId lu0_t = b.addTaskType("lu0", lu0);
+
+    trace::KernelProfile fwd = computeProfile();
+    fwd.loadFrac = 0.26;
+    fwd.fpFrac = 0.70;
+    const TaskTypeId fwd_t = b.addTaskType("fwd", fwd);
+
+    trace::KernelProfile bdiv = computeProfile();
+    bdiv.loadFrac = 0.26;
+    bdiv.mulFrac = 0.55; // divisions
+    const TaskTypeId bdiv_t = b.addTaskType("bdiv", bdiv);
+
+    // bmod: dominant type; variant 0 updates an existing block
+    // (compute bound), variant 1 walks the allocation/fill-in path
+    // (branchy, store heavy) — large-scale divergence inside one
+    // declaration.
+    trace::KernelProfile bmod0 = computeProfile();
+    bmod0.loadFrac = 0.24;
+    bmod0.fpFrac = 0.80;
+    bmod0.ilpMean = 9.0;
+    const TaskTypeId bmod_t = b.addTaskType("bmod", bmod0);
+    // Fill-in path: same declaration, different control flow — more
+    // branches and stores, less FP, moderately lower IPC. Together
+    // with the compute path this yields the largest per-type IPC
+    // spread of the suite (paper Fig. 1: -28%..+24%).
+    trace::KernelProfile bmod1 = computeProfile();
+    bmod1.loadFrac = 0.28;
+    bmod1.storeFrac = 0.14;
+    bmod1.branchFrac = 0.14;
+    bmod1.fpFrac = 0.45;
+    bmod1.ilpMean = 6.0;
+    bmod1.indepFrac = 0.45;
+    const std::uint16_t bmod_fill = b.addVariant(bmod_t, bmod1);
+
+    trace::KernelProfile copyb = streamProfile();
+    const TaskTypeId copy_t = b.addTaskType("copy_block", copyb);
+
+    trace::KernelProfile chk = streamProfile();
+    chk.branchFrac = 0.14;
+    chk.fpFrac = 0.30;
+    const TaskTypeId chkd_t = b.addTaskType("check_diag", chk);
+    const TaskTypeId chkl_t = b.addTaskType("check_lower", chk);
+    const TaskTypeId chku_t = b.addTaskType("check_upper", chk);
+
+    trace::KernelProfile freep = irregularProfile();
+    freep.loadFrac = 0.22;
+    const TaskTypeId free_t = b.addTaskType("free_blocks", freep);
+
+    // --- Build the task graph ---------------------------------------
+    std::vector<char> mask(nb * nb, 0);
+    {
+        Rng rng(p.seed);
+        for (std::size_t i = 0; i < nb * nb; ++i)
+            mask[i] = rng.bernoulli(density) ? 1 : 0;
+        for (std::size_t i = 0; i < nb; ++i)
+            mask[i * nb + i] = 1;
+    }
+
+    // last_writer[i*nb+j] = task that last produced block (i,j).
+    std::vector<TaskInstanceId> last(nb * nb, kNoTaskInstance);
+
+    for (std::size_t i = 0; i < nb * nb; ++i) {
+        if (!mask[i])
+            continue;
+        const TaskInstanceId a = b.createTask(
+            alloc_t, jitteredInsts(b.rng(), 1500, 0.10, p), 8 * 1024);
+        const TaskInstanceId g = b.createTask(
+            genmat_t, jitteredInsts(b.rng(), 6000, 0.08, p),
+            64 * 1024);
+        b.addDependency(a, g);
+        last[i] = g;
+    }
+
+    auto dep_on = [&](TaskInstanceId task, std::size_t blk) {
+        if (last[blk] != kNoTaskInstance)
+            b.addDependency(last[blk], task);
+    };
+
+    for (std::size_t k = 0; k < nb; ++k) {
+        const TaskInstanceId lu = b.createTask(
+            lu0_t, jitteredInsts(b.rng(), 15000, 0.15, p), 64 * 1024);
+        dep_on(lu, k * nb + k);
+        last[k * nb + k] = lu;
+
+        for (std::size_t j = k + 1; j < nb; ++j) {
+            if (!mask[k * nb + j])
+                continue;
+            const TaskInstanceId f = b.createTask(
+                fwd_t, jitteredInsts(b.rng(), 12000, 0.20, p),
+                64 * 1024);
+            b.addDependency(lu, f);
+            dep_on(f, k * nb + j);
+            last[k * nb + j] = f;
+        }
+        for (std::size_t i = k + 1; i < nb; ++i) {
+            if (!mask[i * nb + k])
+                continue;
+            const TaskInstanceId d = b.createTask(
+                bdiv_t, jitteredInsts(b.rng(), 12000, 0.20, p),
+                64 * 1024);
+            b.addDependency(lu, d);
+            dep_on(d, i * nb + k);
+            last[i * nb + k] = d;
+        }
+        for (std::size_t i = k + 1; i < nb; ++i) {
+            if (!mask[i * nb + k])
+                continue;
+            for (std::size_t j = k + 1; j < nb; ++j) {
+                if (!mask[k * nb + j])
+                    continue;
+                const bool fill = !mask[i * nb + j];
+                const std::uint16_t variant = fill ? bmod_fill : 0;
+                const InstCount base = fill ? 9000 : 18000;
+                const TaskInstanceId m = b.createTask(
+                    bmod_t, jitteredInsts(b.rng(), base, 0.30, p),
+                    48 * 1024, variant);
+                dep_on(m, i * nb + k);
+                dep_on(m, k * nb + j);
+                dep_on(m, i * nb + j);
+                mask[i * nb + j] = 1;
+                last[i * nb + j] = m;
+            }
+        }
+    }
+
+    // Verification sweep after the factorization completes.
+    b.barrier();
+    for (std::size_t k = 0; k < nb; ++k) {
+        b.createTask(copy_t, jitteredInsts(b.rng(), 7000, 0.05, p),
+                     128 * 1024);
+    }
+    b.barrier();
+    for (std::size_t k = 0; k < nb; ++k) {
+        b.createTask(chkd_t, jitteredInsts(b.rng(), 4000, 0.08, p),
+                     32 * 1024);
+        b.createTask(chkl_t, jitteredInsts(b.rng(), 8000, 0.20, p),
+                     96 * 1024);
+        b.createTask(chku_t, jitteredInsts(b.rng(), 8000, 0.20, p),
+                     96 * 1024);
+    }
+    b.barrier();
+    b.createTask(free_t, jitteredInsts(b.rng(), 2000, 0.05, p),
+                 16 * 1024);
+
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * sparse-matrix-vector-multiplication (Table I: 1 task type, 1024
+ * instances; load imbalance, memory bound).
+ *
+ * Row-block tasks whose work depends on the (synthetic) nonzero count
+ * of their rows: a log-normal spread produces the published load
+ * imbalance. Gathers from the shared x vector are irregular; the
+ * large streaming footprint makes the kernel memory bound, and on the
+ * low-power configuration (small shared L2) the input-dependent
+ * access pattern raises IPC variation — the paper's explanation for
+ * spmv's low-power error (Section V-B).
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeSpmv(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(1024, p, 1024);
+
+    trace::TraceBuilder b("sparse-matrix-vector-multiplication",
+                          p.seed);
+
+    trace::KernelProfile k = streamProfile();
+    k.loadFrac = 0.44;
+    k.storeFrac = 0.06;
+    k.branchFrac = 0.10;
+    k.fpFrac = 0.45;
+    k.ilpMean = 5.0;
+    k.indepFrac = 0.35;
+    k.pattern.kind = trace::MemPatternKind::RandomUniform;
+    k.pattern.sharedFrac = 0.30; // the x vector
+    k.pattern.zipfS = 0.5;
+    k.pattern.sharedFootprint = 256 * 1024;
+    const TaskTypeId row_block = b.addTaskType("spmv_rows", k);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        // Heavy-tailed nonzero distribution: load imbalance.
+        const InstCount insts = jitteredInsts(b.rng(), 24000, 0.45, p);
+        // Footprint scales with the block's nonzeros.
+        const Addr footprint = std::min<Addr>(
+            32 * 1024 + (insts / 24) * 64, 512 * 1024);
+        b.createTask(row_block, insts, footprint);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * 3d-stencil (Table I: 1 task type, 16370 instances; strided memory
+ * accesses).
+ *
+ * Structure: T timesteps over a gx*gy grid of blocks. A block task at
+ * timestep t depends on its own block and the 4 neighbouring blocks
+ * from timestep t-1 (classic Jacobi wavefront), giving a dependency
+ * DAG without any global barrier — the case the paper's Section I
+ * argues existing barrier-based sampling cannot handle.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeStencil3d(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16370, p);
+    const std::size_t gx = 16, gy = 8; // 128 blocks per timestep
+    const std::size_t per_step = gx * gy;
+    const std::size_t steps =
+        std::max<std::size_t>(total / per_step, 2);
+
+    trace::TraceBuilder b("3d-stencil", p.seed);
+
+    trace::KernelProfile k = streamProfile();
+    k.loadFrac = 0.36;
+    k.storeFrac = 0.12;
+    k.fpFrac = 0.55;
+    k.pattern.kind = trace::MemPatternKind::Strided;
+    k.pattern.strideBytes = 256; // plane-to-plane hops
+    k.pattern.sharedFrac = 0.06; // halo exchange buffers
+    k.pattern.sharedFootprint = 32 * 1024;
+    const TaskTypeId stencil = b.addTaskType("stencil_block", k);
+
+    // ids[t % 2] holds the previous timestep's task ids.
+    std::vector<TaskInstanceId> prev(per_step, 0);
+    std::vector<TaskInstanceId> cur(per_step, 0);
+
+    for (std::size_t t = 0; t < steps; ++t) {
+        for (std::size_t y = 0; y < gy; ++y) {
+            for (std::size_t x = 0; x < gx; ++x) {
+                const InstCount insts =
+                    jitteredInsts(b.rng(), 14000, 0.03, p);
+                const TaskInstanceId id =
+                    b.createTask(stencil, insts, 64 * 1024);
+                cur[y * gx + x] = id;
+                if (t > 0) {
+                    b.addDependency(prev[y * gx + x], id);
+                    if (x > 0)
+                        b.addDependency(prev[y * gx + x - 1], id);
+                    if (x + 1 < gx)
+                        b.addDependency(prev[y * gx + x + 1], id);
+                    if (y > 0)
+                        b.addDependency(prev[(y - 1) * gx + x], id);
+                    if (y + 1 < gy)
+                        b.addDependency(prev[(y + 1) * gx + x], id);
+                }
+            }
+        }
+        std::swap(prev, cur);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

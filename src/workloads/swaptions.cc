@@ -1,0 +1,42 @@
+/**
+ * @file
+ * swaptions (PARSEC; Table I: 1 task type, 16384 instances;
+ * Monte-Carlo simulation to calculate swaption prices).
+ *
+ * Independent HJM Monte-Carlo tasks: FP-dominated trial loops over a
+ * small per-task working set. Near-uniform task sizes and negligible
+ * sharing — a low-variation benchmark.
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeSwaptions(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16384, p);
+
+    trace::TraceBuilder b("swaptions", p.seed);
+
+    trace::KernelProfile k = computeProfile();
+    k.loadFrac = 0.16;
+    k.storeFrac = 0.06;
+    k.fpFrac = 0.85;
+    k.mulFrac = 0.55;
+    k.ilpMean = 7.0;
+    k.pattern.kind = trace::MemPatternKind::Sequential;
+    k.pattern.sharedFrac = 0.02;
+    k.pattern.sharedFootprint = 16 * 1024;
+    const TaskTypeId sim_t = b.addTaskType("simulate_swaption", k);
+
+    for (std::size_t i = 0; i < total; ++i) {
+        const InstCount insts = jitteredInsts(b.rng(), 17000, 0.03, p);
+        b.createTask(sim_t, insts, 16 * 1024);
+    }
+    return b.build();
+}
+
+} // namespace tp::work

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * vector-operation (Table I: 1 task type, 16400 instances; regular,
+ * memory bound).
+ *
+ * Repeated element-wise sweeps over large vectors: 16 sweeps of 1025
+ * chunk tasks, separated by taskwaits. Perfectly regular streaming —
+ * the best case for TaskPoint (near-zero IPC variation per type).
+ */
+
+#include "trace/trace_builder.hh"
+#include "workloads/workload_common.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+trace::TaskTrace
+makeVecOp(const WorkloadParams &p)
+{
+    const std::size_t total = scaledCount(16400, p);
+    const std::size_t sweeps =
+        std::max<std::size_t>(std::min<std::size_t>(total / 1024, 16),
+                              2);
+    const std::size_t chunks = std::max<std::size_t>(total / sweeps, 1);
+
+    trace::TraceBuilder b("vector-operation", p.seed);
+
+    trace::KernelProfile k = streamProfile();
+    k.loadFrac = 0.40;
+    k.storeFrac = 0.20;
+    k.branchFrac = 0.04;
+    k.fpFrac = 0.50;
+    k.mulFrac = 0.10;
+    k.ilpMean = 14.0;
+    k.indepFrac = 0.65;
+    k.pattern.kind = trace::MemPatternKind::Sequential;
+    k.pattern.sharedFrac = 0.0;
+    const TaskTypeId vec = b.addTaskType("vec_chunk", k);
+
+    for (std::size_t s = 0; s < sweeps; ++s) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const InstCount insts =
+                jitteredInsts(b.rng(), 13000, 0.01, p);
+            b.createTask(vec, insts, 64 * 1024);
+        }
+        b.barrier();
+    }
+    return b.build();
+}
+
+} // namespace tp::work

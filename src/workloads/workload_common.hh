@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the workload generators.
+ */
+
+#ifndef TP_WORKLOADS_WORKLOAD_COMMON_HH
+#define TP_WORKLOADS_WORKLOAD_COMMON_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/kernel_profile.hh"
+#include "trace/trace_builder.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+
+/** Scale a paper instance count, with a usability floor. */
+inline std::size_t
+scaledCount(std::size_t paper_count, const WorkloadParams &p,
+            std::size_t floor_count = 192)
+{
+    const auto scaled =
+        static_cast<std::size_t>(double(paper_count) * p.scale);
+    return std::max(scaled, std::min(floor_count, paper_count));
+}
+
+/** Scale a base per-task instruction count. */
+inline InstCount
+scaledInsts(InstCount base, const WorkloadParams &p)
+{
+    const auto v = static_cast<InstCount>(double(base) * p.instrScale);
+    return std::max<InstCount>(v, 64);
+}
+
+/** Draw a log-normally jittered instruction count around `base`. */
+inline InstCount
+jitteredInsts(Rng &rng, InstCount base, double sigma,
+              const WorkloadParams &p)
+{
+    const double v = rng.logNormal(double(scaledInsts(base, p)), sigma);
+    return std::max<InstCount>(static_cast<InstCount>(v), 64);
+}
+
+/** Compute-bound profile skeleton (FP heavy, small mem share). */
+inline trace::KernelProfile
+computeProfile()
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.12;
+    k.storeFrac = 0.04;
+    k.branchFrac = 0.06;
+    k.fpFrac = 0.75;
+    k.mulFrac = 0.45;
+    k.ilpMean = 8.0;
+    k.indepFrac = 0.55;
+    k.pattern.kind = trace::MemPatternKind::Sequential;
+    k.pattern.sharedFrac = 0.05;
+    k.pattern.sharedFootprint = 256 * 1024;
+    return k;
+}
+
+/** Streaming memory-bound profile skeleton. */
+inline trace::KernelProfile
+streamProfile()
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.34;
+    k.storeFrac = 0.14;
+    k.branchFrac = 0.08;
+    k.fpFrac = 0.40;
+    k.mulFrac = 0.15;
+    k.ilpMean = 12.0;
+    k.indepFrac = 0.65;
+    k.pattern.kind = trace::MemPatternKind::Sequential;
+    k.pattern.sharedFrac = 0.02;
+    k.pattern.sharedFootprint = 512 * 1024;
+    return k;
+}
+
+/** Irregular/pointer-heavy profile skeleton. */
+inline trace::KernelProfile
+irregularProfile()
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.30;
+    k.storeFrac = 0.08;
+    k.branchFrac = 0.16;
+    k.fpFrac = 0.20;
+    k.mulFrac = 0.10;
+    k.ilpMean = 4.0;
+    k.indepFrac = 0.40;
+    k.pattern.kind = trace::MemPatternKind::RandomUniform;
+    k.pattern.sharedFrac = 0.15;
+    k.pattern.sharedFootprint = 1024 * 1024;
+    return k;
+}
+
+/**
+ * Give a task type a cyclic region pool so its instances reuse
+ * recently-touched working sets (producer-consumer residency in the
+ * shared cache levels). Entries default to comfortably above the
+ * maximum simulated thread count (64) so concurrent instances rarely
+ * collide on a region.
+ */
+inline void
+poolType(trace::TraceBuilder &b, TaskTypeId type, Addr entry_bytes,
+         std::size_t entries = 192)
+{
+    b.setRegionPool(type, entries, entry_bytes);
+}
+
+} // namespace tp::work
+
+#endif // TP_WORKLOADS_WORKLOAD_COMMON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The 19 task-based benchmarks of the paper's evaluation (Table I).
+ *
+ * Each generator synthesizes a TaskTrace with the published structure:
+ * the exact task-type count, the (scaled) instance count, the
+ * dependency pattern the benchmark's algorithm implies, and kernel
+ * profiles matching the "Properties" column of Table I. DESIGN.md §3
+ * documents this substitution for the original OmpSs applications.
+ */
+
+#ifndef TP_WORKLOADS_WORKLOADS_HH
+#define TP_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tp::work {
+
+/** Scaling knobs shared by all generators. */
+struct WorkloadParams
+{
+    /**
+     * Multiplier on the paper's task-instance count. The default 1/8
+     * keeps full-suite reproduction in minutes; pass 1.0 to generate
+     * paper-sized traces.
+     */
+    double scale = 0.125;
+    /**
+     * Multiplier on per-task dynamic instruction counts (base sizes
+     * are chosen so that 1.0 yields ~4k-40k instructions per task).
+     */
+    double instrScale = 1.0;
+    /** Master seed (structure and per-instance streams derive). */
+    std::uint64_t seed = 42;
+};
+
+/** Generator function type. */
+using GeneratorFn = trace::TaskTrace (*)(const WorkloadParams &);
+
+/** Registry entry: paper metadata + generator. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string properties;      //!< Table I "Properties" column
+    std::size_t paperTaskTypes;  //!< Table I "# Task Types"
+    std::size_t paperInstances;  //!< Table I "# Task Instances"
+    GeneratorFn generate;
+};
+
+/** @return all 19 workloads in Table I order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** @return registry entry by name; fatal if unknown. */
+const WorkloadInfo &workloadByName(const std::string &name);
+
+/** Generate a workload trace by name; fatal if unknown. */
+trace::TaskTrace generateWorkload(const std::string &name,
+                                  const WorkloadParams &params);
+
+// Individual generators (Table I order).
+trace::TaskTrace makeConv2d(const WorkloadParams &);
+trace::TaskTrace makeStencil3d(const WorkloadParams &);
+trace::TaskTrace makeMonteCarlo(const WorkloadParams &);
+trace::TaskTrace makeMatmul(const WorkloadParams &);
+trace::TaskTrace makeHistogram(const WorkloadParams &);
+trace::TaskTrace makeNBody(const WorkloadParams &);
+trace::TaskTrace makeReduction(const WorkloadParams &);
+trace::TaskTrace makeSpmv(const WorkloadParams &);
+trace::TaskTrace makeVecOp(const WorkloadParams &);
+trace::TaskTrace makeSparseLu(const WorkloadParams &);
+trace::TaskTrace makeCholesky(const WorkloadParams &);
+trace::TaskTrace makeKmeans(const WorkloadParams &);
+trace::TaskTrace makeKnn(const WorkloadParams &);
+trace::TaskTrace makeBlackscholes(const WorkloadParams &);
+trace::TaskTrace makeBodytrack(const WorkloadParams &);
+trace::TaskTrace makeCanneal(const WorkloadParams &);
+trace::TaskTrace makeDedup(const WorkloadParams &);
+trace::TaskTrace makeFreqmine(const WorkloadParams &);
+trace::TaskTrace makeSwaptions(const WorkloadParams &);
+
+} // namespace tp::work
+
+#endif // TP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Unit tests for the common library: RNG, statistics, CLI, tables,
+ * logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/statistics.hh"
+#include "common/table.hh"
+
+namespace tp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 100; ++i)
+        vals.insert(r.next());
+    EXPECT_GT(vals.size(), 95u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(13), 13u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform01();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard)
+{
+    Rng r(17);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalMedianApproximatelyCorrect)
+{
+    Rng r(23);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(r.logNormal(100.0, 0.5));
+    EXPECT_NEAR(percentile(xs, 50.0), 100.0, 5.0);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect)
+{
+    Rng r(29);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(42.0);
+    EXPECT_NEAR(sum / n, 42.0, 1.5);
+}
+
+TEST(Rng, BernoulliProbabilityApproximatelyCorrect)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoRespectsMinimum)
+{
+    Rng r(37);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.pareto(5.0, 1.2), 5.0);
+}
+
+TEST(Rng, ParetoIsHeavyTailed)
+{
+    Rng r(41);
+    double mx = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        mx = std::max(mx, r.pareto(1.0, 0.8));
+    EXPECT_GT(mx, 1000.0); // alpha<1: extreme draws expected
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng r(43);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.zipf(100, 0.8), 100u);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng r(47);
+    int low = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        low += r.zipf(1000, 0.9) < 100 ? 1 : 0;
+    // Top 10% of ranks should receive far more than 10% of draws.
+    EXPECT_GT(double(low) / n, 0.3);
+}
+
+TEST(Rng, ZipfHandlesExponentOne)
+{
+    Rng r(53);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.zipf(64, 1.0), 64u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == child.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Statistics, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Statistics, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.0, 1e-12);
+}
+
+TEST(Statistics, GeomeanBasics)
+{
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+}
+
+TEST(Statistics, PercentileLinearInterpolation)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Statistics, PercentileSingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(Statistics, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50.0), 5.0);
+}
+
+TEST(Statistics, BoxplotQuartilesAndWhiskers)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(double(i));
+    const BoxplotStats b = boxplot(xs);
+    EXPECT_NEAR(b.median, 50.5, 1e-9);
+    EXPECT_NEAR(b.q1, 25.75, 1e-9);
+    EXPECT_NEAR(b.q3, 75.25, 1e-9);
+    EXPECT_NEAR(b.whiskerLo, 5.95, 1e-9);
+    EXPECT_NEAR(b.whiskerHi, 95.05, 1e-9);
+    EXPECT_EQ(b.count, 100u);
+    // 5 below p5 and 5 above p95.
+    EXPECT_EQ(b.outliers, 10u);
+}
+
+TEST(Statistics, NormalizeToMeanPct)
+{
+    const auto out = normalizeToMeanPct({1.0, 3.0}, 2.0);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], -50.0);
+    EXPECT_DOUBLE_EQ(out[1], 50.0);
+}
+
+TEST(Statistics, AbsPctError)
+{
+    EXPECT_DOUBLE_EQ(absPctError(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(absPctError(90.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(absPctError(100.0, 100.0), 0.0);
+}
+
+TEST(Statistics, RunningStatsMatchesBatch)
+{
+    RunningStats rs;
+    std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Statistics, RunningStatsMerge)
+{
+    RunningStats a, b, all;
+    for (double x : {1.0, 2.0, 3.0}) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : {10.0, 20.0}) {
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(Cli, ParsesKeyValueAndFlags)
+{
+    const char *argv[] = {"prog", "--alpha=3", "--flag",
+                          "--name=xyz"};
+    CliArgs args(4, argv, {"alpha", "flag", "name"});
+    EXPECT_EQ(args.getInt("alpha", 0), 3);
+    EXPECT_TRUE(args.has("flag"));
+    EXPECT_EQ(args.getString("name", ""), "xyz");
+    EXPECT_EQ(args.getInt("missing", 42), 42);
+}
+
+TEST(Cli, RejectsUnknownOption)
+{
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_THROW(CliArgs(2, argv, {"alpha"}), SimError);
+}
+
+TEST(Cli, RejectsMalformedInteger)
+{
+    const char *argv[] = {"prog", "--alpha=xyz"};
+    CliArgs args(2, argv, {"alpha"});
+    EXPECT_THROW(args.getInt("alpha", 0), SimError);
+}
+
+TEST(Cli, RejectsNegativeForUnsigned)
+{
+    const char *argv[] = {"prog", "--n=-4"};
+    CliArgs args(2, argv, {"n"});
+    EXPECT_THROW(args.getUint("n", 0), SimError);
+}
+
+TEST(Cli, ParsesLists)
+{
+    const char *argv[] = {"prog", "--list=a,b,c"};
+    CliArgs args(2, argv, {"list"});
+    const auto v = args.getList("list", {});
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[1], "b");
+}
+
+TEST(Cli, ParsesDoubles)
+{
+    const char *argv[] = {"prog", "--x=0.25"};
+    CliArgs args(2, argv, {"x"});
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 1.0), 0.25);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t("title");
+    t.setHeader({"a", "bb"});
+    t.addRow({"xxx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("xxx"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtCount(1234567ULL), "1,234,567");
+    EXPECT_EQ(fmtCount(12ULL), "12");
+}
+
+TEST(Logging, PanicThrowsSimError)
+{
+    EXPECT_THROW(panic("boom %d", 42), SimError);
+}
+
+TEST(Logging, FatalThrowsSimError)
+{
+    EXPECT_THROW(fatal("bad config"), SimError);
+}
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Logging, AssertMacroFires)
+{
+    EXPECT_THROW([] { tp_assert(1 == 2); }(), SimError);
+    EXPECT_NO_THROW([] { tp_assert(1 == 1); }());
+}
+
+} // namespace
+} // namespace tp

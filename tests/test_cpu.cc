@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the detailed core model (ROB occupancy analysis) and
+ * the architecture configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/arch_config.hh"
+#include "cpu/rob_core.hh"
+#include "memory/hierarchy.hh"
+#include "trace/trace_builder.hh"
+
+namespace tp::cpu {
+namespace {
+
+/** Build a single-instance trace with the given profile/size. */
+trace::TaskTrace
+makeTrace(const trace::KernelProfile &k, InstCount insts,
+          Addr footprint = 64 * 1024)
+{
+    trace::TraceBuilder b("core-test", 7);
+    const auto ty = b.addTaskType("t", k);
+    b.createTask(ty, insts, footprint);
+    return b.build();
+}
+
+/** Run one task to completion; @return cycles taken. */
+cpu::DetailedRunStats
+runTask(const trace::TaskTrace &t, const ArchConfig &arch,
+        Cycles start = 0)
+{
+    mem::Hierarchy h(arch.memory, 1);
+    RobCore core(arch.core, h, 0);
+    core.beginTask(t.type(0), t.instance(0), start);
+    while (!core.step(1024)) {
+    }
+    return core.runStats();
+}
+
+trace::KernelProfile
+pureCompute()
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.0;
+    k.storeFrac = 0.0;
+    k.branchFrac = 0.0;
+    k.fpFrac = 0.0;
+    k.mulFrac = 0.0;
+    k.indepFrac = 1.0; // fully independent single-cycle ops
+    return k;
+}
+
+TEST(RobCore, IpcBoundedByIssueWidth)
+{
+    const ArchConfig arch = highPerformanceConfig();
+    const auto stats = runTask(makeTrace(pureCompute(), 50000), arch);
+    EXPECT_LE(stats.ipc(), double(arch.core.issueWidth) + 0.01);
+    // Fully independent 1-cycle ops should come close to the width.
+    EXPECT_GT(stats.ipc(), double(arch.core.issueWidth) * 0.8);
+}
+
+TEST(RobCore, DependencyChainsSerialize)
+{
+    trace::KernelProfile chain = pureCompute();
+    chain.indepFrac = 0.0;
+    chain.ilpMean = 0.6; // dep distance ~1: serial chain
+    const ArchConfig arch = highPerformanceConfig();
+    const auto stats = runTask(makeTrace(chain, 50000), arch);
+    // A serial chain of 1-cycle ops cannot exceed IPC 1.
+    EXPECT_LE(stats.ipc(), 1.05);
+}
+
+TEST(RobCore, WiderMachineIsFaster)
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.15;
+    k.storeFrac = 0.05;
+    const auto hp = runTask(makeTrace(k, 60000),
+                            highPerformanceConfig());
+    const auto lp = runTask(makeTrace(k, 60000), lowPowerConfig());
+    EXPECT_GT(hp.ipc(), lp.ipc());
+}
+
+TEST(RobCore, MemoryLatencyReducesIpc)
+{
+    trace::KernelProfile mem_heavy;
+    mem_heavy.loadFrac = 0.45;
+    mem_heavy.pattern.kind = trace::MemPatternKind::RandomUniform;
+    const auto m = runTask(makeTrace(mem_heavy, 40000, 1 << 20),
+                           highPerformanceConfig());
+    const auto c = runTask(makeTrace(pureCompute(), 40000),
+                           highPerformanceConfig());
+    EXPECT_LT(m.ipc(), c.ipc() * 0.5);
+    EXPECT_GT(m.l1Misses, 100u);
+}
+
+TEST(RobCore, CountsInstructionClasses)
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.3;
+    k.storeFrac = 0.1;
+    const auto stats = runTask(makeTrace(k, 50000),
+                               highPerformanceConfig());
+    EXPECT_EQ(stats.instructions, 50000u);
+    EXPECT_NEAR(double(stats.loads) / 50000.0, 0.3, 0.02);
+    EXPECT_NEAR(double(stats.stores) / 50000.0, 0.1, 0.02);
+}
+
+TEST(RobCore, StartOffsetShiftsFinishTime)
+{
+    const trace::TaskTrace t = makeTrace(pureCompute(), 10000);
+    const ArchConfig arch = highPerformanceConfig();
+
+    mem::Hierarchy h1(arch.memory, 1);
+    RobCore c1(arch.core, h1, 0);
+    c1.beginTask(t.type(0), t.instance(0), 0);
+    while (!c1.step(512)) {
+    }
+    mem::Hierarchy h2(arch.memory, 1);
+    RobCore c2(arch.core, h2, 0);
+    c2.beginTask(t.type(0), t.instance(0), 1000);
+    while (!c2.step(512)) {
+    }
+    EXPECT_EQ(c2.finishTime(), c1.finishTime() + 1000);
+}
+
+TEST(RobCore, DeterministicAcrossQuantumSizes)
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.25;
+    const trace::TaskTrace t = makeTrace(k, 30000);
+    const ArchConfig arch = highPerformanceConfig();
+
+    mem::Hierarchy h1(arch.memory, 1);
+    RobCore c1(arch.core, h1, 0);
+    c1.beginTask(t.type(0), t.instance(0), 0);
+    while (!c1.step(64)) {
+    }
+    mem::Hierarchy h2(arch.memory, 1);
+    RobCore c2(arch.core, h2, 0);
+    c2.beginTask(t.type(0), t.instance(0), 0);
+    while (!c2.step(8192)) {
+    }
+    EXPECT_EQ(c1.finishTime(), c2.finishTime());
+}
+
+TEST(RobCore, ReusableAcrossTasks)
+{
+    const trace::TaskTrace t = makeTrace(pureCompute(), 5000);
+    const ArchConfig arch = highPerformanceConfig();
+    mem::Hierarchy h(arch.memory, 1);
+    RobCore core(arch.core, h, 0);
+
+    core.beginTask(t.type(0), t.instance(0), 0);
+    while (!core.step(512)) {
+    }
+    const Cycles first = core.finishTime();
+    EXPECT_FALSE(core.busy());
+
+    core.beginTask(t.type(0), t.instance(0), first);
+    while (!core.step(512)) {
+    }
+    EXPECT_GT(core.finishTime(), first);
+}
+
+TEST(RobCore, SmallRobLimitsMemoryParallelism)
+{
+    trace::KernelProfile k;
+    k.loadFrac = 0.4;
+    k.indepFrac = 1.0; // maximal potential MLP
+    k.pattern.kind = trace::MemPatternKind::RandomUniform;
+
+    ArchConfig big = highPerformanceConfig();
+    ArchConfig small = big;
+    small.core.robSize = 16;
+
+    const auto b = runTask(makeTrace(k, 40000, 4 << 20), big);
+    const auto s = runTask(makeTrace(k, 40000, 4 << 20), small);
+    // Same widths, same memory: the small ROB must be slower because
+    // it can keep fewer misses in flight.
+    EXPECT_GT(b.ipc(), s.ipc() * 1.3);
+}
+
+TEST(ArchConfig, TableTwoParameters)
+{
+    const ArchConfig hp = highPerformanceConfig();
+    EXPECT_EQ(hp.core.robSize, 168u);
+    EXPECT_EQ(hp.core.issueWidth, 4u);
+    EXPECT_EQ(hp.core.commitWidth, 4u);
+    EXPECT_EQ(hp.memory.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(hp.memory.l1.assoc, 8u);
+    EXPECT_EQ(hp.memory.l1.latency, 4u);
+    EXPECT_EQ(hp.memory.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(hp.memory.l2.latency, 11u);
+    EXPECT_FALSE(hp.memory.l2Shared);
+    EXPECT_TRUE(hp.memory.hasL3);
+    EXPECT_EQ(hp.memory.l3.sizeBytes, 20u * 1024 * 1024);
+    EXPECT_EQ(hp.memory.l3.assoc, 20u);
+    EXPECT_EQ(hp.memory.l3.latency, 28u);
+
+    const ArchConfig lp = lowPowerConfig();
+    EXPECT_EQ(lp.core.robSize, 40u);
+    EXPECT_EQ(lp.core.issueWidth, 3u);
+    EXPECT_EQ(lp.core.commitWidth, 3u);
+    EXPECT_EQ(lp.memory.l1.assoc, 2u);
+    EXPECT_TRUE(lp.memory.l2Shared);
+    EXPECT_EQ(lp.memory.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(lp.memory.l2.assoc, 16u);
+    EXPECT_EQ(lp.memory.l2.latency, 21u);
+    EXPECT_FALSE(lp.memory.hasL3);
+}
+
+TEST(ArchConfig, LookupByName)
+{
+    EXPECT_EQ(archConfigByName("highperf").name, "highperf");
+    EXPECT_EQ(archConfigByName("lowpower").name, "lowpower");
+    EXPECT_THROW(archConfigByName("quantum"), SimError);
+}
+
+} // namespace
+} // namespace tp::cpu

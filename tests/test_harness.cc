@@ -1,0 +1,135 @@
+/**
+ * @file
+ * End-to-end integration tests through the experiment harness: the
+ * paper's qualitative results must hold on fast, reduced-scale runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/statistics.hh"
+#include "harness/experiment.hh"
+
+namespace tp::harness {
+namespace {
+
+work::WorkloadParams
+tinyScale()
+{
+    work::WorkloadParams p;
+    p.scale = 0.04; // a few hundred tasks: seconds, not minutes
+    p.seed = 42;
+    return p;
+}
+
+RunSpec
+hp(std::uint32_t threads)
+{
+    RunSpec s;
+    s.arch = cpu::highPerformanceConfig();
+    s.threads = threads;
+    return s;
+}
+
+TEST(HarnessIntegration, LazySamplingBeatsDetailedOnWallClock)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    const sim::SimResult ref = runDetailed(t, hp(8));
+    const SampledOutcome sam =
+        runSampled(t, hp(8), sampling::SamplingParams::lazy());
+    const ErrorSpeedup es = compare(ref, sam.result);
+    EXPECT_GT(es.wallSpeedup, 2.0);
+    EXPECT_LT(es.errorPct, 10.0);
+}
+
+TEST(HarnessIntegration, LazyFasterThanPeriodicComparableError)
+{
+    // The paper's central comparison (Section V-C).
+    const trace::TaskTrace t =
+        work::generateWorkload("swaptions", tinyScale());
+    const sim::SimResult ref = runDetailed(t, hp(4));
+    const SampledOutcome lazy =
+        runSampled(t, hp(4), sampling::SamplingParams::lazy());
+    const SampledOutcome periodic =
+        runSampled(t, hp(4), sampling::SamplingParams::periodic(50));
+    EXPECT_LT(lazy.result.detailFraction(),
+              periodic.result.detailFraction());
+    EXPECT_LT(compare(ref, lazy.result).errorPct, 12.0);
+    EXPECT_LT(compare(ref, periodic.result).errorPct, 12.0);
+}
+
+TEST(HarnessIntegration, SingleThreadLazyIsExtremelyCheap)
+{
+    // Paper: 1-thread lazy speedup ~1019x because only W+H instances
+    // run in detail.
+    const trace::TaskTrace t =
+        work::generateWorkload("vector-operation", tinyScale());
+    const SampledOutcome sam =
+        runSampled(t, hp(1), sampling::SamplingParams::lazy());
+    EXPECT_LT(sam.result.detailFraction(), 0.1);
+    EXPECT_LE(sam.stats.warmupTasks + sam.stats.sampleTasks, 24u);
+}
+
+TEST(HarnessIntegration, NoiseModelWidensVariation)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("swaptions", tinyScale());
+    RunSpec s = hp(8);
+    s.recordTasks = true;
+    const sim::SimResult clean = runDetailed(t, s);
+    s.noise.enabled = true;
+    const sim::SimResult noisy = runDetailed(t, s);
+    const auto dev_clean = normalizedIpcDeviations(clean);
+    const auto dev_noisy = normalizedIpcDeviations(noisy);
+    EXPECT_GT(stddev(dev_noisy), stddev(dev_clean));
+}
+
+TEST(HarnessIntegration, VariationClassificationStable)
+{
+    // Regular benchmarks stay within the paper's +-5% band; the
+    // divergent checkSparseLU exceeds it (Figs. 1 and 5).
+    work::WorkloadParams p;
+    p.scale = 0.08;
+    RunSpec s = hp(8);
+    s.recordTasks = true;
+
+    const sim::SimResult vec = runDetailed(
+        work::generateWorkload("vector-operation", p), s);
+    const BoxplotStats bv = boxplot(normalizedIpcDeviations(vec));
+    EXPECT_GT(bv.whiskerLo, -5.0);
+    EXPECT_LT(bv.whiskerHi, 5.0);
+
+    const sim::SimResult lu = runDetailed(
+        work::generateWorkload("checkSparseLU", p), s);
+    const BoxplotStats bl = boxplot(normalizedIpcDeviations(lu));
+    EXPECT_TRUE(bl.whiskerLo < -5.0 || bl.whiskerHi > 5.0);
+}
+
+TEST(HarnessIntegration, LowPowerArchitectureAlsoSamples)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    RunSpec s;
+    s.arch = cpu::lowPowerConfig();
+    s.threads = 4;
+    const sim::SimResult ref = runDetailed(t, s);
+    const SampledOutcome sam =
+        runSampled(t, s, sampling::SamplingParams::lazy());
+    EXPECT_LT(compare(ref, sam.result).errorPct, 10.0);
+}
+
+TEST(HarnessIntegration, CompareRequiresReference)
+{
+    sim::SimResult empty;
+    EXPECT_THROW(compare(empty, empty), SimError);
+}
+
+TEST(HarnessIntegration, DeviationsRequireRecords)
+{
+    sim::SimResult empty;
+    EXPECT_THROW(normalizedIpcDeviations(empty), SimError);
+}
+
+} // namespace
+} // namespace tp::harness

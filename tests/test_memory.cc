@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: cache geometry, LRU and
+ * invalidation behaviour, prepollution/aging, service ports, DRAM,
+ * coherence and the prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/arch_config.hh"
+#include "memory/cache.hh"
+#include "memory/dram.hh"
+#include "memory/hierarchy.hh"
+
+namespace tp::mem {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 64B lines = 512 B.
+    return CacheConfig{512, 2, 64, 3, 0};
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c("t", smallCache());
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13f, false).hit); // same line
+    EXPECT_FALSE(c.access(0x140, false).hit); // next line
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache c("t", smallCache());
+    // Three lines mapping to the same set (set stride = 4*64 = 256).
+    c.access(0x0, false);
+    c.access(0x100, false);
+    c.access(0x0, false);        // touch A again: B is LRU
+    c.access(0x200, false);      // evicts B
+    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x200));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache c("t", smallCache());
+    c.access(0x0, true); // dirty
+    c.access(0x100, false);
+    const auto out = c.access(0x200, false); // evicts dirty 0x0
+    EXPECT_TRUE(out.writebackVictim);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c("t", smallCache());
+    c.access(0x40, true);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.invalidate(0x40)); // second time: nothing there
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(Cache, StatsCount)
+{
+    Cache c("t", smallCache());
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40, false);
+    EXPECT_EQ(c.stats().accesses, 3u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_NEAR(c.stats().hitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, OccupancyTracksFills)
+{
+    Cache c("t", smallCache());
+    EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+    c.access(0x0, false);
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0 / 8.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.occupancy(), 0.0);
+}
+
+TEST(Cache, PrepolluteFillsEverythingWithoutHits)
+{
+    Cache c("t", smallCache());
+    c.prepollute();
+    EXPECT_DOUBLE_EQ(c.occupancy(), 1.0);
+    // Junk lines never hit; real accesses still miss and allocate.
+    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_TRUE(c.access(0x0, false).hit);
+}
+
+TEST(Cache, PrepolluteVictimsEvictBeforeRealLines)
+{
+    Cache c("t", smallCache());
+    c.prepollute();
+    c.access(0x0, false); // evicts junk, not...
+    c.access(0x100, false);
+    // Both real lines must coexist (2 ways): junk got evicted.
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x100));
+}
+
+TEST(Cache, AgeLinesDisplacesLru)
+{
+    Cache c("t", smallCache());
+    c.access(0x0, false);
+    c.access(0x40, false);
+    c.ageLines(8); // full capacity of junk at MRU
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, AgeLinesPartialKeepsMru)
+{
+    Cache c("t", CacheConfig{512, 2, 64, 3, 0});
+    // Fill set 0 with two lines; age only one line into set 0.
+    c.access(0x0, false);   // set 0
+    c.access(0x100, false); // set 0
+    c.access(0x0, false);   // A is MRU
+    c.ageLines(1);          // one junk line into set 0: evicts B
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, ScanResistantInsertEvictsStreamsFirst)
+{
+    CacheConfig cfg = smallCache();
+    cfg.scanResistantInsert = true;
+    Cache c("t", cfg);
+    c.access(0x0, false);
+    c.access(0x0, false); // promote A to MRU
+    c.access(0x100, false); // stream line, inserted at LRU
+    c.access(0x200, false); // evicts the stream line, not A
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache("t", CacheConfig{500, 2, 64, 3, 0}), SimError);
+    EXPECT_THROW(Cache("t", CacheConfig{512, 2, 60, 3, 0}), SimError);
+    EXPECT_THROW(Cache("t", CacheConfig{512, 0, 64, 3, 0}), SimError);
+}
+
+TEST(ServicePort, NoContentionWhenIdle)
+{
+    ServicePort p(4);
+    EXPECT_EQ(p.request(100), 0u);
+    EXPECT_EQ(p.request(104), 0u);
+}
+
+TEST(ServicePort, QueuesBackToBackRequests)
+{
+    ServicePort p(4);
+    EXPECT_EQ(p.request(100), 0u); // busy until 104
+    EXPECT_EQ(p.request(100), 4u); // waits 4
+    EXPECT_EQ(p.request(100), 8u); // waits 8
+    EXPECT_EQ(p.totalQueueCycles(), 12u);
+    EXPECT_EQ(p.requests(), 3u);
+}
+
+TEST(ServicePort, ZeroPeriodMeansInfiniteBandwidth)
+{
+    ServicePort p(0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(p.request(5), 0u);
+    EXPECT_EQ(p.requests(), 0u); // not even counted
+}
+
+TEST(Dram, LatencyIncludesQueueing)
+{
+    Dram d(DramConfig{100, 8, 1});
+    EXPECT_EQ(d.access(0, 0), 100u);
+    EXPECT_EQ(d.access(0, 0), 108u);
+}
+
+TEST(Dram, ChannelsInterleaveByLine)
+{
+    Dram d(DramConfig{100, 8, 2});
+    // Consecutive lines hit different channels: no queueing.
+    EXPECT_EQ(d.access(0, 0), 100u);
+    EXPECT_EQ(d.access(64, 0), 100u);
+    EXPECT_EQ(d.access(128, 0), 108u); // back on channel 0
+}
+
+TEST(Dram, RejectsZeroChannels)
+{
+    EXPECT_THROW(Dram(DramConfig{100, 8, 0}), SimError);
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+        : config_(cpu::highPerformanceConfig().memory),
+          h_(config_, 4)
+    {
+    }
+
+    MemoryConfig config_;
+    Hierarchy h_;
+};
+
+TEST_F(HierarchyTest, L1HitIsFast)
+{
+    h_.access(0, 0x1000, false, 0);
+    const AccessResult r = h_.access(0, 0x1000, false, 10);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+    EXPECT_EQ(r.latency, config_.l1.latency);
+}
+
+TEST_F(HierarchyTest, ColdMissGoesToDram)
+{
+    // Use an address no prefetcher could have predicted.
+    const AccessResult r = h_.access(0, 0x9990040, false, 0);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::Mem));
+    EXPECT_GE(r.latency, config_.dram.latency);
+}
+
+TEST_F(HierarchyTest, RemoteCoreMissesOwnL1)
+{
+    const Addr shared = config_.coherentBase + 0x40;
+    h_.access(0, shared, false, 0);
+    const AccessResult r = h_.access(1, shared, false, 100);
+    EXPECT_NE(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+}
+
+TEST_F(HierarchyTest, StoreInvalidatesRemoteCopies)
+{
+    const Addr shared = config_.coherentBase + 0x80;
+    h_.access(0, shared, false, 0);
+    h_.access(1, shared, false, 10);
+    // Core 1 writes: core 0's copy must be invalidated.
+    h_.access(1, shared, true, 20);
+    const AccessResult r = h_.access(0, shared, false, 30);
+    EXPECT_NE(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+    EXPECT_GE(h_.stats().coherenceInvalidations, 1u);
+}
+
+TEST_F(HierarchyTest, PrivateAddressesNotCoherenceTracked)
+{
+    const Addr priv = 0x5000; // below coherentBase
+    h_.access(0, priv, false, 0);
+    h_.access(1, priv, true, 10);
+    // Core 0 still hits its own L1: no invalidation for private data.
+    const AccessResult r = h_.access(0, priv, false, 20);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+    EXPECT_EQ(h_.stats().coherenceInvalidations, 0u);
+}
+
+TEST_F(HierarchyTest, UpgradeAddsLatency)
+{
+    const Addr shared = config_.coherentBase + 0xc0;
+    h_.access(0, shared, false, 0);
+    h_.access(1, shared, false, 10);
+    const AccessResult hit_only = h_.access(1, shared, false, 20);
+    const AccessResult upgrade = h_.access(1, shared, true, 30);
+    EXPECT_GE(upgrade.latency,
+              hit_only.latency + config_.upgradeLatency);
+}
+
+TEST_F(HierarchyTest, StreamPrefetcherCatchesStrides)
+{
+    // Two misses establish the stride; the third confirms it and
+    // prefetches ahead, so the fourth access hits in L1.
+    const Addr base = 0x400000;
+    h_.access(0, base, false, 0);
+    h_.access(0, base + 64, false, 100);
+    h_.access(0, base + 128, false, 200);
+    const AccessResult r = h_.access(0, base + 192, false, 300);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+    EXPECT_GT(h_.stats().l1.prefetchFills, 0u);
+}
+
+TEST_F(HierarchyTest, SharedBandwidthCreatesContention)
+{
+    // Saturate the L3 port from many cores at the same instant; the
+    // aggregate latency must exceed the no-contention sum.
+    Cycles no_contention = 0;
+    {
+        Hierarchy solo(config_, 4);
+        no_contention =
+            solo.access(0, 0x8880000, false, 0).latency;
+    }
+    Cycles total = 0;
+    for (ThreadId c = 0; c < 4; ++c)
+        total += h_.access(c, 0x8880000 + c * 4096, false, 0).latency;
+    EXPECT_GT(total, 4 * config_.l1.latency + no_contention);
+}
+
+TEST_F(HierarchyTest, ResetRestoresPrepollutedColdState)
+{
+    h_.access(0, 0x2000, false, 0);
+    h_.reset();
+    const AccessResult r = h_.access(0, 0x2000, false, 0);
+    EXPECT_NE(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::L1));
+    EXPECT_NEAR(h_.l1Occupancy(), 1.0, 0.01); // prepolluted
+}
+
+TEST_F(HierarchyTest, AgingEvictsFrozenWarmState)
+{
+    const Addr a = 0x3000;
+    h_.access(0, a, false, 0);
+    EXPECT_TRUE(h_.access(0, a, false, 10).level == HitLevel::L1);
+    // Age far more than every cache's capacity.
+    h_.applyFastForwardAging(1ULL << 30);
+    const AccessResult r = h_.access(0, a, false, 20);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::Mem));
+}
+
+TEST(Hierarchy, LowPowerConfigHasNoL3)
+{
+    const MemoryConfig cfg = cpu::lowPowerConfig().memory;
+    Hierarchy h(cfg, 2);
+    const AccessResult r = h.access(0, 0x7770000, false, 0);
+    EXPECT_EQ(static_cast<int>(r.level),
+              static_cast<int>(HitLevel::Mem));
+    // Second core shares the L2: it can hit there.
+    const AccessResult r2 = h.access(1, 0x7770000, false, 100);
+    EXPECT_EQ(static_cast<int>(r2.level),
+              static_cast<int>(HitLevel::L2));
+}
+
+TEST(Hierarchy, RejectsTooManyCores)
+{
+    const MemoryConfig cfg = cpu::highPerformanceConfig().memory;
+    EXPECT_THROW(Hierarchy(cfg, 65), SimError);
+    EXPECT_THROW(Hierarchy(cfg, 0), SimError);
+}
+
+} // namespace
+} // namespace tp::mem

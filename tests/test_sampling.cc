@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit and integration tests for TaskPoint: IPC histories, type
+ * profiles, the controller's phase machine, sampling policies and
+ * resampling triggers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/arch_config.hh"
+#include "harness/experiment.hh"
+#include "sampling/ipc_history.hh"
+#include "sampling/taskpoint.hh"
+#include "sampling/type_profile.hh"
+#include "sim/engine.hh"
+#include "trace/trace_builder.hh"
+
+namespace tp::sampling {
+namespace {
+
+TEST(IpcHistory, FifoReplacement)
+{
+    IpcHistory h(3);
+    EXPECT_TRUE(h.empty());
+    h.add(1.0);
+    h.add(2.0);
+    EXPECT_FALSE(h.full());
+    h.add(3.0);
+    EXPECT_TRUE(h.full());
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    h.add(7.0); // replaces the oldest (1.0)
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(IpcHistory, ClearEmpties)
+{
+    IpcHistory h(2);
+    h.add(1.0);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(IpcHistory, RejectsNonPositiveSamples)
+{
+    IpcHistory h(2);
+    EXPECT_THROW(h.add(0.0), SimError);
+    EXPECT_THROW(h.add(-1.0), SimError);
+}
+
+TEST(TypeProfile, PredictPrefersValidHistory)
+{
+    TypeProfile p(4);
+    EXPECT_DOUBLE_EQ(p.predictIpc(), 0.0); // nothing at all
+    p.addAnySample(1.0);
+    EXPECT_DOUBLE_EQ(p.predictIpc(), 1.0); // all-samples fallback
+    p.addValidSample(3.0);
+    EXPECT_DOUBLE_EQ(p.predictIpc(), 3.0); // valid wins
+}
+
+TEST(TypeProfile, ValidSamplesAlsoEnterAllHistory)
+{
+    TypeProfile p(4);
+    p.addValidSample(2.0);
+    p.clearValid();
+    EXPECT_DOUBLE_EQ(p.predictIpc(), 2.0); // still in all-history
+}
+
+TEST(TaskPointController, RejectsBadParams)
+{
+    trace::TraceBuilder b("x", 1);
+    const auto ty = b.addTaskType("t", trace::KernelProfile{});
+    b.createTask(ty, 100);
+    const trace::TaskTrace t = b.build();
+    SamplingParams p;
+    p.historySize = 0;
+    EXPECT_THROW(TaskPointController(t, p), SimError);
+    p = SamplingParams{};
+    p.rareCutoff = 0;
+    EXPECT_THROW(TaskPointController(t, p), SimError);
+    p = SamplingParams{};
+    p.period = 0;
+    EXPECT_THROW(TaskPointController(t, p), SimError);
+}
+
+TEST(TaskPointController, PolicyFactories)
+{
+    EXPECT_EQ(SamplingParams::lazy().period, kInfinitePeriod);
+    EXPECT_EQ(SamplingParams::periodic(250).period, 250u);
+    EXPECT_EQ(SamplingParams::lazy().warmup, 2u);
+    EXPECT_EQ(SamplingParams::lazy().historySize, 4u);
+    EXPECT_EQ(SamplingParams::lazy().rareCutoff, 5u);
+}
+
+/** A uniform single-type workload for controller-behaviour tests. */
+trace::TaskTrace
+uniformTrace(std::size_t n)
+{
+    trace::TraceBuilder b("uniform", 11);
+    trace::KernelProfile k;
+    k.loadFrac = 0.2;
+    const auto ty = b.addTaskType("t", k);
+    for (std::size_t i = 0; i < n; ++i)
+        b.createTask(ty, 6000, 16 * 1024);
+    return b.build();
+}
+
+harness::RunSpec
+spec(std::uint32_t threads)
+{
+    harness::RunSpec s;
+    s.arch = cpu::highPerformanceConfig();
+    s.threads = threads;
+    return s;
+}
+
+TEST(TaskPointController, LazySamplingPhasesProgress)
+{
+    const trace::TaskTrace t = uniformTrace(300);
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+
+    // Warmup: W=2 per thread = 8; then sampling fills H=4; the rest
+    // fast-forwards.
+    EXPECT_GE(out.stats.warmupTasks, 8u);
+    EXPECT_GE(out.stats.sampleTasks, 4u);
+    EXPECT_GT(out.stats.fastTasks, 200u);
+    EXPECT_EQ(out.stats.warmupTasks + out.stats.sampleTasks +
+                  out.stats.fastTasks,
+              300u);
+    // Lazy: no periodic resampling on a uniform workload.
+    EXPECT_EQ(out.stats.resamplesPeriod, 0u);
+    // Phase log starts with warmup and reaches fast.
+    ASSERT_GE(out.phaseLog.size(), 3u);
+    EXPECT_EQ(static_cast<int>(out.phaseLog[0].to),
+              static_cast<int>(Phase::Warmup));
+}
+
+TEST(TaskPointController, PeriodicPolicyResamples)
+{
+    const trace::TaskTrace t = uniformTrace(600);
+    SamplingParams p = SamplingParams::periodic(20);
+    const harness::SampledOutcome out =
+        harness::runSampled(t, spec(4), p);
+    EXPECT_GE(out.stats.resamplesPeriod, 2u);
+    // Periodic must simulate more tasks in detail than lazy.
+    const harness::SampledOutcome lazy_out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+    EXPECT_GT(out.stats.warmupTasks + out.stats.sampleTasks,
+              lazy_out.stats.warmupTasks +
+                  lazy_out.stats.sampleTasks);
+}
+
+TEST(TaskPointController, LargePeriodDegeneratesToLazy)
+{
+    const trace::TaskTrace t = uniformTrace(300);
+    const harness::SampledOutcome per = harness::runSampled(
+        t, spec(4), SamplingParams::periodic(100000));
+    const harness::SampledOutcome lazy_out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+    EXPECT_EQ(per.stats.resamplesPeriod, 0u);
+    EXPECT_EQ(per.result.totalCycles, lazy_out.result.totalCycles);
+}
+
+TEST(TaskPointController, NewTypeTriggersResample)
+{
+    // Type B first appears long after sampling finished.
+    trace::TraceBuilder b("late-type", 13);
+    trace::KernelProfile k;
+    const auto ta = b.addTaskType("a", k);
+    const auto tb = b.addTaskType("b", k);
+    for (int i = 0; i < 200; ++i)
+        b.createTask(ta, 4000);
+    b.barrier();
+    for (int i = 0; i < 50; ++i)
+        b.createTask(tb, 4000);
+    const trace::TaskTrace t = b.build();
+
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+    EXPECT_GE(out.stats.resamplesNewType, 1u);
+}
+
+TEST(TaskPointController, ConcurrencyChangeTriggersResample)
+{
+    // Parallelism collapses from wide to a serial chain.
+    trace::TraceBuilder b("narrowing", 17);
+    trace::KernelProfile k;
+    const auto ty = b.addTaskType("t", k);
+    for (int i = 0; i < 300; ++i)
+        b.createTask(ty, 4000);
+    b.barrier();
+    TaskInstanceId prev = b.createTask(ty, 4000);
+    for (int i = 0; i < 60; ++i) {
+        const TaskInstanceId cur = b.createTask(ty, 4000);
+        b.addDependency(prev, cur);
+        prev = cur;
+    }
+    const trace::TaskTrace t = b.build();
+
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(8), SamplingParams::lazy());
+    EXPECT_GE(out.stats.resamplesConcurrency, 1u);
+}
+
+TEST(TaskPointController, RareTypeUsesAllHistoryFallback)
+{
+    // One dominant type plus a genuinely rare one (every ~60 tasks):
+    // sampling cuts off via R and the rare type fast-forwards on the
+    // all-samples history without endless resampling.
+    trace::TraceBuilder b("rare", 19);
+    trace::KernelProfile k;
+    const auto dom = b.addTaskType("dominant", k);
+    const auto rare = b.addTaskType("rare", k);
+    for (int i = 0; i < 600; ++i) {
+        b.createTask(dom, 4000);
+        if (i % 60 == 30)
+            b.createTask(rare, 4000);
+    }
+    const trace::TaskTrace t = b.build();
+
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+    // The rare type cannot stall sampling forever.
+    EXPECT_GT(out.stats.fastTasks, 300u);
+    // And at most a couple of new-type resamples for it.
+    EXPECT_LE(out.stats.resamplesNewType, 2u);
+}
+
+TEST(TaskPointController, AllTasksAccountedInExactlyOneBucket)
+{
+    const trace::TaskTrace t = uniformTrace(250);
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(3), SamplingParams::periodic(25));
+    EXPECT_EQ(out.stats.warmupTasks + out.stats.sampleTasks +
+                  out.stats.fastTasks,
+              250u);
+}
+
+TEST(TaskPointController, ZeroWarmupIsAllowed)
+{
+    const trace::TaskTrace t = uniformTrace(200);
+    SamplingParams p = SamplingParams::lazy();
+    p.warmup = 0;
+    const harness::SampledOutcome out =
+        harness::runSampled(t, spec(4), p);
+    EXPECT_GT(out.stats.fastTasks, 100u);
+}
+
+TEST(TaskPointController, SampledTimeTracksReference)
+{
+    const trace::TaskTrace t = uniformTrace(400);
+    const sim::SimResult ref = harness::runDetailed(t, spec(4));
+    const harness::SampledOutcome out = harness::runSampled(
+        t, spec(4), SamplingParams::lazy());
+    const harness::ErrorSpeedup es =
+        harness::compare(ref, out.result);
+    EXPECT_LT(es.errorPct, 5.0);
+    EXPECT_LT(es.detailFraction, 0.25);
+}
+
+/**
+ * Property sweep: on a uniform workload the controller must stay
+ * accurate for every (W, H, policy, threads) combination.
+ */
+class SamplingPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::size_t, std::uint64_t,
+                     std::uint32_t>>
+{
+};
+
+TEST_P(SamplingPropertyTest, UniformWorkloadStaysAccurate)
+{
+    const auto [w, h, period, threads] = GetParam();
+    const trace::TaskTrace t = uniformTrace(400);
+    SamplingParams p;
+    p.warmup = w;
+    p.historySize = h;
+    p.period = period == 0 ? kInfinitePeriod : period;
+
+    const sim::SimResult ref = harness::runDetailed(t, spec(threads));
+    const harness::SampledOutcome out =
+        harness::runSampled(t, spec(threads), p);
+    const harness::ErrorSpeedup es =
+        harness::compare(ref, out.result);
+    // Without warmup the paper itself reports ~8-10% error (Fig. 6a:
+    // cold samples are not representative); with W >= 1 the model
+    // must stay accurate.
+    const double bound = w == 0 ? 25.0 : 8.0;
+    EXPECT_LT(es.errorPct, bound)
+        << "W=" << w << " H=" << h << " P=" << period
+        << " threads=" << threads;
+    EXPECT_LT(es.detailFraction, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, SamplingPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4),   // W
+                       ::testing::Values(1, 4, 8),      // H
+                       ::testing::Values(0, 50, 250),   // P (0 = inf)
+                       ::testing::Values(2, 8)));       // threads
+
+} // namespace
+} // namespace tp::sampling

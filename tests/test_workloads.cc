@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Parameterized tests over all 19 workload generators: structural
+ * fidelity to Table I (type counts, instance counts), trace validity,
+ * determinism and scaling behaviour; plus targeted checks of the
+ * benchmark-specific properties the paper calls out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::work {
+namespace {
+
+class WorkloadStructureTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static WorkloadParams
+    params(double scale = 0.125)
+    {
+        WorkloadParams p;
+        p.scale = scale;
+        p.seed = 42;
+        return p;
+    }
+};
+
+TEST_P(WorkloadStructureTest, TypeCountMatchesTableOne)
+{
+    const WorkloadInfo &info = workloadByName(GetParam());
+    const trace::TaskTrace t = info.generate(params());
+    EXPECT_EQ(t.types().size(), info.paperTaskTypes)
+        << info.name << " must expose the paper's task-type count";
+}
+
+TEST_P(WorkloadStructureTest, InstanceCountTracksScale)
+{
+    const WorkloadInfo &info = workloadByName(GetParam());
+    const trace::TaskTrace t = info.generate(params());
+    // Within 2x of paper_count * scale (structure rounding and
+    // structural floors allowed), and never above the paper count.
+    EXPECT_LE(t.size(), info.paperInstances + 64);
+    EXPECT_GE(t.size(),
+              std::min<std::size_t>(info.paperInstances, 192));
+}
+
+TEST_P(WorkloadStructureTest, TraceValidates)
+{
+    const trace::TaskTrace t =
+        workloadByName(GetParam()).generate(params());
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_GT(t.totalInstructions(), 0u);
+}
+
+TEST_P(WorkloadStructureTest, DeterministicForSameSeed)
+{
+    const WorkloadInfo &info = workloadByName(GetParam());
+    const trace::TaskTrace a = info.generate(params());
+    const trace::TaskTrace b = info.generate(params());
+    ASSERT_EQ(a.size(), b.size());
+    for (TaskInstanceId i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.instance(i).seed, b.instance(i).seed);
+        EXPECT_EQ(a.instance(i).instCount, b.instance(i).instCount);
+        EXPECT_EQ(a.instance(i).type, b.instance(i).type);
+    }
+}
+
+TEST_P(WorkloadStructureTest, DifferentSeedsChangeInstances)
+{
+    const WorkloadInfo &info = workloadByName(GetParam());
+    WorkloadParams p1 = params(), p2 = params();
+    p2.seed = 4711;
+    const trace::TaskTrace a = info.generate(p1);
+    const trace::TaskTrace b = info.generate(p2);
+    bool any_diff = false;
+    for (TaskInstanceId i = 0;
+         i < std::min(a.size(), b.size()) && !any_diff; ++i) {
+        any_diff = a.instance(i).seed != b.instance(i).seed;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_P(WorkloadStructureTest, InstrScaleGrowsTasks)
+{
+    const WorkloadInfo &info = workloadByName(GetParam());
+    WorkloadParams p1 = params();
+    WorkloadParams p2 = params();
+    p2.instrScale = 2.0;
+    const auto t1 = info.generate(p1).totalInstructions();
+    const auto t2 = info.generate(p2).totalInstructions();
+    EXPECT_GT(double(t2), 1.5 * double(t1));
+}
+
+TEST_P(WorkloadStructureTest, EveryTypeIsInstantiated)
+{
+    const trace::TaskTrace t =
+        workloadByName(GetParam()).generate(params());
+    std::set<TaskTypeId> used;
+    for (const trace::TaskInstance &ti : t.instances())
+        used.insert(ti.type);
+    EXPECT_EQ(used.size(), t.types().size())
+        << "declared task types must all occur as instances";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNineteen, WorkloadStructureTest,
+    ::testing::Values(
+        "2d-convolution", "3d-stencil", "atomic-monte-carlo-dynamics",
+        "dense-matrix-multiplication", "histogram", "n-body",
+        "reduction", "sparse-matrix-vector-multiplication",
+        "vector-operation", "checkSparseLU", "cholesky", "kmeans",
+        "knn", "blackscholes", "bodytrack", "canneal", "dedup",
+        "freqmine", "swaptions"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(WorkloadRegistry, HasAllNineteenInTableOrder)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 19u);
+    EXPECT_EQ(all.front().name, "2d-convolution");
+    EXPECT_EQ(all.back().name, "swaptions");
+    EXPECT_EQ(all[9].name, "checkSparseLU");
+}
+
+TEST(WorkloadRegistry, PaperCountsMatchTableOne)
+{
+    EXPECT_EQ(workloadByName("cholesky").paperInstances, 19600u);
+    EXPECT_EQ(workloadByName("cholesky").paperTaskTypes, 4u);
+    EXPECT_EQ(workloadByName("checkSparseLU").paperInstances, 22058u);
+    EXPECT_EQ(workloadByName("checkSparseLU").paperTaskTypes, 11u);
+    EXPECT_EQ(workloadByName("freqmine").paperInstances, 1932u);
+    EXPECT_EQ(workloadByName("freqmine").paperTaskTypes, 7u);
+    EXPECT_EQ(
+        workloadByName("sparse-matrix-vector-multiplication")
+            .paperInstances,
+        1024u);
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(workloadByName("does-not-exist"), SimError);
+}
+
+TEST(WorkloadProperties, FreqmineHasExtremeSizeImbalance)
+{
+    // Paper Section V-B: dominant type spans 490..11M instructions.
+    const trace::TaskTrace t =
+        generateWorkload("freqmine", WorkloadParams{});
+    const trace::TraceStats s = t.stats();
+    EXPECT_GT(double(s.maxInstPerTask) / double(s.minInstPerTask),
+              100.0);
+}
+
+TEST(WorkloadProperties, DedupHasSevenFoldHashRange)
+{
+    const trace::TaskTrace t =
+        generateWorkload("dedup", WorkloadParams{});
+    // Find the dominant (hash) type and check its dynamic range.
+    InstCount mn = ~InstCount{0}, mx = 0;
+    for (const trace::TaskInstance &ti : t.instances()) {
+        if (t.type(ti.type).name != "hash_chunk")
+            continue;
+        mn = std::min(mn, ti.instCount);
+        mx = std::max(mx, ti.instCount);
+    }
+    EXPECT_GT(double(mx) / double(mn), 4.0);
+}
+
+TEST(WorkloadProperties, ReductionParallelismDecreases)
+{
+    const trace::TaskTrace t =
+        generateWorkload("reduction", WorkloadParams{});
+    // The dependency DAG must narrow: the last task depends
+    // (transitively) on everything, i.e. it has in-degree > 1 and no
+    // successors.
+    const TaskInstanceId last = t.size() - 1;
+    EXPECT_TRUE(t.successors(last).empty());
+    EXPECT_GE(t.inDegree(last), 2u);
+}
+
+TEST(WorkloadProperties, CholeskyCountFormulaExact)
+{
+    // N + N(N-1) + N(N-1)(N-2)/6 tasks for N tiles; at full scale the
+    // paper's 19600 corresponds to N=48.
+    WorkloadParams p;
+    p.scale = 1.0;
+    const trace::TaskTrace t = generateWorkload("cholesky", p);
+    EXPECT_EQ(t.size(), 19600u);
+}
+
+TEST(WorkloadProperties, MonteCarloIsEmbarrassinglyParallel)
+{
+    const trace::TaskTrace t = generateWorkload(
+        "atomic-monte-carlo-dynamics", WorkloadParams{});
+    for (TaskInstanceId i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.inDegree(i), 0u);
+}
+
+TEST(WorkloadProperties, StencilHasWavefrontDependencies)
+{
+    const trace::TaskTrace t =
+        generateWorkload("3d-stencil", WorkloadParams{});
+    // No barriers, but later timesteps depend on earlier ones.
+    EXPECT_EQ(t.numEpochs(), 1u);
+    std::size_t deps = 0;
+    for (TaskInstanceId i = 0; i < t.size(); ++i)
+        deps += t.inDegree(i);
+    EXPECT_GT(deps, t.size()); // ~5 predecessors per interior block
+}
+
+TEST(WorkloadProperties, DedupWritesAreSerialized)
+{
+    const trace::TaskTrace t =
+        generateWorkload("dedup", WorkloadParams{});
+    // Every write_out except the first depends on the previous one:
+    // in-degree >= 2 (its compress + the previous write).
+    std::size_t writes = 0, chained = 0;
+    for (const trace::TaskInstance &ti : t.instances()) {
+        if (t.type(ti.type).name != "write_out")
+            continue;
+        ++writes;
+        chained += t.inDegree(ti.id) >= 2 ? 1 : 0;
+    }
+    EXPECT_GE(writes, 10u);
+    EXPECT_EQ(chained, writes - 1);
+}
+
+} // namespace
+} // namespace tp::work
