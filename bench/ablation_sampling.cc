@@ -53,7 +53,8 @@ int
 main(int argc, char **argv)
 {
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv);
+        bench::parseFigureOptions(argc, argv,
+                                  /*supportsJobs=*/false);
 
     work::WorkloadParams wp;
     wp.scale = opts.scale;

@@ -19,6 +19,7 @@
 #include "common/logging.hh"
 #include "common/statistics.hh"
 #include "common/table.hh"
+#include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
 
 namespace tp::bench {
@@ -30,19 +31,31 @@ struct FigureOptions
     double instrScale = 1.0;
     std::uint64_t seed = 42;
     std::vector<std::string> benchmarks; //!< empty = all 19
+    std::size_t jobs = 1; //!< simulation worker threads (--jobs)
 };
 
-/** Parse the common CLI surface of a figure bench. */
+/**
+ * Parse the common CLI surface of a figure bench.
+ *
+ * @param supportsJobs whether the driver fans work over BatchRunner;
+ *        drivers that still run serially must pass false so `--jobs`
+ *        is rejected instead of silently ignored.
+ */
 inline FigureOptions
-parseFigureOptions(int argc, char **argv)
+parseFigureOptions(int argc, char **argv, bool supportsJobs = true)
 {
-    const CliArgs args(argc, argv,
-                       {"scale", "instr-scale", "seed", "benchmarks"});
+    std::vector<std::string> allowed = {"scale", "instr-scale",
+                                        "seed", "benchmarks"};
+    if (supportsJobs)
+        allowed.push_back(kJobsOption);
+    const CliArgs args(argc, argv, allowed);
     FigureOptions o;
     o.scale = args.getDouble("scale", o.scale);
     o.instrScale = args.getDouble("instr-scale", o.instrScale);
     o.seed = args.getUint("seed", o.seed);
     o.benchmarks = args.getList("benchmarks", {});
+    if (supportsJobs)
+        o.jobs = jobsFlag(args, o.jobs);
     return o;
 }
 
@@ -81,23 +94,40 @@ runErrorSpeedupFigure(const std::string &title,
 
     std::map<std::uint32_t, std::vector<double>> all_err, all_spd;
 
-    for (const std::string &name : selectedWorkloads(opts)) {
-        const trace::TaskTrace t = work::generateWorkload(name, wp);
+    // One Both-mode job per (workload, thread count). Traces are
+    // immutable and depend only on (name, wp), so one per workload
+    // is generated up front and shared by all of its jobs.
+    const std::vector<std::string> names = selectedWorkloads(opts);
+    std::map<std::string, trace::TaskTrace> traces;
+    for (const std::string &name : names)
+        traces.emplace(name, work::generateWorkload(name, wp));
+    std::vector<harness::BatchJob> batch;
+    for (const std::string &name : names) {
+        for (std::uint32_t threads : thread_counts) {
+            harness::BatchJob j;
+            j.label = name + " @" + std::to_string(threads) + "t";
+            j.trace = &traces.at(name);
+            j.spec.arch = arch;
+            j.spec.threads = threads;
+            j.sampling = params;
+            j.mode = harness::BatchMode::Both;
+            batch.push_back(j);
+        }
+    }
+    harness::BatchOptions bo;
+    bo.jobs = opts.jobs;
+    bo.deriveSeeds = false;
+    bo.progress = true;
+    const std::vector<harness::BatchResult> results =
+        harness::BatchRunner(bo).run(batch);
+
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
         std::vector<std::string> erow = {name};
         std::vector<std::string> srow = {name};
         for (std::uint32_t threads : thread_counts) {
-            harness::RunSpec spec;
-            spec.arch = arch;
-            spec.threads = threads;
-            harness::progress(name + " @" + std::to_string(threads) +
-                              "t: reference");
-            const sim::SimResult ref = harness::runDetailed(t, spec);
-            harness::progress(name + " @" + std::to_string(threads) +
-                              "t: sampled");
-            const harness::SampledOutcome sam =
-                harness::runSampled(t, spec, params);
-            const harness::ErrorSpeedup es =
-                harness::compare(ref, sam.result);
+            const harness::ErrorSpeedup &es =
+                *results[idx++].comparison;
             erow.push_back(fmtDouble(es.errorPct, 2));
             srow.push_back(fmtDouble(es.wallSpeedup, 1));
             all_err[threads].push_back(es.errorPct);
@@ -124,6 +154,14 @@ runErrorSpeedupFigure(const std::string &title,
     errors.print();
     std::printf("\n");
     speedups.print();
+    if (opts.jobs > 1) {
+        std::printf("note: speedups are host wall-clock ratios; with "
+                    "--jobs=%zu concurrent simulations contend for "
+                    "cores and distort them — rerun with --jobs=1 "
+                    "for quotable speedup numbers (error columns are "
+                    "unaffected).\n",
+                    opts.jobs);
+    }
 }
 
 } // namespace tp::bench

@@ -19,7 +19,8 @@ main(int argc, char **argv)
 {
     using namespace tp;
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv);
+        bench::parseFigureOptions(argc, argv,
+                                  /*supportsJobs=*/false);
 
     work::WorkloadParams wp;
     wp.scale = opts.scale;

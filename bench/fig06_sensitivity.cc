@@ -8,6 +8,13 @@
  *   (a) warmup interval W in [0, 10], with H=10, P=inf
  *   (b) history size H in [1, 10], with W=2, P=inf
  *   (c) sampling period P in [10, 1000], with W=2, H=4
+ *
+ * The detailed references are computed once as a parallel batch; the
+ * 21 sweep points then fan all their sampled runs into one batch, so
+ * `--jobs=N` parallelizes the whole figure. Results are keyed by
+ * submission index, so the cycle-derived columns (avg error) are
+ * identical for any N; the avg-speedup columns are host wall-clock
+ * ratios and vary with worker contention.
  */
 
 #include <cstdio>
@@ -31,28 +38,12 @@ struct SweepPoint
     double avgSpeedup = 0.0;
 };
 
-/** Average error/speedup of one parameter set over all runs. */
-SweepPoint
-evaluate(const std::map<std::pair<std::string, std::uint32_t>,
-                        sim::SimResult> &refs,
-         const std::map<std::pair<std::string, std::uint32_t>,
-                        trace::TaskTrace> &traces,
-         const sampling::SamplingParams &params)
+/** One parameter set of one sub-figure sweep. */
+struct SweepEntry
 {
-    std::vector<double> errs, spds;
-    for (const auto &[key, ref] : refs) {
-        harness::RunSpec spec;
-        spec.arch = cpu::highPerformanceConfig();
-        spec.threads = key.second;
-        const harness::SampledOutcome sam =
-            harness::runSampled(traces.at(key), spec, params);
-        const harness::ErrorSpeedup es =
-            harness::compare(ref, sam.result);
-        errs.push_back(es.errorPct);
-        spds.push_back(es.wallSpeedup);
-    }
-    return SweepPoint{mean(errs), mean(spds)};
-}
+    std::string label;
+    sampling::SamplingParams params;
+};
 
 } // namespace
 
@@ -67,69 +58,114 @@ main(int argc, char **argv)
     wp.instrScale = opts.instrScale;
     wp.seed = opts.seed;
 
-    // Shared detailed references.
-    std::map<std::pair<std::string, std::uint32_t>, trace::TaskTrace>
-        traces;
-    std::map<std::pair<std::string, std::uint32_t>, sim::SimResult>
-        refs;
+    // Traces are immutable and identical across thread counts, so
+    // one per benchmark is shared by all runs below.
+    std::map<std::string, trace::TaskTrace> traces;
+    for (const std::string &name : kSensitiveBenchmarks)
+        traces.emplace(name, work::generateWorkload(name, wp));
+
+    harness::BatchOptions bo;
+    bo.jobs = opts.jobs;
+    bo.deriveSeeds = false;
+    bo.progress = true;
+
+    // Shared detailed references: one Reference-mode job per
+    // (benchmark, thread count).
+    std::vector<harness::BatchJob> refJobs;
     for (const std::string &name : kSensitiveBenchmarks) {
         for (std::uint32_t t : kThreads) {
-            const auto key = std::make_pair(name, t);
-            traces.emplace(key, work::generateWorkload(name, wp));
-            harness::RunSpec spec;
-            spec.arch = cpu::highPerformanceConfig();
-            spec.threads = t;
-            harness::progress(name + " @" + std::to_string(t) +
-                              "t: reference");
-            refs.emplace(key,
-                         harness::runDetailed(traces.at(key), spec));
+            harness::BatchJob j;
+            j.label = name + " @" + std::to_string(t) + "t reference";
+            j.trace = &traces.at(name);
+            j.spec.arch = cpu::highPerformanceConfig();
+            j.spec.threads = t;
+            j.mode = harness::BatchMode::Reference;
+            refJobs.push_back(j);
         }
     }
+    harness::progress("computing detailed references");
+    const std::vector<harness::BatchResult> refResults =
+        harness::BatchRunner(bo).run(refJobs);
 
-    // (a) Warmup interval W.
-    TextTable ta("Fig. 6a: error/speedup vs warmup interval W "
-                 "(H=10, P=inf; avg of 32 and 64 threads)");
-    ta.setHeader({"W", "avg error [%]", "avg speedup"});
+    // The three parameter sweeps of Fig. 6.
+    std::vector<SweepEntry> sweeps;
+    std::size_t sweepCounts[3] = {0, 0, 0};
     for (std::uint64_t w : {0, 1, 2, 4, 6, 8, 10}) {
         sampling::SamplingParams p = sampling::SamplingParams::lazy();
         p.warmup = w;
         p.historySize = 10;
-        harness::progress("sweep W=" + std::to_string(w));
-        const SweepPoint s = evaluate(refs, traces, p);
-        ta.addRow({std::to_string(w), fmtDouble(s.avgError, 2),
-                   fmtDouble(s.avgSpeedup, 1)});
+        sweeps.push_back({std::to_string(w), p});
+        ++sweepCounts[0];
     }
-    ta.print();
-    std::printf("\n");
-
-    // (b) History size H.
-    TextTable tb("Fig. 6b: error/speedup vs history size H "
-                 "(W=2, P=inf; avg of 32 and 64 threads)");
-    tb.setHeader({"H", "avg error [%]", "avg speedup"});
     for (std::size_t h : {1, 2, 3, 4, 6, 8, 10}) {
         sampling::SamplingParams p = sampling::SamplingParams::lazy();
         p.warmup = 2;
         p.historySize = h;
-        harness::progress("sweep H=" + std::to_string(h));
-        const SweepPoint s = evaluate(refs, traces, p);
-        tb.addRow({std::to_string(h), fmtDouble(s.avgError, 2),
-                   fmtDouble(s.avgSpeedup, 1)});
+        sweeps.push_back({std::to_string(h), p});
+        ++sweepCounts[1];
     }
-    tb.print();
-    std::printf("\n");
-
-    // (c) Sampling period P.
-    TextTable tc("Fig. 6c: error/speedup vs sampling period P "
-                 "(W=2, H=4; avg of 32 and 64 threads)");
-    tc.setHeader({"P", "avg error [%]", "avg speedup"});
     for (std::uint64_t per : {10, 25, 50, 100, 250, 500, 1000}) {
-        sampling::SamplingParams p =
-            sampling::SamplingParams::periodic(per);
-        harness::progress("sweep P=" + std::to_string(per));
-        const SweepPoint s = evaluate(refs, traces, p);
-        tc.addRow({std::to_string(per), fmtDouble(s.avgError, 2),
-                   fmtDouble(s.avgSpeedup, 1)});
+        sweeps.push_back({std::to_string(per),
+                          sampling::SamplingParams::periodic(per)});
+        ++sweepCounts[2];
     }
-    tc.print();
+
+    // Fan every (sweep point, benchmark, thread count) sampled run
+    // into one batch; job order mirrors the refResults order within
+    // each sweep point.
+    std::vector<harness::BatchJob> samJobs;
+    for (const SweepEntry &s : sweeps) {
+        for (const harness::BatchJob &ref : refJobs) {
+            harness::BatchJob j = ref;
+            j.label = ref.label + " sweep " + s.label;
+            j.sampling = s.params;
+            j.mode = harness::BatchMode::Sampled;
+            samJobs.push_back(j);
+        }
+    }
+    harness::progress(
+        strprintf("running %zu sampled simulations (%zu jobs)",
+                  samJobs.size(), bo.jobs));
+    const std::vector<harness::BatchResult> samResults =
+        harness::BatchRunner(bo).run(samJobs);
+
+    // Aggregate per sweep point against the shared references.
+    std::vector<SweepPoint> points;
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        std::vector<double> errs, spds;
+        for (std::size_t r = 0; r < refJobs.size(); ++r) {
+            const sim::SimResult &ref = *refResults[r].reference;
+            const harness::SampledOutcome &sam =
+                *samResults[s * refJobs.size() + r].sampled;
+            const harness::ErrorSpeedup es =
+                harness::compare(ref, sam.result);
+            errs.push_back(es.errorPct);
+            spds.push_back(es.wallSpeedup);
+        }
+        points.push_back(SweepPoint{mean(errs), mean(spds)});
+    }
+
+    const char *titles[3] = {
+        "Fig. 6a: error/speedup vs warmup interval W "
+        "(H=10, P=inf; avg of 32 and 64 threads)",
+        "Fig. 6b: error/speedup vs history size H "
+        "(W=2, P=inf; avg of 32 and 64 threads)",
+        "Fig. 6c: error/speedup vs sampling period P "
+        "(W=2, H=4; avg of 32 and 64 threads)"};
+    const char *columns[3] = {"W", "H", "P"};
+
+    std::size_t at = 0;
+    for (int f = 0; f < 3; ++f) {
+        TextTable t(titles[f]);
+        t.setHeader({columns[f], "avg error [%]", "avg speedup"});
+        for (std::size_t i = 0; i < sweepCounts[f]; ++i, ++at) {
+            t.addRow({sweeps[at].label,
+                      fmtDouble(points[at].avgError, 2),
+                      fmtDouble(points[at].avgSpeedup, 1)});
+        }
+        t.print();
+        if (f != 2)
+            std::printf("\n");
+    }
     return 0;
 }

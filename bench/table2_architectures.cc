@@ -4,13 +4,21 @@
  * and low-power configurations used for model validation, as realized
  * by this reproduction (plus the DRAM/interconnect parameters the
  * paper leaves unspecified; see DESIGN.md).
+ *
+ * With `--validate` the driver additionally exercises both
+ * configurations: a batch of reference + sampled simulations per
+ * (architecture, thread count) runs across the worker pool
+ * (`--jobs=N|auto`) and the per-run error/speedup summary is printed
+ * below the parameter table.
  */
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/arch_config.hh"
+#include "harness/batch_runner.hh"
 
 namespace {
 
@@ -28,9 +36,20 @@ cacheDesc(const tp::mem::CacheConfig &c, bool shared)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tp;
+    const CliArgs args(argc, argv,
+                       {"validate", "workload", "scale", "threads",
+                        kJobsOption});
+    if (!args.has("validate")) {
+        for (const char *opt :
+             {"workload", "scale", "threads", kJobsOption}) {
+            if (args.has(opt))
+                fatal("--%s only applies together with --validate",
+                      opt);
+        }
+    }
     const cpu::ArchConfig hp = cpu::highPerformanceConfig();
     const cpu::ArchConfig lp = cpu::lowPowerConfig();
 
@@ -67,5 +86,54 @@ main()
               std::to_string(hp.memory.dram.servicePeriod),
               std::to_string(lp.memory.dram.servicePeriod)});
     t.print();
+
+    if (args.has("validate")) {
+        const std::string name =
+            args.getString("workload", "cholesky");
+        work::WorkloadParams wp;
+        wp.scale = args.getDouble("scale", 0.0625);
+        const trace::TaskTrace trace =
+            work::generateWorkload(name, wp);
+
+        std::vector<harness::BatchJob> batch;
+        const struct
+        {
+            const char *label;
+            const cpu::ArchConfig *arch;
+        } archs[] = {{"high-perf", &hp}, {"low-power", &lp}};
+        for (const auto &a : archs) {
+            for (std::uint32_t threads :
+                 args.has("threads")
+                     ? std::vector<std::uint32_t>{
+                           static_cast<std::uint32_t>(
+                               args.getUint("threads", 16))}
+                     : std::vector<std::uint32_t>{16, 32}) {
+                harness::BatchJob j;
+                j.label = strprintf("%s %s @%ut", a.label,
+                                    name.c_str(), threads);
+                j.trace = &trace;
+                j.spec.arch = *a.arch;
+                j.spec.threads = threads;
+                j.sampling = sampling::SamplingParams::lazy();
+                j.mode = harness::BatchMode::Both;
+                batch.push_back(j);
+            }
+        }
+
+        harness::BatchOptions bo;
+        bo.jobs = jobsFlag(args, 1);
+        bo.deriveSeeds = false;
+        const std::vector<harness::BatchResult> results =
+            harness::BatchRunner(bo).run(batch);
+
+        std::printf("\n");
+        harness::batchSummaryTable(
+            "model validation (lazy sampling vs detailed reference)",
+            results)
+            .print();
+        const RunningStats err = harness::batchErrorStats(results);
+        std::printf("error over %zu runs: mean %.2f%%, max %.2f%%\n",
+                    err.count(), err.mean(), err.max());
+    }
     return 0;
 }

@@ -6,13 +6,15 @@
  * slower periodic policy.
  *
  *   ./design_space_exploration [--workload=cholesky] [--threads=16]
- *                              [--scale=0.0625]
+ *                              [--scale=0.0625] [--jobs=N|auto]
  *
  * The exploration sweeps ROB size and L2 capacity around the
  * high-performance configuration, ranks the variants by predicted
  * execution time under lazy sampling, and re-evaluates the best
  * variant with periodic sampling (P=250) as the paper's suggested
- * second phase.
+ * second phase. All variants are independent simulations, so phase 1
+ * fans out across a worker pool (--jobs); predicted cycles are
+ * bit-identical for any worker count.
  */
 
 #include <algorithm>
@@ -22,6 +24,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
 
 using namespace tp;
@@ -29,80 +32,80 @@ using namespace tp;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv, {"workload", "threads", "scale"});
+    const CliArgs args(argc, argv,
+                       {"workload", "threads", "scale", kJobsOption});
     const std::string name = args.getString("workload", "cholesky");
     const auto threads =
         static_cast<std::uint32_t>(args.getUint("threads", 16));
+    const std::size_t jobs = jobsFlag(args, 1);
 
     work::WorkloadParams wp;
     wp.scale = args.getDouble("scale", 0.0625);
     const trace::TaskTrace t = work::generateWorkload(name, wp);
 
-    struct Variant
-    {
-        std::string label;
-        cpu::ArchConfig arch;
-        Cycles predicted = 0;
-        double wall = 0.0;
-    };
-
-    std::vector<Variant> variants;
+    // Phase 1: lazy sampling across the whole space, in parallel.
+    std::vector<harness::BatchJob> batch;
     for (std::uint32_t rob : {96u, 168u, 256u}) {
         for (std::uint64_t l2kb : {1024u, 2048u, 4096u}) {
-            cpu::ArchConfig a = cpu::highPerformanceConfig();
-            a.core.robSize = rob;
-            a.memory.l2.sizeBytes = l2kb * 1024;
-            Variant v;
-            v.label = strprintf("rob=%u l2=%lluKiB", rob,
+            harness::BatchJob j;
+            j.label = strprintf("rob=%u l2=%lluKiB", rob,
                                 static_cast<unsigned long long>(
                                     l2kb));
-            v.arch = a;
-            variants.push_back(v);
+            j.trace = &t;
+            j.spec.arch = cpu::highPerformanceConfig();
+            j.spec.arch.core.robSize = rob;
+            j.spec.arch.memory.l2.sizeBytes = l2kb * 1024;
+            j.spec.threads = threads;
+            j.sampling = sampling::SamplingParams::lazy();
+            batch.push_back(j);
         }
     }
 
-    // Phase 1: lazy sampling across the whole space.
     std::printf("phase 1: lazy sampling over %zu variants of %s "
-                "(%u threads)\n",
-                variants.size(), t.name().c_str(), threads);
-    for (Variant &v : variants) {
-        harness::RunSpec spec;
-        spec.arch = v.arch;
-        spec.threads = threads;
-        const harness::SampledOutcome out = harness::runSampled(
-            t, spec, sampling::SamplingParams::lazy());
-        v.predicted = out.result.totalCycles;
-        v.wall = out.result.wallSeconds;
-    }
-    std::sort(variants.begin(), variants.end(),
-              [](const Variant &a, const Variant &b) {
-                  return a.predicted < b.predicted;
-              });
+                "(%u threads, %zu jobs)\n",
+                batch.size(), t.name().c_str(), threads, jobs);
+    harness::BatchOptions opts;
+    opts.jobs = jobs;
+    // Keep every variant (and phase 2's confirmation rerun) on the
+    // workload's own seed rather than per-index derived ones.
+    opts.deriveSeeds = false;
+    const harness::BatchRunner runner(opts);
+    const std::vector<harness::BatchResult> results =
+        runner.run(batch);
+
+    std::vector<std::size_t> ranked(results.size());
+    for (std::size_t i = 0; i < ranked.size(); ++i)
+        ranked[i] = i;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&results](std::size_t a, std::size_t b) {
+                         return results[a].sampled->result.totalCycles <
+                                results[b].sampled->result.totalCycles;
+                     });
 
     TextTable table("predicted execution time (lazy sampling)");
     table.setHeader({"rank", "variant", "cycles", "host [s]"});
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        table.addRow({std::to_string(i + 1), variants[i].label,
-                      fmtCount(variants[i].predicted),
-                      fmtDouble(variants[i].wall, 2)});
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        const harness::BatchResult &r = results[ranked[i]];
+        table.addRow({std::to_string(i + 1), r.label,
+                      fmtCount(r.sampled->result.totalCycles),
+                      fmtDouble(r.sampled->result.wallSeconds, 2)});
     }
     table.print();
 
     // Phase 2: confirm the winner with periodic sampling.
-    const Variant &best = variants.front();
-    harness::RunSpec spec;
-    spec.arch = best.arch;
-    spec.threads = threads;
+    const harness::BatchResult &best = results[ranked.front()];
+    harness::RunSpec spec = batch[best.index].spec;
     const harness::SampledOutcome confirm = harness::runSampled(
         t, spec, sampling::SamplingParams::periodic(250));
+    const Cycles predicted = best.sampled->result.totalCycles;
     std::printf("\nphase 2: periodic confirmation of '%s': %s cycles "
                 "(lazy predicted %s, delta %.2f%%)\n",
                 best.label.c_str(),
                 fmtCount(confirm.result.totalCycles).c_str(),
-                fmtCount(best.predicted).c_str(),
+                fmtCount(predicted).c_str(),
                 100.0 *
                     (double(confirm.result.totalCycles) -
-                     double(best.predicted)) /
+                     double(predicted)) /
                     double(confirm.result.totalCycles));
     return 0;
 }

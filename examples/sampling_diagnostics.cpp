@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/statistics.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
@@ -94,7 +95,7 @@ main(int argc, char **argv)
     {
         std::vector<std::string> hdr = {"type"};
         for (int bkt = 0; bkt < 10; ++bkt)
-            hdr.push_back("b" + std::to_string(bkt));
+            hdr.push_back(strprintf("b%d", bkt));
         timeline.setHeader(hdr);
         std::map<TaskTypeId, std::vector<double>> series;
         for (const sim::TaskRecord &r : ref.tasks)
@@ -139,7 +140,7 @@ main(int argc, char **argv)
         TextTable applied_tl("sampled-run applied fast IPC timeline");
         std::vector<std::string> hdr = {"type"};
         for (int bkt = 0; bkt < 10; ++bkt)
-            hdr.push_back("b" + std::to_string(bkt));
+            hdr.push_back(strprintf("b%d", bkt));
         applied_tl.setHeader(hdr);
         std::map<TaskTypeId, std::vector<double>> series;
         for (const sim::TaskRecord &r : sam.result.tasks) {

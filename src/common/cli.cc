@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -104,6 +105,26 @@ CliArgs::getDouble(const std::string &name, double fallback) const
         fatal("option --%s expects a number, got '%s'",
               name.c_str(), it->second.c_str());
     return v;
+}
+
+const char *const kJobsOption = "jobs";
+
+std::size_t
+jobsFlag(const CliArgs &args, std::size_t fallback)
+{
+    if (!args.has(kJobsOption))
+        return fallback == 0 ? 1 : fallback;
+    std::size_t n;
+    if (args.getString(kJobsOption, "") == "auto")
+        n = 0;
+    else
+        n = static_cast<std::size_t>(args.getUint(kJobsOption, 1));
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    return n;
 }
 
 std::vector<std::string>

@@ -60,6 +60,18 @@ class CliArgs
 /** Split a string on a delimiter, dropping empty fields. */
 std::vector<std::string> splitString(const std::string &s, char delim);
 
+/** Canonical name of the worker-count option ("jobs"). */
+extern const char *const kJobsOption;
+
+/**
+ * Worker count from `--jobs=N` / `--jobs=auto`.
+ *
+ * `auto` (or 0) selects the host's hardware concurrency; absent means
+ * `fallback`. The binary must list kJobsOption among its allowed
+ * options.
+ */
+std::size_t jobsFlag(const CliArgs &args, std::size_t fallback = 1);
+
 } // namespace tp
 
 #endif // TP_COMMON_CLI_HH

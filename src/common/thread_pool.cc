@@ -1,0 +1,81 @@
+#include "common/thread_pool.hh"
+
+#include <stdexcept>
+
+namespace tp {
+
+ThreadPool::ThreadPool(std::size_t numWorkers)
+{
+    if (numWorkers == 0) {
+        numWorkers = std::thread::hardware_concurrency();
+        if (numWorkers == 0)
+            numWorkers = 1;
+    }
+    workers_.reserve(numWorkers);
+    for (std::size_t i = 0; i < numWorkers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+std::size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::runtime_error(
+                "ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // Exceptions propagate through the packaged_task's future;
+        // the worker itself never dies on a throwing job.
+        job();
+    }
+}
+
+} // namespace tp

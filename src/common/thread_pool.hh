@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with futures-based task submission.
+ *
+ * The pool is the execution substrate for running many *independent*
+ * simulations concurrently (see harness/batch_runner.hh): each
+ * submitted callable runs exactly once on one worker, its result (or
+ * exception) is delivered through the returned std::future, and
+ * shutdown joins every worker after the queue drains.
+ *
+ * Determinism contract: the pool itself introduces no randomness and
+ * imposes no ordering between tasks; any two tasks that do not share
+ * mutable state produce the same results regardless of worker count.
+ */
+
+#ifndef TP_COMMON_THREAD_POOL_HH
+#define TP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tp {
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `numWorkers` worker threads.
+     *
+     * @param numWorkers 0 selects std::thread::hardware_concurrency()
+     *                   (at least 1).
+     */
+    explicit ThreadPool(std::size_t numWorkers);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** @return tasks submitted but not yet started. */
+    std::size_t pending() const;
+
+    /**
+     * Submit a callable for asynchronous execution.
+     *
+     * @return future delivering the callable's return value; if the
+     *         callable throws, the exception is rethrown from
+     *         future::get() on the caller's thread.
+     * @throws std::runtime_error if the pool is shut down.
+     */
+    template <typename Fn, typename... Args>
+    std::future<std::invoke_result_t<std::decay_t<Fn>,
+                                     std::decay_t<Args>...>>
+    submit(Fn &&fn, Args &&...args)
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>,
+                                            std::decay_t<Args>...>;
+        // packaged_task is move-only but std::function requires a
+        // copyable callable, hence the shared_ptr indirection.
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            [fn = std::forward<Fn>(fn),
+             ... args = std::forward<Args>(args)]() mutable {
+                return std::invoke(std::move(fn), std::move(args)...);
+            });
+        std::future<Result> result = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return result;
+    }
+
+    /**
+     * Stop accepting work, run everything already queued, and join
+     * all workers. Idempotent; called implicitly by the destructor.
+     */
+    void shutdown();
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace tp
+
+#endif // TP_COMMON_THREAD_POOL_HH

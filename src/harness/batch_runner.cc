@@ -1,0 +1,128 @@
+#include "harness/batch_runner.hh"
+
+#include <chrono>
+#include <future>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace tp::harness {
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::uint64_t
+BatchRunner::jobSeed(std::uint64_t baseSeed, std::size_t index)
+{
+    // splitmix64 finalizer over (baseSeed, index); avalanches so
+    // consecutive indices yield uncorrelated seeds.
+    std::uint64_t z = baseSeed + 0x9e3779b97f4a7c15ULL *
+                                     (static_cast<std::uint64_t>(
+                                          index) +
+                                      1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+BatchResult
+BatchRunner::runJob(const BatchJob &job, std::size_t index) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    BatchJob j = job;
+    if (options_.deriveSeeds) {
+        const std::uint64_t seed = jobSeed(options_.baseSeed, index);
+        j.workloadParams.seed = seed;
+        j.spec.noise.seed = seed ^ 0x5eedULL;
+    }
+
+    // Generate on the worker when no shared trace was provided, so
+    // trace synthesis parallelizes with everything else.
+    trace::TaskTrace generated;
+    const trace::TaskTrace *trace = j.trace;
+    if (trace == nullptr) {
+        generated =
+            work::generateWorkload(j.workload, j.workloadParams);
+        trace = &generated;
+    }
+
+    BatchResult r;
+    r.index = index;
+    r.label = j.label;
+    if (j.mode == BatchMode::Reference || j.mode == BatchMode::Both)
+        r.reference = runDetailed(*trace, j.spec);
+    if (j.mode == BatchMode::Sampled || j.mode == BatchMode::Both)
+        r.sampled = runSampled(*trace, j.spec, j.sampling);
+    if (j.mode == BatchMode::Both)
+        r.comparison = compare(*r.reference, r.sampled->result);
+
+    r.hostSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (options_.progress)
+        progress(strprintf("job %zu/%s done (%.1fs)", index,
+                           r.label.c_str(), r.hostSeconds));
+    return r;
+}
+
+std::vector<BatchResult>
+BatchRunner::run(const std::vector<BatchJob> &jobs) const
+{
+    std::vector<std::future<BatchResult>> futures;
+    futures.reserve(jobs.size());
+    {
+        ThreadPool pool(options_.jobs);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            futures.push_back(pool.submit(
+                [this, &job = jobs[i], i] { return runJob(job, i); }));
+        // Collect in submission order while the pool is still alive;
+        // get() rethrows the first job exception on this thread.
+        std::vector<BatchResult> results;
+        results.reserve(jobs.size());
+        for (std::future<BatchResult> &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+}
+
+TextTable
+batchSummaryTable(const std::string &title,
+                  const std::vector<BatchResult> &results)
+{
+    TextTable t(title);
+    t.setHeader({"#", "label", "cycles", "detail frac", "error [%]",
+                 "speedup", "host [s]"});
+    for (const BatchResult &r : results) {
+        const sim::SimResult *primary =
+            r.sampled ? &r.sampled->result
+                      : (r.reference ? &*r.reference : nullptr);
+        t.addRow({std::to_string(r.index), r.label,
+                  primary ? fmtCount(primary->totalCycles) : "-",
+                  primary ? fmtDouble(primary->detailFraction(), 3)
+                          : "-",
+                  r.comparison ? fmtDouble(r.comparison->errorPct, 2)
+                               : "-",
+                  r.comparison
+                      ? fmtDouble(r.comparison->wallSpeedup, 1)
+                      : "-",
+                  fmtDouble(r.hostSeconds, 2)});
+    }
+    return t;
+}
+
+RunningStats
+batchErrorStats(const std::vector<BatchResult> &results)
+{
+    RunningStats stats;
+    for (const BatchResult &r : results) {
+        if (r.comparison)
+            stats.add(r.comparison->errorPct);
+    }
+    return stats;
+}
+
+} // namespace tp::harness

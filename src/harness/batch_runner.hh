@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Parallel experiment batches over the common/thread_pool.
+ *
+ * Every experiment in bench/ and examples/ reduces to a list of
+ * independent (architecture, workload, sampling-policy) simulations;
+ * BatchRunner fans such a list across a fixed-size worker pool and
+ * collects the results *in submission order*, so any report built
+ * from them is byte-identical no matter how many workers ran the
+ * batch.
+ *
+ * Determinism: each job's RNG seeds (workload synthesis and noise
+ * injection) are derived from (baseSeed, job index) alone — never
+ * from worker identity, scheduling order, or wall-clock time. The
+ * only per-run fields that may differ between `--jobs=1` and
+ * `--jobs=N` are host wall-clock measurements (SimResult::wallSeconds
+ * and BatchResult::hostSeconds).
+ */
+
+#ifndef TP_HARNESS_BATCH_RUNNER_HH
+#define TP_HARNESS_BATCH_RUNNER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statistics.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace tp::harness {
+
+/** What one batch job simulates. */
+enum class BatchMode : std::uint8_t {
+    Sampled,   //!< TaskPoint-sampled run only
+    Reference, //!< full-detailed reference only
+    Both,      //!< reference + sampled + error/speedup comparison
+};
+
+/** One independent simulation job. */
+struct BatchJob
+{
+    /** Human-readable tag used in reports. */
+    std::string label;
+    /**
+     * Pre-built trace to simulate (not owned; must outlive run()).
+     * TaskTrace is immutable, so many jobs may share one trace.
+     */
+    const trace::TaskTrace *trace = nullptr;
+    /** Workload generated on the worker when `trace` is null. */
+    std::string workload;
+    work::WorkloadParams workloadParams;
+
+    RunSpec spec;
+    sampling::SamplingParams sampling;
+    BatchMode mode = BatchMode::Sampled;
+};
+
+/** Outcome of one BatchJob, delivered in submission order. */
+struct BatchResult
+{
+    std::size_t index = 0;
+    std::string label;
+    std::optional<SampledOutcome> sampled;
+    std::optional<sim::SimResult> reference;
+    /** Present iff mode == Both. */
+    std::optional<ErrorSpeedup> comparison;
+    /** Host seconds the whole job spent on its worker. */
+    double hostSeconds = 0.0;
+};
+
+/** Batch-wide execution options. */
+struct BatchOptions
+{
+    /** Worker threads; 0 = hardware concurrency (see ThreadPool). */
+    std::size_t jobs = 1;
+    /** Base seed all per-job seeds derive from. */
+    std::uint64_t baseSeed = 42;
+    /**
+     * Overwrite each job's workloadParams.seed and noise seed with
+     * jobSeed(baseSeed, index). Disable to seed jobs manually.
+     */
+    bool deriveSeeds = true;
+    /** Emit one progress() line per finished job. */
+    bool progress = false;
+};
+
+/** See file comment. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchOptions options = {});
+
+    /**
+     * Run all jobs across the pool; blocks until every job finished.
+     *
+     * @return one BatchResult per job, in submission order. A job
+     *         that throws rethrows from here after the pool drained.
+     */
+    std::vector<BatchResult> run(const std::vector<BatchJob> &jobs)
+        const;
+
+    const BatchOptions &options() const { return options_; }
+
+    /**
+     * Deterministic per-job seed: a splitmix64-style mix of the base
+     * seed and the job index, independent of worker count.
+     */
+    static std::uint64_t jobSeed(std::uint64_t baseSeed,
+                                 std::size_t index);
+
+  private:
+    BatchResult runJob(const BatchJob &job, std::size_t index) const;
+
+    BatchOptions options_;
+};
+
+/**
+ * Render a batch as a TextTable: one row per job with predicted
+ * cycles, detailed-instruction fraction and, for Both-mode jobs, the
+ * error/speedup comparison ("-" where not applicable).
+ */
+TextTable batchSummaryTable(const std::string &title,
+                            const std::vector<BatchResult> &results);
+
+/** Accumulate errorPct of all Both-mode results (common/statistics). */
+RunningStats batchErrorStats(const std::vector<BatchResult> &results);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_BATCH_RUNNER_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests of the parallel experiment batch runner: ordered result
+ * collection, per-job deterministic seeding, exception propagation,
+ * and — the contract the whole design rests on — bit-identical
+ * reported statistics for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "harness/batch_runner.hh"
+
+namespace tp::harness {
+namespace {
+
+work::WorkloadParams
+tinyScale()
+{
+    work::WorkloadParams p;
+    p.scale = 0.02; // a handful of tasks per type: fast
+    p.seed = 42;
+    return p;
+}
+
+/** A small mixed batch over two workloads and two policies. */
+std::vector<BatchJob>
+smallBatch()
+{
+    std::vector<BatchJob> jobs;
+    for (const char *name : {"histogram", "vector-operation"}) {
+        for (bool lazy : {true, false}) {
+            BatchJob j;
+            j.label = std::string(name) + (lazy ? " lazy" : " p100");
+            j.workload = name;
+            j.workloadParams = tinyScale();
+            j.spec.arch = cpu::highPerformanceConfig();
+            j.spec.threads = 8;
+            j.sampling = lazy
+                             ? sampling::SamplingParams::lazy()
+                             : sampling::SamplingParams::periodic(100);
+            j.mode = BatchMode::Both;
+            jobs.push_back(j);
+        }
+    }
+    return jobs;
+}
+
+/** The deterministic (host-timing-free) fields of a SimResult. */
+struct Fingerprint
+{
+    Cycles totalCycles;
+    std::uint64_t detailedTasks;
+    std::uint64_t fastTasks;
+    InstCount detailedInsts;
+    InstCount fastInsts;
+    std::size_t taskRecords;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return totalCycles == o.totalCycles &&
+               detailedTasks == o.detailedTasks &&
+               fastTasks == o.fastTasks &&
+               detailedInsts == o.detailedInsts &&
+               fastInsts == o.fastInsts &&
+               taskRecords == o.taskRecords;
+    }
+};
+
+Fingerprint
+fingerprint(const sim::SimResult &r)
+{
+    return Fingerprint{r.totalCycles, r.detailedTasks, r.fastTasks,
+                       r.detailedInsts, r.fastInsts, r.tasks.size()};
+}
+
+TEST(BatchRunner, JobSeedIsDeterministicAndIndexSensitive)
+{
+    EXPECT_EQ(BatchRunner::jobSeed(42, 0), BatchRunner::jobSeed(42, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < 64; ++i)
+        seeds.insert(BatchRunner::jobSeed(42, i));
+    EXPECT_EQ(seeds.size(), 64u) << "per-index seeds must not collide";
+    EXPECT_NE(BatchRunner::jobSeed(1, 0), BatchRunner::jobSeed(2, 0));
+}
+
+TEST(BatchRunner, ResultsArriveInSubmissionOrder)
+{
+    BatchOptions opts;
+    opts.jobs = 4;
+    const std::vector<BatchJob> jobs = smallBatch();
+    const std::vector<BatchResult> results =
+        BatchRunner(opts).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].label, jobs[i].label);
+        ASSERT_TRUE(results[i].sampled.has_value());
+        ASSERT_TRUE(results[i].reference.has_value());
+        ASSERT_TRUE(results[i].comparison.has_value());
+    }
+}
+
+TEST(BatchRunner, EightJobsBitIdenticalToOneJob)
+{
+    // The acceptance test of the parallel runner: everything reported
+    // except host wall-clock must be bit-identical between a serial
+    // and a heavily oversubscribed parallel run.
+    const std::vector<BatchJob> jobs = smallBatch();
+
+    BatchOptions serial;
+    serial.jobs = 1;
+    const std::vector<BatchResult> a = BatchRunner(serial).run(jobs);
+
+    BatchOptions parallel;
+    parallel.jobs = 8;
+    const std::vector<BatchResult> b =
+        BatchRunner(parallel).run(jobs);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].label);
+        EXPECT_TRUE(fingerprint(a[i].sampled->result) ==
+                    fingerprint(b[i].sampled->result));
+        EXPECT_TRUE(fingerprint(*a[i].reference) ==
+                    fingerprint(*b[i].reference));
+        // Error is a pure function of the two cycle counts.
+        EXPECT_EQ(a[i].comparison->errorPct, b[i].comparison->errorPct);
+        EXPECT_EQ(a[i].comparison->detailFraction,
+                  b[i].comparison->detailFraction);
+        // Sampling statistics, phase for phase.
+        const sampling::SamplingStats &sa = a[i].sampled->stats;
+        const sampling::SamplingStats &sb = b[i].sampled->stats;
+        EXPECT_EQ(sa.warmupTasks, sb.warmupTasks);
+        EXPECT_EQ(sa.sampleTasks, sb.sampleTasks);
+        EXPECT_EQ(sa.fastTasks, sb.fastTasks);
+        EXPECT_EQ(sa.resamples, sb.resamples);
+        EXPECT_EQ(sa.phaseChanges, sb.phaseChanges);
+    }
+}
+
+TEST(BatchRunner, SharedTraceMatchesPerJobGeneration)
+{
+    // A job given a pre-built trace must equal a job that generates
+    // the same trace itself (same workload, same seed).
+    const trace::TaskTrace shared =
+        work::generateWorkload("histogram", tinyScale());
+
+    BatchJob generating;
+    generating.label = "own";
+    generating.workload = "histogram";
+    generating.workloadParams = tinyScale();
+    generating.spec.arch = cpu::highPerformanceConfig();
+    generating.spec.threads = 8;
+    generating.sampling = sampling::SamplingParams::lazy();
+
+    BatchJob sharing = generating;
+    sharing.label = "shared";
+    sharing.trace = &shared;
+
+    BatchOptions opts;
+    opts.jobs = 2;
+    opts.deriveSeeds = false; // keep the workloadParams seed
+    const std::vector<BatchResult> results =
+        BatchRunner(opts).run({generating, sharing});
+    EXPECT_TRUE(fingerprint(results[0].sampled->result) ==
+                fingerprint(results[1].sampled->result));
+}
+
+TEST(BatchRunner, DerivedSeedsChangeWithBaseSeed)
+{
+    BatchJob j;
+    j.label = "seeded";
+    j.workload = "histogram";
+    j.workloadParams = tinyScale();
+    j.spec.arch = cpu::highPerformanceConfig();
+    j.spec.threads = 8;
+    j.sampling = sampling::SamplingParams::lazy();
+
+    BatchOptions s1;
+    s1.jobs = 2;
+    s1.baseSeed = 1;
+    BatchOptions s2 = s1;
+    s2.baseSeed = 2;
+    const Cycles c1 =
+        BatchRunner(s1).run({j})[0].sampled->result.totalCycles;
+    const Cycles c2 =
+        BatchRunner(s2).run({j})[0].sampled->result.totalCycles;
+    EXPECT_NE(c1, c2)
+        << "deriveSeeds must reseed workload synthesis per base seed";
+}
+
+TEST(BatchRunner, JobExceptionPropagatesToCaller)
+{
+    BatchJob bad;
+    bad.label = "bad";
+    bad.workload = "no-such-workload";
+    bad.spec.arch = cpu::highPerformanceConfig();
+    BatchOptions opts;
+    opts.jobs = 2;
+    EXPECT_THROW((void)BatchRunner(opts).run({bad}), SimError);
+}
+
+TEST(BatchRunner, SummaryTableAndErrorStats)
+{
+    BatchOptions opts;
+    opts.jobs = 4;
+    const std::vector<BatchResult> results =
+        BatchRunner(opts).run(smallBatch());
+
+    const RunningStats err = batchErrorStats(results);
+    EXPECT_EQ(err.count(), results.size());
+    EXPECT_GE(err.min(), 0.0);
+
+    const std::string rendered =
+        batchSummaryTable("t", results).render();
+    for (const BatchResult &r : results)
+        EXPECT_NE(rendered.find(r.label), std::string::npos);
+}
+
+} // namespace
+} // namespace tp::harness

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests of the fixed-size worker pool: submission and join under
+ * contention, exception propagation through futures, shutdown
+ * semantics, and move-only result types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace tp {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+    std::future<int> f = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments)
+{
+    ThreadPool pool(1);
+    std::future<int> f =
+        pool.submit([](int a, int b) { return a * b; }, 6, 7);
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksUnderContention)
+{
+    constexpr int kTasks = 1000;
+    ThreadPool pool(8);
+    std::atomic<int> started{0};
+    std::vector<std::future<int>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([i, &started] {
+            started.fetch_add(1, std::memory_order_relaxed);
+            return i;
+        }));
+    }
+    long long sum = 0;
+    for (auto &f : futures)
+        sum += f.get();
+    EXPECT_EQ(started.load(), kTasks);
+    EXPECT_EQ(sum, 1LL * kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, TasksRunConcurrently)
+{
+    // Two tasks that each wait for the other can only finish if the
+    // pool really runs them on distinct workers.
+    ThreadPool pool(2);
+    std::atomic<int> arrived{0};
+    auto rendezvous = [&arrived] {
+        arrived.fetch_add(1);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (arrived.load() < 2) {
+            if (std::chrono::steady_clock::now() > deadline)
+                return false;
+            std::this_thread::yield();
+        }
+        return true;
+    };
+    std::future<bool> a = pool.submit(rendezvous);
+    std::future<bool> b = pool.submit(rendezvous);
+    EXPECT_TRUE(a.get());
+    EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    std::future<int> bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+    // The worker survives a throwing job.
+    std::future<int> good = pool.submit([] { return 7; });
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, MoveOnlyResult)
+{
+    ThreadPool pool(1);
+    std::future<std::unique_ptr<int>> f =
+        pool.submit([] { return std::make_unique<int>(13); });
+    std::unique_ptr<int> p = f.get();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 13);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueAndIsIdempotent)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            done.fetch_add(1);
+        }));
+    }
+    pool.shutdown();
+    pool.shutdown(); // second call is a no-op
+    EXPECT_EQ(done.load(), 32);
+    EXPECT_EQ(pool.pending(), 0u);
+    for (auto &f : futures)
+        f.get(); // all ready, none broken
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW((void)pool.submit([] { return 0; }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace tp
