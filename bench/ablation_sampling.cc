@@ -10,9 +10,15 @@
  * Evaluated with lazy sampling at 16 threads on four benchmarks
  * covering the main behaviour classes (regular kernel, decreasing
  * parallelism, wavefront factorization, irregular divergence).
+ *
+ * The twelve detailed references (benchmark x scheduler) run as one
+ * BatchRunner batch — shareable through the reference-result cache —
+ * and every table row's sampled runs fan into a second batch, so
+ * `--jobs=N` parallelizes the whole ablation.
  */
 
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_common.hh"
 #include "runtime/scheduler.hh"
@@ -24,28 +30,42 @@ namespace {
 const std::vector<std::string> kBenchmarks = {
     "vector-operation", "reduction", "cholesky", "dedup"};
 
-void
-evaluateRow(TextTable &table, const std::string &label,
-            const std::map<std::string, trace::TaskTrace> &traces,
-            const std::map<std::string, sim::SimResult> &refs,
-            const sampling::SamplingParams &params,
-            rt::SchedulerKind sched)
+const std::vector<rt::SchedulerKind> kSchedulers = {
+    rt::SchedulerKind::Fifo, rt::SchedulerKind::WorkStealing,
+    rt::SchedulerKind::Locality};
+
+const char *
+schedName(rt::SchedulerKind s)
 {
-    std::vector<std::string> row = {label};
-    for (const std::string &name : kBenchmarks) {
-        harness::RunSpec spec;
-        spec.arch = cpu::highPerformanceConfig();
-        spec.threads = 16;
-        spec.runtime.scheduler = sched;
-        const harness::SampledOutcome sam =
-            harness::runSampled(traces.at(name), spec, params);
-        const harness::ErrorSpeedup es =
-            harness::compare(refs.at(name), sam.result);
-        row.push_back(fmtDouble(es.errorPct, 2) + "% / " +
-                      fmtDouble(es.wallSpeedup, 1) + "x");
+    switch (s) {
+      case rt::SchedulerKind::Fifo:
+        return "fifo";
+      case rt::SchedulerKind::WorkStealing:
+        return "steal";
+      case rt::SchedulerKind::Locality:
+        return "locality";
     }
-    table.addRow(row);
+    return "?";
 }
+
+harness::RunSpec
+baseSpec(rt::SchedulerKind sched)
+{
+    harness::RunSpec spec;
+    spec.arch = cpu::highPerformanceConfig();
+    spec.threads = 16;
+    spec.runtime.scheduler = sched;
+    return spec;
+}
+
+/** One sampled table row: label + params + scheduler. */
+struct RowSpec
+{
+    std::size_t table = 0;
+    std::string label;
+    sampling::SamplingParams params;
+    rt::SchedulerKind sched = rt::SchedulerKind::Fifo;
+};
 
 } // namespace
 
@@ -53,8 +73,7 @@ int
 main(int argc, char **argv)
 {
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv,
-                                  /*supportsJobs=*/false);
+        bench::parseFigureOptions(argc, argv);
 
     work::WorkloadParams wp;
     wp.scale = opts.scale;
@@ -62,78 +81,120 @@ main(int argc, char **argv)
     wp.seed = opts.seed;
 
     std::map<std::string, trace::TaskTrace> traces;
-    std::map<std::string, sim::SimResult> refs;
-    std::map<std::string, sim::SimResult> refs_steal, refs_local;
-    for (const std::string &name : kBenchmarks) {
+    for (const std::string &name : kBenchmarks)
         traces.emplace(name, work::generateWorkload(name, wp));
-        harness::RunSpec spec;
-        spec.arch = cpu::highPerformanceConfig();
-        spec.threads = 16;
-        harness::progress(name + ": reference (fifo)");
-        refs.emplace(name, harness::runDetailed(traces.at(name),
-                                                spec));
-        spec.runtime.scheduler = rt::SchedulerKind::WorkStealing;
-        harness::progress(name + ": reference (steal)");
-        refs_steal.emplace(name,
-                           harness::runDetailed(traces.at(name),
-                                                spec));
-        spec.runtime.scheduler = rt::SchedulerKind::Locality;
-        harness::progress(name + ": reference (locality)");
-        refs_local.emplace(name,
-                           harness::runDetailed(traces.at(name),
-                                                spec));
+
+    harness::BatchOptions bo;
+    bo.jobs = opts.jobs;
+    bo.deriveSeeds = false;
+    bo.progress = true;
+    bo.cache = opts.cache.get();
+
+    // Detailed references per (benchmark, scheduler).
+    std::vector<harness::BatchJob> refJobs;
+    for (const std::string &name : kBenchmarks) {
+        for (rt::SchedulerKind sched : kSchedulers) {
+            harness::BatchJob j;
+            j.label = name + " reference (" +
+                      std::string(schedName(sched)) + ")";
+            j.trace = &traces.at(name);
+            j.workload = name;
+            j.workloadParams = wp;
+            j.spec = baseSpec(sched);
+            j.mode = harness::BatchMode::Reference;
+            refJobs.push_back(j);
+        }
     }
+    harness::progress("computing detailed references");
+    const std::vector<harness::BatchResult> refResults =
+        harness::BatchRunner(bo).run(refJobs);
+    std::map<std::pair<std::string, rt::SchedulerKind>,
+             const sim::SimResult *>
+        refs;
+    {
+        std::size_t at = 0;
+        for (const std::string &name : kBenchmarks)
+            for (rt::SchedulerKind sched : kSchedulers)
+                refs[{name, sched}] = &*refResults[at++].reference;
+    }
+
+    // The four ablation tables as sampled rows.
+    std::vector<RowSpec> rows;
+    for (std::uint32_t k : {1, 4, 8, 16}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.concurrencyHysteresis = k;
+        rows.push_back({0, "K=" + std::to_string(k), p,
+                        rt::SchedulerKind::Fifo});
+    }
+    for (double tol : {0.0, 0.125, 0.25, 0.5}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.concurrencyTolerance = tol;
+        rows.push_back({1, "tol=" + fmtDouble(tol, 3), p,
+                        rt::SchedulerKind::Fifo});
+    }
+    for (std::uint64_t r : {1, 3, 5, 10}) {
+        sampling::SamplingParams p = sampling::SamplingParams::lazy();
+        p.rareCutoff = r;
+        rows.push_back({2, "R=" + std::to_string(r), p,
+                        rt::SchedulerKind::Fifo});
+    }
+    for (rt::SchedulerKind sched : kSchedulers) {
+        rows.push_back({3, schedName(sched),
+                        sampling::SamplingParams::lazy(), sched});
+    }
+
+    // All sampled runs of all rows in one batch.
+    std::vector<harness::BatchJob> samJobs;
+    for (const RowSpec &row : rows) {
+        for (const std::string &name : kBenchmarks) {
+            harness::BatchJob j;
+            j.label = name + " " + row.label;
+            j.trace = &traces.at(name);
+            j.spec = baseSpec(row.sched);
+            j.sampling = row.params;
+            j.mode = harness::BatchMode::Sampled;
+            samJobs.push_back(j);
+        }
+    }
+    harness::progress(
+        strprintf("running %zu sampled simulations (%zu jobs)",
+                  samJobs.size(), bo.jobs));
+    const std::vector<harness::BatchResult> samResults =
+        harness::BatchRunner(bo).run(samJobs);
+    bench::reportCacheStats(opts);
 
     std::vector<std::string> header = {"configuration"};
     for (const auto &n : kBenchmarks)
         header.push_back(n + " (err/speedup)");
 
-    TextTable t1("Ablation: concurrency-trigger hysteresis K "
-                 "(lazy, 16 threads)");
-    t1.setHeader(header);
-    for (std::uint32_t k : {1, 4, 8, 16}) {
-        sampling::SamplingParams p = sampling::SamplingParams::lazy();
-        p.concurrencyHysteresis = k;
-        evaluateRow(t1, "K=" + std::to_string(k), traces, refs, p,
-                    rt::SchedulerKind::Fifo);
-    }
-    t1.print();
-    std::printf("\n");
+    const char *titles[4] = {
+        "Ablation: concurrency-trigger hysteresis K "
+        "(lazy, 16 threads)",
+        "Ablation: concurrency dead-band tolerance",
+        "Ablation: rare-type sampling cutoff R",
+        "Ablation: runtime scheduler policy (lazy defaults)"};
 
-    TextTable t2("Ablation: concurrency dead-band tolerance");
-    t2.setHeader(header);
-    for (double tol : {0.0, 0.125, 0.25, 0.5}) {
-        sampling::SamplingParams p = sampling::SamplingParams::lazy();
-        p.concurrencyTolerance = tol;
-        evaluateRow(t2, "tol=" + fmtDouble(tol, 3), traces, refs, p,
-                    rt::SchedulerKind::Fifo);
+    std::size_t at = 0;
+    for (std::size_t table = 0; table < 4; ++table) {
+        TextTable t(titles[table]);
+        t.setHeader(header);
+        for (const RowSpec &row : rows) {
+            if (row.table != table)
+                continue;
+            std::vector<std::string> cells = {row.label};
+            for (const std::string &name : kBenchmarks) {
+                const harness::SampledOutcome &sam =
+                    *samResults[at++].sampled;
+                const harness::ErrorSpeedup es = harness::compare(
+                    *refs.at({name, row.sched}), sam.result);
+                cells.push_back(fmtDouble(es.errorPct, 2) + "% / " +
+                                fmtDouble(es.wallSpeedup, 1) + "x");
+            }
+            t.addRow(cells);
+        }
+        t.print();
+        if (table != 3)
+            std::printf("\n");
     }
-    t2.print();
-    std::printf("\n");
-
-    TextTable t3("Ablation: rare-type sampling cutoff R");
-    t3.setHeader(header);
-    for (std::uint64_t r : {1, 3, 5, 10}) {
-        sampling::SamplingParams p = sampling::SamplingParams::lazy();
-        p.rareCutoff = r;
-        evaluateRow(t3, "R=" + std::to_string(r), traces, refs, p,
-                    rt::SchedulerKind::Fifo);
-    }
-    t3.print();
-    std::printf("\n");
-
-    TextTable t4("Ablation: runtime scheduler policy (lazy defaults)");
-    t4.setHeader(header);
-    {
-        const sampling::SamplingParams p =
-            sampling::SamplingParams::lazy();
-        evaluateRow(t4, "fifo", traces, refs, p,
-                    rt::SchedulerKind::Fifo);
-        evaluateRow(t4, "steal", traces, refs_steal, p,
-                    rt::SchedulerKind::WorkStealing);
-        evaluateRow(t4, "locality", traces, refs_local, p,
-                    rt::SchedulerKind::Locality);
-    }
-    t4.print();
     return 0;
 }

@@ -11,7 +11,9 @@
 #ifndef TP_BENCH_BENCH_COMMON_HH
 #define TP_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "common/table.hh"
 #include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
+#include "harness/result_cache.hh"
 
 namespace tp::bench {
 
@@ -32,31 +35,38 @@ struct FigureOptions
     std::uint64_t seed = 42;
     std::vector<std::string> benchmarks; //!< empty = all 19
     std::size_t jobs = 1; //!< simulation worker threads (--jobs)
+    /** Reference-result cache (--cache-dir/--cache); may be null. */
+    std::shared_ptr<harness::ResultCache> cache;
 };
 
 /**
- * Parse the common CLI surface of a figure bench.
- *
- * @param supportsJobs whether the driver fans work over BatchRunner;
- *        drivers that still run serially must pass false so `--jobs`
- *        is rejected instead of silently ignored.
+ * Parse the common CLI surface of a figure bench: every figure
+ * driver fans its simulations over BatchRunner, so all of them take
+ * `--jobs` and the `--cache-dir`/`--cache` reference-cache options.
  */
 inline FigureOptions
-parseFigureOptions(int argc, char **argv, bool supportsJobs = true)
+parseFigureOptions(int argc, char **argv)
 {
-    std::vector<std::string> allowed = {"scale", "instr-scale",
-                                        "seed", "benchmarks"};
-    if (supportsJobs)
-        allowed.push_back(kJobsOption);
-    const CliArgs args(argc, argv, allowed);
+    const CliArgs args(argc, argv,
+                       {"scale", "instr-scale", "seed", "benchmarks",
+                        kJobsOption, kCacheDirOption,
+                        kCacheModeOption});
     FigureOptions o;
     o.scale = args.getDouble("scale", o.scale);
     o.instrScale = args.getDouble("instr-scale", o.instrScale);
     o.seed = args.getUint("seed", o.seed);
     o.benchmarks = args.getList("benchmarks", {});
-    if (supportsJobs)
-        o.jobs = jobsFlag(args, o.jobs);
+    o.jobs = jobsFlag(args, o.jobs);
+    o.cache = harness::resultCacheFromCli(args);
     return o;
+}
+
+/** Emit the cache hit/miss summary when a cache is active. */
+inline void
+reportCacheStats(const FigureOptions &opts)
+{
+    if (opts.cache)
+        harness::progress(opts.cache->statsLine());
 }
 
 /** @return the selected workload names (default: all of Table I). */
@@ -69,6 +79,77 @@ selectedWorkloads(const FigureOptions &o)
     for (const work::WorkloadInfo &w : work::allWorkloads())
         names.push_back(w.name);
     return names;
+}
+
+/**
+ * One IPC-variation boxplot figure (Figs. 1 and 5 of the paper):
+ * one detailed run per benchmark with task records, normalized
+ * per-type IPC deviations, and the "box in +-5%" classification.
+ *
+ * @param noise        noise model of the runs (enabled for Fig. 1's
+ *                     native emulation, disabled for Fig. 5)
+ * @param summarySuffix appended to the "N of M within +-5%" line
+ */
+inline void
+runIpcVariationFigure(const std::string &title,
+                      const sim::NoiseConfig &noise,
+                      const std::string &summarySuffix,
+                      const FigureOptions &opts)
+{
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+
+    TextTable table(title);
+    table.setHeader({"benchmark", "q1", "median", "q3", "p5", "p95",
+                     "box in +-5%"});
+
+    // One detailed run per benchmark; workers generate their traces
+    // themselves, and cached references replay bit-identically
+    // (task records included).
+    std::vector<harness::BatchJob> batch;
+    for (const std::string &name : selectedWorkloads(opts)) {
+        harness::BatchJob j;
+        j.label = name;
+        j.workload = name;
+        j.workloadParams = wp;
+        j.spec.arch = cpu::highPerformanceConfig();
+        j.spec.threads = 8;
+        j.spec.recordTasks = true;
+        j.spec.noise = noise;
+        j.mode = harness::BatchMode::Reference;
+        batch.push_back(j);
+    }
+    harness::BatchOptions bo;
+    bo.jobs = opts.jobs;
+    bo.deriveSeeds = false;
+    bo.progress = true;
+    bo.cache = opts.cache.get();
+    const std::vector<harness::BatchResult> results =
+        harness::BatchRunner(bo).run(batch);
+    reportCacheStats(opts);
+
+    int within = 0, total = 0;
+    for (const harness::BatchResult &r : results) {
+        const std::vector<double> dev =
+            harness::normalizedIpcDeviations(*r.reference);
+        const BoxplotStats b = boxplot(dev);
+        // The paper's "box in +-5%" claim tracks the solid box
+        // (first to third quartile); its own whiskers exceed +-5%
+        // for several regular benchmarks.
+        const bool in_band = b.q1 >= -5.0 && b.q3 <= 5.0;
+        within += in_band ? 1 : 0;
+        ++total;
+        table.addRow({r.label, fmtDouble(b.q1, 1),
+                      fmtDouble(b.median, 1), fmtDouble(b.q3, 1),
+                      fmtDouble(b.whiskerLo, 1),
+                      fmtDouble(b.whiskerHi, 1),
+                      in_band ? "yes" : "NO"});
+    }
+    table.print();
+    std::printf("\n%d of %d benchmarks within +-5%%%s\n", within,
+                total, summarySuffix.c_str());
 }
 
 /** One error/speedup figure (Figs. 7-10 of the paper). */
@@ -118,8 +199,10 @@ runErrorSpeedupFigure(const std::string &title,
     bo.jobs = opts.jobs;
     bo.deriveSeeds = false;
     bo.progress = true;
+    bo.cache = opts.cache.get();
     const std::vector<harness::BatchResult> results =
         harness::BatchRunner(bo).run(batch);
+    reportCacheStats(opts);
 
     std::size_t idx = 0;
     for (const std::string &name : names) {

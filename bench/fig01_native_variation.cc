@@ -10,8 +10,6 @@
  * ±5% band that motivates TaskPoint (paper: 15 of 19 do).
  */
 
-#include <cstdio>
-
 #include "bench/bench_common.hh"
 
 int
@@ -19,47 +17,14 @@ main(int argc, char **argv)
 {
     using namespace tp;
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv,
-                                  /*supportsJobs=*/false);
+        bench::parseFigureOptions(argc, argv);
 
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
-
-    TextTable table("Fig. 1: IPC variation per task instance, "
-                    "native execution (noise model), 8 threads [%]");
-    table.setHeader({"benchmark", "q1", "median", "q3", "p5", "p95",
-                     "box in +-5%"});
-
-    int within = 0, total = 0;
-    for (const std::string &name : bench::selectedWorkloads(opts)) {
-        const trace::TaskTrace t = work::generateWorkload(name, wp);
-        harness::RunSpec spec;
-        spec.arch = cpu::highPerformanceConfig();
-        spec.threads = 8;
-        spec.recordTasks = true;
-        spec.noise.enabled = true;
-        spec.noise.seed = opts.seed ^ 0xfeedULL;
-        harness::progress(name + ": native-emulation run");
-        const sim::SimResult r = harness::runDetailed(t, spec);
-        const std::vector<double> dev =
-            harness::normalizedIpcDeviations(r);
-        const BoxplotStats b = boxplot(dev);
-        // The paper's "box in +-5%" claim tracks the solid box
-        // (first to third quartile); its own whiskers exceed +-5%
-        // for several regular benchmarks.
-        const bool in_band = b.q1 >= -5.0 && b.q3 <= 5.0;
-        within += in_band ? 1 : 0;
-        ++total;
-        table.addRow({name, fmtDouble(b.q1, 1), fmtDouble(b.median, 1),
-                      fmtDouble(b.q3, 1), fmtDouble(b.whiskerLo, 1),
-                      fmtDouble(b.whiskerHi, 1),
-                      in_band ? "yes" : "NO"});
-    }
-    table.print();
-    std::printf("\n%d of %d benchmarks within +-5%% "
-                "(paper: 15 of 19)\n",
-                within, total);
+    sim::NoiseConfig noise;
+    noise.enabled = true;
+    noise.seed = opts.seed ^ 0xfeedULL;
+    bench::runIpcVariationFigure(
+        "Fig. 1: IPC variation per task instance, "
+        "native execution (noise model), 8 threads [%]",
+        noise, " (paper: 15 of 19)", opts);
     return 0;
 }

@@ -7,8 +7,6 @@
  * 18 of 19 benchmarks.
  */
 
-#include <cstdio>
-
 #include "bench/bench_common.hh"
 
 int
@@ -16,43 +14,11 @@ main(int argc, char **argv)
 {
     using namespace tp;
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv,
-                                  /*supportsJobs=*/false);
+        bench::parseFigureOptions(argc, argv);
 
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
-
-    TextTable table("Fig. 5: IPC variation per task instance, "
-                    "detailed simulation, high-perf, 8 threads [%]");
-    table.setHeader({"benchmark", "q1", "median", "q3", "p5", "p95",
-                     "box in +-5%"});
-
-    int within = 0, total = 0;
-    for (const std::string &name : bench::selectedWorkloads(opts)) {
-        const trace::TaskTrace t = work::generateWorkload(name, wp);
-        harness::RunSpec spec;
-        spec.arch = cpu::highPerformanceConfig();
-        spec.threads = 8;
-        spec.recordTasks = true;
-        harness::progress(name + ": detailed simulation run");
-        const sim::SimResult r = harness::runDetailed(t, spec);
-        const std::vector<double> dev =
-            harness::normalizedIpcDeviations(r);
-        const BoxplotStats b = boxplot(dev);
-        // The paper's "box in +-5%" claim tracks the solid box
-        // (first to third quartile); its own whiskers exceed +-5%
-        // for several regular benchmarks.
-        const bool in_band = b.q1 >= -5.0 && b.q3 <= 5.0;
-        within += in_band ? 1 : 0;
-        ++total;
-        table.addRow({name, fmtDouble(b.q1, 1), fmtDouble(b.median, 1),
-                      fmtDouble(b.q3, 1), fmtDouble(b.whiskerLo, 1),
-                      fmtDouble(b.whiskerHi, 1),
-                      in_band ? "yes" : "NO"});
-    }
-    table.print();
-    std::printf("\n%d of %d benchmarks within +-5%%\n", within, total);
+    bench::runIpcVariationFigure(
+        "Fig. 5: IPC variation per task instance, "
+        "detailed simulation, high-perf, 8 threads [%]",
+        sim::NoiseConfig{}, "", opts);
     return 0;
 }

@@ -68,6 +68,7 @@ main(int argc, char **argv)
     bo.jobs = opts.jobs;
     bo.deriveSeeds = false;
     bo.progress = true;
+    bo.cache = opts.cache.get();
 
     // Shared detailed references: one Reference-mode job per
     // (benchmark, thread count).
@@ -128,6 +129,7 @@ main(int argc, char **argv)
                   samJobs.size(), bo.jobs));
     const std::vector<harness::BatchResult> samResults =
         harness::BatchRunner(bo).run(samJobs);
+    bench::reportCacheStats(opts);
 
     // Aggregate per sweep point against the shared references.
     std::vector<SweepPoint> points;

@@ -19,6 +19,7 @@
 #include "common/table.hh"
 #include "cpu/arch_config.hh"
 #include "harness/batch_runner.hh"
+#include "harness/result_cache.hh"
 
 namespace {
 
@@ -41,10 +42,12 @@ main(int argc, char **argv)
     using namespace tp;
     const CliArgs args(argc, argv,
                        {"validate", "workload", "scale", "threads",
-                        kJobsOption});
+                        kJobsOption, kCacheDirOption,
+                        kCacheModeOption});
     if (!args.has("validate")) {
         for (const char *opt :
-             {"workload", "scale", "threads", kJobsOption}) {
+             {"workload", "scale", "threads", kJobsOption,
+              kCacheDirOption, kCacheModeOption}) {
             if (args.has(opt))
                 fatal("--%s only applies together with --validate",
                       opt);
@@ -120,11 +123,16 @@ main(int argc, char **argv)
             }
         }
 
+        const std::unique_ptr<harness::ResultCache> cache =
+            harness::resultCacheFromCli(args);
         harness::BatchOptions bo;
         bo.jobs = jobsFlag(args, 1);
         bo.deriveSeeds = false;
+        bo.cache = cache.get();
         const std::vector<harness::BatchResult> results =
             harness::BatchRunner(bo).run(batch);
+        if (cache)
+            harness::progress(cache->statsLine());
 
         std::printf("\n");
         harness::batchSummaryTable(

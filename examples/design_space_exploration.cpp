@@ -23,9 +23,11 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/statistics.hh"
 #include "common/table.hh"
 #include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
+#include "harness/result_cache.hh"
 
 using namespace tp;
 
@@ -33,7 +35,8 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
-                       {"workload", "threads", "scale", kJobsOption});
+                       {"workload", "threads", "scale", kJobsOption,
+                        kCacheDirOption, kCacheModeOption});
     const std::string name = args.getString("workload", "cholesky");
     const auto threads =
         static_cast<std::uint32_t>(args.getUint("threads", 16));
@@ -69,6 +72,12 @@ main(int argc, char **argv)
     // Keep every variant (and phase 2's confirmation rerun) on the
     // workload's own seed rather than per-index derived ones.
     opts.deriveSeeds = false;
+    // Lazy exploration itself is never cached (only detailed
+    // references are), but a shared cache dir makes any
+    // Reference/Both-mode jobs of a campaign reuse prior work.
+    const std::unique_ptr<harness::ResultCache> cache =
+        harness::resultCacheFromCli(args);
+    opts.cache = cache.get();
     const harness::BatchRunner runner(opts);
     const std::vector<harness::BatchResult> results =
         runner.run(batch);
@@ -92,20 +101,34 @@ main(int argc, char **argv)
     }
     table.print();
 
-    // Phase 2: confirm the winner with periodic sampling.
+    // Phase 2: confirm the winner with periodic sampling against
+    // the detailed reference. The reference is the expensive part,
+    // and exactly what the result cache shares across reruns and
+    // other drivers exploring the same design point.
     const harness::BatchResult &best = results[ranked.front()];
-    harness::RunSpec spec = batch[best.index].spec;
-    const harness::SampledOutcome confirm = harness::runSampled(
-        t, spec, sampling::SamplingParams::periodic(250));
+    harness::BatchJob confirmJob = batch[best.index];
+    confirmJob.label = best.label + " confirmation";
+    confirmJob.sampling = sampling::SamplingParams::periodic(250);
+    confirmJob.mode = harness::BatchMode::Both;
+    const harness::BatchResult confirm =
+        runner.run({confirmJob}).front();
+    if (cache)
+        harness::progress(cache->statsLine());
+
     const Cycles predicted = best.sampled->result.totalCycles;
+    const Cycles periodic = confirm.sampled->result.totalCycles;
     std::printf("\nphase 2: periodic confirmation of '%s': %s cycles "
                 "(lazy predicted %s, delta %.2f%%)\n",
-                best.label.c_str(),
-                fmtCount(confirm.result.totalCycles).c_str(),
+                best.label.c_str(), fmtCount(periodic).c_str(),
                 fmtCount(predicted).c_str(),
-                100.0 *
-                    (double(confirm.result.totalCycles) -
-                     double(predicted)) /
-                    double(confirm.result.totalCycles));
+                100.0 * (double(periodic) - double(predicted)) /
+                    double(periodic));
+    std::printf("detailed reference%s: %s cycles; periodic error "
+                "%.2f%%, lazy error %.2f%%\n",
+                confirm.referenceFromCache ? " (cached)" : "",
+                fmtCount(confirm.reference->totalCycles).c_str(),
+                confirm.comparison->errorPct,
+                absPctError(double(predicted),
+                            double(confirm.reference->totalCycles)));
     return 0;
 }

@@ -1,0 +1,17 @@
+#include "common/binary_io.hh"
+
+#include <cstdarg>
+
+namespace tp {
+
+void
+throwIoError(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = "io error: " + vstrprintf(fmt, ap);
+    va_end(ap);
+    throw IoError(msg);
+}
+
+} // namespace tp

@@ -108,6 +108,8 @@ CliArgs::getDouble(const std::string &name, double fallback) const
 }
 
 const char *const kJobsOption = "jobs";
+const char *const kCacheDirOption = "cache-dir";
+const char *const kCacheModeOption = "cache";
 
 std::size_t
 jobsFlag(const CliArgs &args, std::size_t fallback)

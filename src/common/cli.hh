@@ -64,6 +64,15 @@ std::vector<std::string> splitString(const std::string &s, char delim);
 extern const char *const kJobsOption;
 
 /**
+ * Canonical names of the reference-result-cache options
+ * ("cache-dir", "cache"). Drivers that batch reference simulations
+ * list both among their allowed options and build the cache with
+ * harness::resultCacheFromCli().
+ */
+extern const char *const kCacheDirOption;
+extern const char *const kCacheModeOption;
+
+/**
  * Worker count from `--jobs=N` / `--jobs=auto`.
  *
  * `auto` (or 0) selects the host's hardware concurrency; absent means

@@ -1,0 +1,39 @@
+#include "common/hash.hh"
+
+namespace tp {
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+toHex(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return s;
+}
+
+std::string
+hexDigest128(const std::string &bytes)
+{
+    const std::uint64_t lo = fnv1a(bytes.data(), bytes.size());
+    const std::uint64_t hi =
+        fnv1a(bytes.data(), bytes.size(),
+              kFnvOffsetBasis ^ 0x9e3779b97f4a7c15ULL);
+    return toHex(hi) + toHex(lo);
+}
+
+} // namespace tp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Stable hashing for cache keys and file checksums.
+ *
+ * The result cache addresses entries by a hash of configuration and
+ * trace content, so the hash must be stable across runs, processes
+ * and library versions — std::hash guarantees none of that. FNV-1a
+ * over an explicitly serialized byte buffer is used instead; for
+ * content addressing, two independently seeded 64-bit digests are
+ * concatenated into a 128-bit key so accidental collisions are out
+ * of reach at any realistic cache population.
+ */
+
+#ifndef TP_COMMON_HASH_HH
+#define TP_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tp {
+
+/** FNV-1a offset basis (the default digest seed). */
+inline constexpr std::uint64_t kFnvOffsetBasis =
+    0xcbf29ce484222325ULL;
+
+/** FNV-1a over a raw byte range. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = kFnvOffsetBasis);
+
+/** @return `v` as 16 lowercase hex characters. */
+std::string toHex(std::uint64_t v);
+
+/**
+ * 128-bit content digest as 32 lowercase hex characters: two FNV-1a
+ * passes over `bytes` with independent seeds (see file comment).
+ */
+std::string hexDigest128(const std::string &bytes);
+
+} // namespace tp
+
+#endif // TP_COMMON_HASH_HH

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <future>
+#include <map>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "harness/result_cache.hh"
 
 namespace tp::harness {
 
@@ -28,7 +30,8 @@ BatchRunner::jobSeed(std::uint64_t baseSeed, std::size_t index)
 }
 
 BatchResult
-BatchRunner::runJob(const BatchJob &job, std::size_t index) const
+BatchRunner::runJob(const BatchJob &job, std::size_t index,
+                    const TraceDigests &sharedDigests) const
 {
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -52,8 +55,29 @@ BatchRunner::runJob(const BatchJob &job, std::size_t index) const
     BatchResult r;
     r.index = index;
     r.label = j.label;
-    if (j.mode == BatchMode::Reference || j.mode == BatchMode::Both)
-        r.reference = runDetailed(*trace, j.spec);
+    if (j.mode == BatchMode::Reference ||
+        j.mode == BatchMode::Both) {
+        std::string key;
+        if (options_.cache != nullptr) {
+            // Shared traces were digested once up front; a trace
+            // generated on this worker is digested here.
+            const auto shared = sharedDigests.find(j.trace);
+            key = resultCacheKey(shared != sharedDigests.end()
+                                     ? shared->second
+                                     : traceDigest(*trace),
+                                 j.spec);
+            if (std::optional<sim::SimResult> cached =
+                    options_.cache->lookup(key)) {
+                r.reference = std::move(*cached);
+                r.referenceFromCache = true;
+            }
+        }
+        if (!r.reference) {
+            r.reference = runDetailed(*trace, j.spec);
+            if (options_.cache != nullptr)
+                options_.cache->store(key, *r.reference);
+        }
+    }
     if (j.mode == BatchMode::Sampled || j.mode == BatchMode::Both)
         r.sampled = runSampled(*trace, j.spec, j.sampling);
     if (j.mode == BatchMode::Both)
@@ -64,21 +88,40 @@ BatchRunner::runJob(const BatchJob &job, std::size_t index) const
             std::chrono::steady_clock::now() - t0)
             .count();
     if (options_.progress)
-        progress(strprintf("job %zu/%s done (%.1fs)", index,
-                           r.label.c_str(), r.hostSeconds));
+        progress(strprintf("job %zu/%s done (%.1fs)%s", index,
+                           r.label.c_str(), r.hostSeconds,
+                           r.referenceFromCache ? " [ref cached]"
+                                                : ""));
     return r;
 }
 
 std::vector<BatchResult>
 BatchRunner::run(const std::vector<BatchJob> &jobs) const
 {
+    // Digest each shared trace once instead of per job: many jobs
+    // typically reference one trace, and the digest costs a full
+    // in-memory serialization.
+    TraceDigests sharedDigests;
+    if (options_.cache != nullptr) {
+        for (const BatchJob &j : jobs) {
+            if (j.trace != nullptr &&
+                (j.mode == BatchMode::Reference ||
+                 j.mode == BatchMode::Both) &&
+                sharedDigests.find(j.trace) == sharedDigests.end())
+                sharedDigests.emplace(j.trace,
+                                      traceDigest(*j.trace));
+        }
+    }
+
     std::vector<std::future<BatchResult>> futures;
     futures.reserve(jobs.size());
     {
         ThreadPool pool(options_.jobs);
         for (std::size_t i = 0; i < jobs.size(); ++i)
             futures.push_back(pool.submit(
-                [this, &job = jobs[i], i] { return runJob(job, i); }));
+                [this, &job = jobs[i], i, &sharedDigests] {
+                    return runJob(job, i, sharedDigests);
+                }));
         // Collect in submission order while the pool is still alive;
         // get() rethrows the first job exception on this thread.
         std::vector<BatchResult> results;

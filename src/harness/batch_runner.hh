@@ -21,6 +21,7 @@
 #define TP_HARNESS_BATCH_RUNNER_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "harness/experiment.hh"
 
 namespace tp::harness {
+
+class ResultCache;
 
 /** What one batch job simulates. */
 enum class BatchMode : std::uint8_t {
@@ -66,6 +69,8 @@ struct BatchResult
     std::optional<sim::SimResult> reference;
     /** Present iff mode == Both. */
     std::optional<ErrorSpeedup> comparison;
+    /** The reference was replayed from the result cache. */
+    bool referenceFromCache = false;
     /** Host seconds the whole job spent on its worker. */
     double hostSeconds = 0.0;
 };
@@ -84,6 +89,14 @@ struct BatchOptions
     bool deriveSeeds = true;
     /** Emit one progress() line per finished job. */
     bool progress = false;
+    /**
+     * Shared on-disk cache of detailed-reference results (not owned;
+     * must outlive run()). When set, Reference/Both-mode jobs consult
+     * it before simulating and publish fresh results to it; cached
+     * results are bit-identical to simulated ones, so reports differ
+     * only in host wall-clock. nullptr = no caching.
+     */
+    ResultCache *cache = nullptr;
 };
 
 /** See file comment. */
@@ -111,7 +124,12 @@ class BatchRunner
                                  std::size_t index);
 
   private:
-    BatchResult runJob(const BatchJob &job, std::size_t index) const;
+    /** Trace-content digests precomputed for shared job traces. */
+    using TraceDigests =
+        std::map<const trace::TaskTrace *, std::string>;
+
+    BatchResult runJob(const BatchJob &job, std::size_t index,
+                       const TraceDigests &sharedDigests) const;
 
     BatchOptions options_;
 };

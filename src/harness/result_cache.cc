@@ -1,0 +1,467 @@
+#include "harness/result_cache.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "common/binary_io.hh"
+#include "common/cli.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::harness {
+
+namespace {
+
+constexpr std::uint64_t kEntryMagic = 0x5450524553433101ULL; // TPRESC1.
+constexpr std::uint32_t kEnvelopeVersion = 1;
+/** Bump when the key derivation below changes. */
+constexpr std::uint32_t kKeySchemeVersion = 1;
+
+const char *const kIndexName = "index.tsv";
+const char *const kEntrySuffix = ".tpres";
+
+void
+writeBool(BinaryWriter &w, bool b)
+{
+    w.pod<std::uint8_t>(b ? 1 : 0);
+}
+
+void
+writeCacheConfig(BinaryWriter &w, const mem::CacheConfig &c)
+{
+    w.pod(c.sizeBytes);
+    w.pod(c.assoc);
+    w.pod(c.lineBytes);
+    w.pod(c.latency);
+    w.pod(c.servicePeriod);
+    writeBool(w, c.scanResistantInsert);
+}
+
+/** Process/thread-unique temp-file counter for atomic publishes. */
+std::atomic<std::uint64_t> g_tmpCounter{0};
+
+} // namespace
+
+std::string
+traceDigest(const trace::TaskTrace &trace)
+{
+    // The serialized trace pins workload identity: name, structure,
+    // per-instance sizes and seeds — everything generation derived
+    // from (workload name, WorkloadParams, job seed).
+    std::ostringstream traceBytes(std::ios::binary);
+    trace::serializeTrace(trace, traceBytes);
+    return hexDigest128(traceBytes.str());
+}
+
+std::string
+resultCacheKey(const std::string &trace_digest, const RunSpec &spec,
+               std::uint32_t formatVersion)
+{
+    // Serialize the full key material into one buffer, then digest
+    // it to 128 bits (two independent FNV-1a passes).
+    std::ostringstream material(std::ios::binary);
+    BinaryWriter w(material);
+    w.pod(kKeySchemeVersion);
+    w.pod(formatVersion);
+    w.str(trace_digest);
+
+    const cpu::ArchConfig &a = spec.arch;
+    w.str(a.name);
+    w.pod(a.core.robSize);
+    w.pod(a.core.issueWidth);
+    w.pod(a.core.commitWidth);
+    writeCacheConfig(w, a.memory.l1);
+    writeCacheConfig(w, a.memory.l2);
+    writeCacheConfig(w, a.memory.l3);
+    writeBool(w, a.memory.l2Shared);
+    writeBool(w, a.memory.hasL3);
+    w.pod(a.memory.dram.latency);
+    w.pod(a.memory.dram.servicePeriod);
+    w.pod(a.memory.dram.channels);
+    w.pod(a.memory.upgradeLatency);
+    w.pod(a.memory.busServicePeriod);
+    w.pod(a.memory.coherentBase);
+    w.pod(a.memory.coherentEnd);
+    writeBool(w, a.memory.streamPrefetch);
+    w.pod(a.memory.prefetchDegree);
+
+    w.pod(spec.threads);
+    w.pod<std::uint8_t>(
+        static_cast<std::uint8_t>(spec.runtime.scheduler));
+    w.pod(spec.runtime.dispatchOverhead);
+    w.pod(spec.runtime.dispatchJitter);
+    w.pod(spec.runtime.seed);
+    w.pod(spec.quantum);
+    writeBool(w, spec.recordTasks);
+    writeBool(w, spec.noise.enabled);
+    w.pod(spec.noise.sigma);
+    w.pod(spec.noise.preemptProb);
+    w.pod(spec.noise.preemptMeanCycles);
+    w.pod(spec.noise.seed);
+
+    return hexDigest128(material.str());
+}
+
+std::string
+resultCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
+               std::uint32_t formatVersion)
+{
+    return resultCacheKey(traceDigest(trace), spec, formatVersion);
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options))
+{
+    if (options_.dir.empty())
+        fatal("result cache needs a directory");
+    if (options_.mode == CacheMode::Off)
+        fatal("result cache constructed with mode 'off'");
+    std::error_code ec;
+    fs::create_directories(options_.dir, ec);
+    if (ec)
+        fatal("cannot create cache directory '%s': %s",
+              options_.dir.c_str(), ec.message().c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    loadIndexLocked();
+}
+
+ResultCache::~ResultCache()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (indexDirty_)
+        saveIndexLocked();
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (fs::path(options_.dir) / (key + kEntrySuffix)).string();
+}
+
+void
+ResultCache::loadIndexLocked()
+{
+    entries_.clear();
+    totalBytes_ = 0;
+    nextSeq_ = 1;
+
+    const fs::path indexPath = fs::path(options_.dir) / kIndexName;
+    std::ifstream in(indexPath);
+    std::string line;
+    while (in && std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        Entry e;
+        if (!(ls >> key >> e.bytes >> e.seq))
+            continue; // damaged line: the directory scan recovers it
+        entries_[key] = e;
+        nextSeq_ = std::max(nextSeq_, e.seq + 1);
+    }
+
+    // Reconcile with reality: drop entries whose file vanished (e.g.
+    // evicted by another process), adopt files the index missed, and
+    // trust on-disk sizes over recorded ones.
+    std::vector<std::pair<fs::file_time_type, std::string>> unknown;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(options_.dir, ec)) {
+        const std::string fname = de.path().filename().string();
+        if (fname.size() <= std::string(kEntrySuffix).size() ||
+            fname.substr(fname.size() -
+                         std::string(kEntrySuffix).size()) !=
+                kEntrySuffix)
+            continue;
+        const std::string key = fname.substr(
+            0, fname.size() - std::string(kEntrySuffix).size());
+        std::error_code sec;
+        const std::uint64_t bytes = fs::file_size(de.path(), sec);
+        if (sec)
+            continue;
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second.bytes = bytes;
+        } else {
+            unknown.emplace_back(fs::last_write_time(de.path(), sec),
+                                 key);
+            entries_[key] = Entry{bytes, 0};
+        }
+    }
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (!fs::exists(entryPath(it->first)))
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+    // Unknown files get recency in modification order, older first.
+    std::sort(unknown.begin(), unknown.end());
+    for (const auto &[mtime, key] : unknown)
+        entries_[key].seq = nextSeq_++;
+
+    for (const auto &[key, e] : entries_)
+        totalBytes_ += e.bytes;
+}
+
+void
+ResultCache::saveIndexLocked()
+{
+    indexDirty_ = false;
+    if (options_.mode != CacheMode::ReadWrite)
+        return;
+    const fs::path dir(options_.dir);
+    const std::string tmp =
+        (dir / strprintf(".index.tmp.%d.%llu",
+                         static_cast<int>(::getpid()),
+                         static_cast<unsigned long long>(
+                             g_tmpCounter.fetch_add(1))))
+            .string();
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        for (const auto &[key, e] : entries_)
+            out << key << '\t' << e.bytes << '\t' << e.seq << '\n';
+        if (!out.good()) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return; // index is a hint; never fail the run over it
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, dir / kIndexName, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+std::optional<sim::SimResult>
+ResultCache::lookup(const std::string &key)
+{
+    // All file reading and parsing happens outside the lock so
+    // concurrent workers replaying different entries don't serialize
+    // on each other; mu_ guards only the bookkeeping at the end.
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // Entry gone (never existed or evicted by another process).
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            totalBytes_ -= std::min(totalBytes_, it->second.bytes);
+            entries_.erase(it);
+            indexDirty_ = true;
+        }
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    std::error_code fec;
+    const std::uint64_t fileBytes = fs::file_size(path, fec);
+
+    try {
+        BinaryReader r(in, path);
+        if (r.pod<std::uint64_t>() != kEntryMagic)
+            throwIoError("'%s': not a result-cache entry",
+                         path.c_str());
+        if (r.pod<std::uint32_t>() != kEnvelopeVersion)
+            throwIoError("'%s': unsupported cache-entry version",
+                         path.c_str());
+        if (r.str() != key)
+            throwIoError("'%s': entry key mismatch", path.c_str());
+        // Bound the payload allocation by the real file size so a
+        // corrupt length field cannot trigger a huge allocation.
+        const auto payloadLen = r.pod<std::uint64_t>();
+        if (fec || payloadLen > fileBytes)
+            throwIoError("'%s': corrupt payload length",
+                         path.c_str());
+        std::string payload(payloadLen, '\0');
+        in.read(payload.data(),
+                static_cast<std::streamsize>(payloadLen));
+        if (!in)
+            throwIoError("'%s': file truncated", path.c_str());
+        const std::uint64_t checksum = r.pod<std::uint64_t>();
+        r.expectEof();
+        if (checksum != fnv1a(payload.data(), payload.size()))
+            throwIoError("'%s': payload checksum mismatch",
+                         path.c_str());
+
+        std::istringstream ps(payload, std::ios::binary);
+        sim::SimResult result = sim::deserializeResult(ps, path);
+
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &e = entries_[key];
+        if (e.bytes == 0) {
+            e.bytes = fileBytes;
+            totalBytes_ += fileBytes;
+        }
+        e.seq = nextSeq_++;
+        indexDirty_ = true;
+        ++stats_.hits;
+        return result;
+    } catch (const std::exception &) {
+        // Damaged or mismatched entry: a miss, never an error —
+        // including allocation failures provoked by corrupt bytes.
+        // The subsequent store() overwrites it with a good one.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const sim::SimResult &result)
+{
+    if (options_.mode != CacheMode::ReadWrite)
+        return;
+
+    // Serialization and the temp-file write/rename happen outside
+    // the lock (temp names are process/thread-unique and the rename
+    // is atomic); mu_ guards only the bookkeeping at the end.
+    std::ostringstream payloadStream(std::ios::binary);
+    sim::serializeResult(result, payloadStream);
+    const std::string payload = payloadStream.str();
+
+    const fs::path dir(options_.dir);
+    const std::string tmp =
+        (dir / strprintf(".tmp.%d.%llu",
+                         static_cast<int>(::getpid()),
+                         static_cast<unsigned long long>(
+                             g_tmpCounter.fetch_add(1))))
+            .string();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("result cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        BinaryWriter w(out);
+        w.pod(kEntryMagic);
+        w.pod(kEnvelopeVersion);
+        w.str(key);
+        w.pod<std::uint64_t>(payload.size());
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        w.pod(fnv1a(payload.data(), payload.size()));
+        if (!w.good()) {
+            warn("result cache: error writing '%s'", tmp.c_str());
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+
+    const std::string path = entryPath(key);
+    std::error_code ec;
+    fs::rename(tmp, path, ec); // atomic publish
+    if (ec) {
+        warn("result cache: cannot publish '%s': %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    std::error_code sec;
+    const std::uint64_t bytes = fs::file_size(path, sec);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &e = entries_[key];
+    totalBytes_ -= std::min(totalBytes_, e.bytes);
+    e.bytes = sec ? 0 : bytes;
+    e.seq = nextSeq_++;
+    totalBytes_ += e.bytes;
+    ++stats_.stores;
+
+    evictToFitLocked();
+    saveIndexLocked();
+}
+
+void
+ResultCache::evictToFitLocked()
+{
+    if (options_.maxBytes == 0)
+        return;
+    while (totalBytes_ > options_.maxBytes && entries_.size() > 1) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (victim == entries_.end() ||
+                it->second.seq < victim->second.seq)
+                victim = it;
+        }
+        std::error_code ec;
+        fs::remove(entryPath(victim->first), ec);
+        totalBytes_ -= std::min(totalBytes_, victim->second.bytes);
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+}
+
+bool
+ResultCache::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fs::exists(entryPath(key));
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::string
+ResultCache::statsLine() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return strprintf(
+        "result cache '%s': hits=%llu misses=%llu stores=%llu "
+        "evictions=%llu entries=%zu bytes=%llu",
+        options_.dir.c_str(),
+        static_cast<unsigned long long>(stats_.hits),
+        static_cast<unsigned long long>(stats_.misses),
+        static_cast<unsigned long long>(stats_.stores),
+        static_cast<unsigned long long>(stats_.evictions),
+        entries_.size(),
+        static_cast<unsigned long long>(totalBytes_));
+}
+
+std::unique_ptr<ResultCache>
+resultCacheFromCli(const CliArgs &args)
+{
+    const std::string dir = args.getString(kCacheDirOption, "");
+    const std::string modeStr = args.getString(
+        kCacheModeOption, dir.empty() ? "off" : "rw");
+    CacheMode mode;
+    if (modeStr == "off")
+        mode = CacheMode::Off;
+    else if (modeStr == "ro")
+        mode = CacheMode::ReadOnly;
+    else if (modeStr == "rw")
+        mode = CacheMode::ReadWrite;
+    else
+        fatal("--%s expects off, ro or rw; got '%s'",
+              kCacheModeOption, modeStr.c_str());
+
+    if (mode == CacheMode::Off) {
+        if (!dir.empty() && args.has(kCacheModeOption))
+            warn("--%s given but --%s=off: caching disabled",
+                 kCacheDirOption, kCacheModeOption);
+        return nullptr;
+    }
+    if (dir.empty())
+        fatal("--%s=%s needs --%s=DIR", kCacheModeOption,
+              modeStr.c_str(), kCacheDirOption);
+
+    ResultCacheOptions o;
+    o.dir = dir;
+    o.mode = mode;
+    return std::make_unique<ResultCache>(std::move(o));
+}
+
+} // namespace tp::harness

@@ -1,0 +1,113 @@
+#include "sim/result_io.hh"
+
+#include <algorithm>
+
+#include "common/binary_io.hh"
+
+namespace tp::sim {
+
+namespace {
+
+void
+writeCacheStats(BinaryWriter &w, const mem::CacheStats &s)
+{
+    w.pod(s.accesses);
+    w.pod(s.hits);
+    w.pod(s.misses);
+    w.pod(s.evictions);
+    w.pod(s.writebacks);
+    w.pod(s.invalidations);
+    w.pod(s.prefetchFills);
+}
+
+mem::CacheStats
+readCacheStats(BinaryReader &r)
+{
+    mem::CacheStats s;
+    s.accesses = r.pod<std::uint64_t>();
+    s.hits = r.pod<std::uint64_t>();
+    s.misses = r.pod<std::uint64_t>();
+    s.evictions = r.pod<std::uint64_t>();
+    s.writebacks = r.pod<std::uint64_t>();
+    s.invalidations = r.pod<std::uint64_t>();
+    s.prefetchFills = r.pod<std::uint64_t>();
+    return s;
+}
+
+} // namespace
+
+void
+serializeResult(const SimResult &r, std::ostream &out)
+{
+    BinaryWriter w(out);
+    w.pod(r.totalCycles);
+    w.pod(r.detailedTasks);
+    w.pod(r.fastTasks);
+    w.pod(r.detailedInsts);
+    w.pod(r.fastInsts);
+    w.pod(r.wallSeconds);
+    w.pod(r.avgActiveCores);
+
+    writeCacheStats(w, r.memStats.l1);
+    writeCacheStats(w, r.memStats.l2);
+    writeCacheStats(w, r.memStats.l3);
+    w.pod(r.memStats.dramRequests);
+    w.pod(r.memStats.dramMeanQueueDelay);
+    w.pod(r.memStats.coherenceInvalidations);
+
+    w.pod<std::uint64_t>(r.tasks.size());
+    for (const TaskRecord &t : r.tasks) {
+        w.pod(t.id);
+        w.pod(t.type);
+        w.pod(t.thread);
+        w.pod(t.start);
+        w.pod(t.end);
+        w.pod(t.insts);
+        w.pod(static_cast<std::uint8_t>(t.mode));
+        w.pod(t.ipc);
+    }
+}
+
+SimResult
+deserializeResult(std::istream &in, const std::string &name)
+{
+    BinaryReader r(in, name);
+    SimResult res;
+    res.totalCycles = r.pod<Cycles>();
+    res.detailedTasks = r.pod<std::uint64_t>();
+    res.fastTasks = r.pod<std::uint64_t>();
+    res.detailedInsts = r.pod<InstCount>();
+    res.fastInsts = r.pod<InstCount>();
+    res.wallSeconds = r.pod<double>();
+    res.avgActiveCores = r.pod<double>();
+
+    res.memStats.l1 = readCacheStats(r);
+    res.memStats.l2 = readCacheStats(r);
+    res.memStats.l3 = readCacheStats(r);
+    res.memStats.dramRequests = r.pod<std::uint64_t>();
+    res.memStats.dramMeanQueueDelay = r.pod<double>();
+    res.memStats.coherenceInvalidations = r.pod<std::uint64_t>();
+
+    const auto ntasks = r.pod<std::uint64_t>();
+    if (ntasks > (1ULL << 32))
+        throwIoError("'%s': corrupt task-record count", name.c_str());
+    // Pre-size only within reason: ntasks is untrusted until the
+    // reads below prove the stream actually holds that many records.
+    res.tasks.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(ntasks, 1ULL << 16)));
+    for (std::uint64_t i = 0; i < ntasks; ++i) {
+        TaskRecord t;
+        t.id = r.pod<TaskInstanceId>();
+        t.type = r.pod<TaskTypeId>();
+        t.thread = r.pod<ThreadId>();
+        t.start = r.pod<Cycles>();
+        t.end = r.pod<Cycles>();
+        t.insts = r.pod<InstCount>();
+        t.mode = static_cast<SimMode>(r.pod<std::uint8_t>());
+        t.ipc = r.pod<double>();
+        res.tasks.push_back(t);
+    }
+    return res;
+}
+
+} // namespace tp::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary (de)serialization of SimResults.
+ *
+ * The payload format behind harness/result_cache: every field of
+ * SimResult — including doubles by bit pattern, the optional
+ * per-instance TaskRecords and the memory-hierarchy statistics — is
+ * written so that a deserialized result is bit-identical to the
+ * original. Cached reference runs must be indistinguishable from
+ * freshly simulated ones; any lossy encoding here would silently
+ * corrupt error figures.
+ *
+ * Corruption raises IoError (recoverable, see common/binary_io);
+ * the result cache treats that as a miss.
+ */
+
+#ifndef TP_SIM_RESULT_IO_HH
+#define TP_SIM_RESULT_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/sim_result.hh"
+
+namespace tp::sim {
+
+/**
+ * Version of the SimResult payload encoding. Bump whenever SimResult
+ * or any nested struct changes shape; the version participates in
+ * result-cache keys, so stale entries from an older build miss
+ * instead of decoding garbage.
+ */
+inline constexpr std::uint32_t kResultFormatVersion = 1;
+
+/** Write `r` to a stream (payload only, no framing or checksum). */
+void serializeResult(const SimResult &r, std::ostream &out);
+
+/**
+ * Read a SimResult back; exact inverse of serializeResult.
+ *
+ * @param name label for error messages
+ * @throws IoError on truncation or corrupt lengths
+ */
+SimResult deserializeResult(std::istream &in, const std::string &name);
+
+} // namespace tp::sim
+
+#endif // TP_SIM_RESULT_IO_HH

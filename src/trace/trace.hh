@@ -13,6 +13,7 @@
 #ifndef TP_TRACE_TRACE_HH
 #define TP_TRACE_TRACE_HH
 
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,7 +89,8 @@ class TaskTrace
 
   private:
     friend class TraceBuilder;
-    friend TaskTrace deserializeTrace(const std::string &path);
+    friend TaskTrace deserializeTrace(std::istream &in,
+                                      const std::string &name);
 
     std::string name_;
     std::vector<TaskType> types_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/binary_io.hh"
 #include "common/logging.hh"
 
 namespace tp::trace {
@@ -13,100 +14,8 @@ namespace {
 constexpr std::uint64_t kMagic = 0x5450545243453101ULL; // "TPTRCE1."
 constexpr std::uint32_t kVersion = 1;
 
-class Writer
-{
-  public:
-    explicit Writer(const std::string &path)
-        : out_(path, std::ios::binary)
-    {
-        if (!out_)
-            fatal("cannot open '%s' for writing", path.c_str());
-    }
-
-    template <typename T>
-    void
-    pod(const T &v)
-    {
-        out_.write(reinterpret_cast<const char *>(&v), sizeof(T));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        pod<std::uint64_t>(s.size());
-        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
-    }
-
-    template <typename T>
-    void
-    vec(const std::vector<T> &v)
-    {
-        pod<std::uint64_t>(v.size());
-        out_.write(reinterpret_cast<const char *>(v.data()),
-                   static_cast<std::streamsize>(v.size() * sizeof(T)));
-    }
-
-    bool good() const { return out_.good(); }
-
-  private:
-    std::ofstream out_;
-};
-
-class Reader
-{
-  public:
-    explicit Reader(const std::string &path)
-        : in_(path, std::ios::binary)
-    {
-        if (!in_)
-            fatal("cannot open '%s' for reading", path.c_str());
-    }
-
-    template <typename T>
-    T
-    pod()
-    {
-        T v{};
-        in_.read(reinterpret_cast<char *>(&v), sizeof(T));
-        if (!in_)
-            fatal("trace file truncated");
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        const auto n = pod<std::uint64_t>();
-        if (n > (1ULL << 20))
-            fatal("trace file corrupt: unreasonable string length");
-        std::string s(n, '\0');
-        in_.read(s.data(), static_cast<std::streamsize>(n));
-        if (!in_)
-            fatal("trace file truncated");
-        return s;
-    }
-
-    template <typename T>
-    std::vector<T>
-    vec()
-    {
-        const auto n = pod<std::uint64_t>();
-        if (n > (1ULL << 32))
-            fatal("trace file corrupt: unreasonable vector length");
-        std::vector<T> v(n);
-        in_.read(reinterpret_cast<char *>(v.data()),
-                 static_cast<std::streamsize>(n * sizeof(T)));
-        if (!in_)
-            fatal("trace file truncated");
-        return v;
-    }
-
-  private:
-    std::ifstream in_;
-};
-
 void
-writeProfile(Writer &w, const KernelProfile &p)
+writeProfile(BinaryWriter &w, const KernelProfile &p)
 {
     w.pod(p.loadFrac);
     w.pod(p.storeFrac);
@@ -123,7 +32,7 @@ writeProfile(Writer &w, const KernelProfile &p)
 }
 
 KernelProfile
-readProfile(Reader &r)
+readProfile(BinaryReader &r)
 {
     KernelProfile p;
     p.loadFrac = r.pod<double>();
@@ -145,9 +54,9 @@ readProfile(Reader &r)
 } // namespace
 
 void
-serializeTrace(const TaskTrace &trace, const std::string &path)
+serializeTrace(const TaskTrace &trace, std::ostream &out)
 {
-    Writer w(path);
+    BinaryWriter w(out);
     w.pod(kMagic);
     w.pod(kVersion);
     w.str(trace.name());
@@ -180,35 +89,57 @@ serializeTrace(const TaskTrace &trace, const std::string &path)
         for (TaskInstanceId s : succs)
             w.pod(s);
     }
+}
 
-    if (!w.good())
+void
+serializeTrace(const TaskTrace &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    serializeTrace(trace, out);
+    if (!out.good())
         fatal("error writing trace to '%s'", path.c_str());
 }
 
 TaskTrace
-deserializeTrace(const std::string &path)
+deserializeTrace(std::istream &in, const std::string &name)
 {
-    Reader r(path);
+    BinaryReader r(in, name);
     if (r.pod<std::uint64_t>() != kMagic)
-        fatal("'%s' is not a TaskPoint trace file", path.c_str());
+        throwIoError("'%s' is not a TaskPoint trace file",
+                     name.c_str());
     if (r.pod<std::uint32_t>() != kVersion)
-        fatal("'%s': unsupported trace version", path.c_str());
+        throwIoError("'%s': unsupported trace version", name.c_str());
 
     TaskTrace t;
     t.name_ = r.str();
 
+    // Bound untrusted counts by the bytes actually left in the
+    // stream (each record has a fixed minimum encoding size), so a
+    // corrupt count fails here instead of attempting a huge
+    // allocation that escapes as bad_alloc or an OOM kill.
+    const std::uint64_t remaining = r.remainingBytes();
+
     const auto ntypes = r.pod<std::uint64_t>();
+    if (ntypes > (1ULL << 20) || ntypes > remaining / 20)
+        throwIoError("'%s': corrupt task-type count", name.c_str());
     t.types_.resize(ntypes);
     for (auto &type : t.types_) {
         type.id = r.pod<TaskTypeId>();
         type.name = r.str();
         const auto nvar = r.pod<std::uint64_t>();
+        if (nvar > (1ULL << 16))
+            throwIoError("'%s': corrupt variant count", name.c_str());
         type.variants.reserve(nvar);
         for (std::uint64_t v = 0; v < nvar; ++v)
             type.variants.push_back(readProfile(r));
     }
 
+    // A serialized TaskInstance occupies 50 bytes.
     const auto ninst = r.pod<std::uint64_t>();
+    if (ninst > (1ULL << 32) || ninst > remaining / 50)
+        throwIoError("'%s': corrupt instance count", name.c_str());
     t.instances_.resize(ninst);
     std::uint32_t max_epoch = 0;
     t.totalInsts_ = 0;
@@ -221,6 +152,12 @@ deserializeTrace(const std::string &path)
         ti.seed = r.pod<std::uint64_t>();
         ti.variant = r.pod<std::uint16_t>();
         ti.epoch = r.pod<std::uint32_t>();
+        // Builder epochs are dense, so a valid trace has at most
+        // one epoch per instance; anything larger is corruption
+        // (and would blow up the epochSizes_ allocation below).
+        if (ti.epoch >= ninst)
+            throwIoError("'%s': corrupt instance epoch",
+                         name.c_str());
         max_epoch = std::max(max_epoch, ti.epoch);
         t.totalInsts_ += ti.instCount;
     }
@@ -229,12 +166,16 @@ deserializeTrace(const std::string &path)
     t.succOffsets_.assign(ninst + 1, 0);
     for (TaskInstanceId i = 0; i < ninst; ++i) {
         const auto nsucc = r.pod<std::uint64_t>();
+        if (nsucc > ninst)
+            throwIoError("'%s': corrupt successor count",
+                         name.c_str());
         t.succOffsets_[i + 1] = t.succOffsets_[i] + nsucc;
         for (std::uint64_t k = 0; k < nsucc; ++k) {
             const auto s = r.pod<TaskInstanceId>();
             t.succs_.push_back(s);
             if (s >= ninst)
-                fatal("'%s': successor id out of range", path.c_str());
+                throwIoError("'%s': successor id out of range",
+                             name.c_str());
             ++t.inDegree_[s];
         }
     }
@@ -245,6 +186,15 @@ deserializeTrace(const std::string &path)
 
     t.validate();
     return t;
+}
+
+TaskTrace
+deserializeTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throwIoError("cannot open '%s' for reading", path.c_str());
+    return deserializeTrace(in, path);
 }
 
 } // namespace tp::trace

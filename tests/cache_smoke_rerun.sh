@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Smoke test of the shared reference-result cache (`ctest -L cache`):
+# run one figure driver twice in the same cache directory and assert
+# that the second run (a) reports cache hits and no reference
+# simulations, and (b) prints a byte-identical error figure.
+#
+# Usage: cache_smoke_rerun.sh <figure-driver-binary>
+set -euo pipefail
+
+bin="$1"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+run() {
+    "$bin" --benchmarks=histogram --scale=0.02 --jobs=2 \
+        --cache=rw --cache-dir="$work/cache" \
+        >"$work/out$1.txt" 2>"$work/err$1.txt"
+}
+
+run 1
+run 2
+
+echo "--- first-run cache stats"
+grep "result cache" "$work/err1.txt"
+echo "--- second-run cache stats"
+grep "result cache" "$work/err2.txt"
+
+# Cold run simulates and stores every reference, hitting nothing.
+grep -q "result cache.*hits=0 " "$work/err1.txt"
+grep -Eq "result cache.*stores=[1-9]" "$work/err1.txt"
+
+# Warm run hits every reference and simulates none.
+grep -Eq "result cache.*hits=[1-9]" "$work/err2.txt"
+grep -q "result cache.*misses=0 " "$work/err2.txt"
+grep -q "result cache.*stores=0 " "$work/err2.txt"
+grep -q "\[ref cached\]" "$work/err2.txt"
+
+# The error figure (first table on stdout; everything before the
+# wall-clock speedup table) must be byte-identical.
+awk '/^$/{exit} {print}' "$work/out1.txt" >"$work/fig1.txt"
+awk '/^$/{exit} {print}' "$work/out2.txt" >"$work/fig2.txt"
+test -s "$work/fig1.txt"
+diff -u "$work/fig1.txt" "$work/fig2.txt"
+
+echo "cache smoke rerun: OK"

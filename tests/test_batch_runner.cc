@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
 #include <set>
 
 #include "common/logging.hh"
 #include "harness/batch_runner.hh"
+#include "harness/result_cache.hh"
 
 namespace tp::harness {
 namespace {
@@ -202,6 +205,78 @@ TEST(BatchRunner, JobExceptionPropagatesToCaller)
     BatchOptions opts;
     opts.jobs = 2;
     EXPECT_THROW((void)BatchRunner(opts).run({bad}), SimError);
+}
+
+TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
+{
+    // Determinism regression over the result cache: a serial
+    // cold-cache run, a parallel cold-cache run and a parallel
+    // warm-cache run must produce identical reports except host
+    // wall-clock fields.
+    namespace fs = std::filesystem;
+    const fs::path coldDir =
+        fs::path(testing::TempDir()) / "tp_batch_cache_cold";
+    const fs::path warmDir =
+        fs::path(testing::TempDir()) / "tp_batch_cache_warm";
+    fs::remove_all(coldDir);
+    fs::remove_all(warmDir);
+
+    const std::vector<BatchJob> jobs = smallBatch();
+
+    ResultCacheOptions co;
+    co.dir = coldDir.string();
+    ResultCache serialCache(co);
+    BatchOptions serial;
+    serial.jobs = 1;
+    serial.cache = &serialCache;
+    const std::vector<BatchResult> a = BatchRunner(serial).run(jobs);
+
+    ResultCacheOptions wo;
+    wo.dir = warmDir.string();
+    ResultCache parallelCache(wo);
+    BatchOptions parallel;
+    parallel.jobs = 4;
+    parallel.cache = &parallelCache;
+    const std::vector<BatchResult> b =
+        BatchRunner(parallel).run(jobs); // cold
+    const std::vector<BatchResult> c =
+        BatchRunner(parallel).run(jobs); // warm, same directory
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    ASSERT_EQ(c.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        // Every reference was simulated in the cold runs and
+        // replayed in the warm one.
+        EXPECT_FALSE(a[i].referenceFromCache);
+        EXPECT_FALSE(b[i].referenceFromCache);
+        EXPECT_TRUE(c[i].referenceFromCache);
+
+        // Deterministic fields agree across all three runs.
+        EXPECT_TRUE(fingerprint(*a[i].reference) ==
+                    fingerprint(*b[i].reference));
+        EXPECT_TRUE(fingerprint(*b[i].reference) ==
+                    fingerprint(*c[i].reference));
+        EXPECT_TRUE(fingerprint(a[i].sampled->result) ==
+                    fingerprint(c[i].sampled->result));
+        EXPECT_EQ(a[i].comparison->errorPct, c[i].comparison->errorPct);
+        EXPECT_EQ(b[i].comparison->errorPct, c[i].comparison->errorPct);
+        EXPECT_EQ(a[i].comparison->detailFraction,
+                  c[i].comparison->detailFraction);
+
+        // The warm run replays even the stored host wall-clock of
+        // the cold run's reference, bit for bit.
+        EXPECT_EQ(std::memcmp(&b[i].reference->wallSeconds,
+                              &c[i].reference->wallSeconds,
+                              sizeof(double)),
+                  0);
+    }
+    EXPECT_EQ(parallelCache.stats().hits, jobs.size());
+    EXPECT_EQ(parallelCache.stats().stores, jobs.size());
+
+    fs::remove_all(coldDir);
+    fs::remove_all(warmDir);
 }
 
 TEST(BatchRunner, SummaryTableAndErrorStats)

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Round-trip and corruption batteries for trace/trace_io — the
+ * prerequisite for shipping traces to out-of-process workers and for
+ * keying the result cache by serialized trace bytes.
+ *
+ * Round trip, for every workload in the registry:
+ *  - serialize → deserialize → re-serialize is byte-identical
+ *  - the deserialized trace simulates to the same SimResult as the
+ *    original (the trace carries *all* simulation-relevant state)
+ *
+ * Corruption: truncated files, bad magic, and flipped bytes must
+ * raise a recoverable error (IoError / SimError), never crash or
+ * silently succeed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.hh"
+#include "harness/experiment.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workloads.hh"
+
+namespace tp::trace {
+namespace {
+
+work::WorkloadParams
+tinyScale()
+{
+    work::WorkloadParams p;
+    p.scale = 0.02;
+    p.seed = 42;
+    return p;
+}
+
+std::string
+serializedBytes(const TaskTrace &t)
+{
+    std::ostringstream os(std::ios::binary);
+    serializeTrace(t, os);
+    return os.str();
+}
+
+TaskTrace
+fromBytes(const std::string &bytes)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    return deserializeTrace(is, "<memory>");
+}
+
+/** Deterministic fields of a SimResult (host wall-clock excluded). */
+void
+expectSameSimResult(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.detailedTasks, b.detailedTasks);
+    EXPECT_EQ(a.fastTasks, b.fastTasks);
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    EXPECT_EQ(a.fastInsts, b.fastInsts);
+    EXPECT_EQ(a.avgActiveCores, b.avgActiveCores);
+    EXPECT_EQ(a.tasks.size(), b.tasks.size());
+    EXPECT_EQ(a.memStats.l1.accesses, b.memStats.l1.accesses);
+    EXPECT_EQ(a.memStats.l1.misses, b.memStats.l1.misses);
+    EXPECT_EQ(a.memStats.dramRequests, b.memStats.dramRequests);
+    EXPECT_EQ(a.memStats.coherenceInvalidations,
+              b.memStats.coherenceInvalidations);
+}
+
+/** A temp file path unique to this test binary. */
+std::string
+tmpPath(const std::string &tag)
+{
+    return testing::TempDir() + "tp_trace_io_" + tag + ".bin";
+}
+
+TEST(TraceIoRoundTrip, EveryWorkloadReserializesByteIdentical)
+{
+    for (const work::WorkloadInfo &w : work::allWorkloads()) {
+        SCOPED_TRACE(w.name);
+        const TaskTrace t = work::generateWorkload(w.name,
+                                                   tinyScale());
+        const std::string bytes = serializedBytes(t);
+        const TaskTrace back = fromBytes(bytes);
+        EXPECT_EQ(back.name(), t.name());
+        EXPECT_EQ(back.size(), t.size());
+        EXPECT_EQ(serializedBytes(back), bytes)
+            << "re-serialization must be byte-identical";
+    }
+}
+
+TEST(TraceIoRoundTrip, EveryWorkloadSimulatesIdentically)
+{
+    for (const work::WorkloadInfo &w : work::allWorkloads()) {
+        SCOPED_TRACE(w.name);
+        const TaskTrace t = work::generateWorkload(w.name,
+                                                   tinyScale());
+        const TaskTrace back = fromBytes(serializedBytes(t));
+
+        harness::RunSpec spec;
+        spec.arch = cpu::highPerformanceConfig();
+        spec.threads = 4;
+        expectSameSimResult(harness::runDetailed(t, spec),
+                            harness::runDetailed(back, spec));
+    }
+}
+
+TEST(TraceIoRoundTrip, FileAndStreamFormatsAgree)
+{
+    const TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    const std::string path = tmpPath("file_stream");
+    serializeTrace(t, path);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream fileBytes;
+    fileBytes << in.rdbuf();
+    EXPECT_EQ(fileBytes.str(), serializedBytes(t));
+    const TaskTrace back = deserializeTrace(path);
+    EXPECT_EQ(serializedBytes(back), serializedBytes(t));
+    std::remove(path.c_str());
+}
+
+class TraceIoCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace_ = work::generateWorkload("histogram", tinyScale());
+        bytes_ = serializedBytes(trace_);
+    }
+
+    /** Write `bytes` to a temp file and return the path. */
+    std::string
+    writeFile(const std::string &tag, const std::string &bytes)
+    {
+        const std::string path = tmpPath(tag);
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        paths_.push_back(path);
+        return path;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : paths_)
+            std::remove(p.c_str());
+    }
+
+    TaskTrace trace_;
+    std::string bytes_;
+    std::vector<std::string> paths_;
+};
+
+TEST_F(TraceIoCorruption, TruncatedFileThrowsIoError)
+{
+    for (double frac : {0.0, 0.1, 0.5, 0.9}) {
+        SCOPED_TRACE(frac);
+        const auto n =
+            static_cast<std::size_t>(double(bytes_.size()) * frac);
+        const std::string path = writeFile(
+            "trunc", bytes_.substr(0, n));
+        EXPECT_THROW((void)deserializeTrace(path), IoError);
+    }
+    // Off-by-one truncation: drop just the last byte.
+    const std::string path = writeFile(
+        "trunc1", bytes_.substr(0, bytes_.size() - 1));
+    EXPECT_THROW((void)deserializeTrace(path), IoError);
+}
+
+TEST_F(TraceIoCorruption, BadMagicThrowsIoError)
+{
+    std::string bad = bytes_;
+    bad[0] = static_cast<char>(bad[0] ^ 0x01);
+    EXPECT_THROW((void)deserializeTrace(writeFile("magic", bad)),
+                 IoError);
+}
+
+TEST_F(TraceIoCorruption, BadVersionThrowsIoError)
+{
+    std::string bad = bytes_;
+    bad[8] = static_cast<char>(bad[8] ^ 0x40); // version word
+    EXPECT_THROW((void)deserializeTrace(writeFile("version", bad)),
+                 IoError);
+}
+
+TEST_F(TraceIoCorruption, FlippedLengthByteThrowsIoError)
+{
+    // Offset 12..19 is the name-length u64; blowing up its high byte
+    // produces an implausible string length.
+    std::string bad = bytes_;
+    bad[19] = static_cast<char>(0xff);
+    EXPECT_THROW((void)deserializeTrace(writeFile("length", bad)),
+                 IoError);
+}
+
+TEST_F(TraceIoCorruption, HugeCountIsRejectedBeforeAllocating)
+{
+    // The task-type count u64 sits right after magic, version and
+    // the name string. A corrupt count must be rejected up front by
+    // the plausibility bounds — as IoError, not as a failed
+    // multi-GiB allocation escaping as bad_alloc.
+    const std::size_t ntypesOff = 8 + 4 + 8 + trace_.name().size();
+    ASSERT_LT(ntypesOff + 7, bytes_.size());
+
+    // High byte set: count far beyond the absolute bound.
+    std::string bad = bytes_;
+    bad[ntypesOff + 7] = static_cast<char>(0x7f);
+    EXPECT_THROW((void)deserializeTrace(writeFile("huge1", bad)),
+                 IoError);
+
+    // Count below the absolute bound (2^20) but far beyond what the
+    // remaining file bytes could hold: the remaining-bytes bound
+    // must catch it.
+    bad = bytes_;
+    bad[ntypesOff + 2] = static_cast<char>(0x0f); // += 983040
+    EXPECT_THROW((void)deserializeTrace(writeFile("huge2", bad)),
+                 IoError);
+}
+
+TEST_F(TraceIoCorruption, FlippedTrailingByteFailsCleanly)
+{
+    // The final bytes encode successor counts/ids; flipping the last
+    // byte yields a count pointing past EOF or an out-of-range id.
+    std::string bad = bytes_;
+    bad[bad.size() - 1] =
+        static_cast<char>(bad[bad.size() - 1] ^ 0xff);
+    EXPECT_THROW((void)deserializeTrace(writeFile("tail", bad)),
+                 SimError);
+}
+
+TEST_F(TraceIoCorruption, EveryPrefixFailsCleanlyOrRoundTrips)
+{
+    // Sweep truncation points through the whole file: deserializing
+    // any prefix must either throw a recoverable SimError or (full
+    // length only) succeed — never crash the process.
+    const std::size_t step =
+        std::max<std::size_t>(1, bytes_.size() / 97);
+    for (std::size_t n = 0; n < bytes_.size(); n += step) {
+        std::istringstream is(bytes_.substr(0, n),
+                              std::ios::binary);
+        EXPECT_THROW((void)deserializeTrace(is, "<prefix>"),
+                     SimError)
+            << "prefix length " << n;
+    }
+}
+
+TEST_F(TraceIoCorruption, MissingFileThrowsIoError)
+{
+    EXPECT_THROW(
+        (void)deserializeTrace(tmpPath("definitely_missing")),
+        IoError);
+}
+
+} // namespace
+} // namespace tp::trace
