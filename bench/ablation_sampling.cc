@@ -12,9 +12,10 @@
  * parallelism, wavefront factorization, irregular divergence).
  *
  * The twelve detailed references (benchmark x scheduler) run as one
- * BatchRunner batch — shareable through the reference-result cache —
- * and every table row's sampled runs fan into a second batch, so
- * `--jobs=N` parallelizes the whole ablation.
+ * plan — shareable through the result cache — and every table row's
+ * sampled runs fan into a second plan streamed straight into the
+ * table cells, so `--jobs=N` parallelizes the whole ablation and no
+ * sampled result is retained in memory.
  */
 
 #include <cstdio>
@@ -73,41 +74,29 @@ int
 main(int argc, char **argv)
 {
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv);
+        bench::parseFigureOptions(argc, argv, bench::PlanCli::None);
+    const work::WorkloadParams wp = bench::figureWorkloadParams(opts);
 
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
-
-    std::map<std::string, trace::TaskTrace> traces;
-    for (const std::string &name : kBenchmarks)
-        traces.emplace(name, work::generateWorkload(name, wp));
-
-    harness::BatchOptions bo;
-    bo.jobs = opts.jobs;
-    bo.deriveSeeds = false;
-    bo.progress = true;
-    bo.cache = opts.cache.get();
+    const harness::BatchRunner runner(bench::figureBatchOptions(opts));
 
     // Detailed references per (benchmark, scheduler).
-    std::vector<harness::BatchJob> refJobs;
+    harness::ExperimentPlan refPlan;
+    refPlan.deriveSeeds = false;
     for (const std::string &name : kBenchmarks) {
         for (rt::SchedulerKind sched : kSchedulers) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = name + " reference (" +
                       std::string(schedName(sched)) + ")";
-            j.trace = &traces.at(name);
             j.workload = name;
             j.workloadParams = wp;
             j.spec = baseSpec(sched);
             j.mode = harness::BatchMode::Reference;
-            refJobs.push_back(j);
+            refPlan.jobs.push_back(j);
         }
     }
     harness::progress("computing detailed references");
     const std::vector<harness::BatchResult> refResults =
-        harness::BatchRunner(bo).run(refJobs);
+        runner.run(refPlan);
     std::map<std::pair<std::string, rt::SchedulerKind>,
              const sim::SimResult *>
         refs;
@@ -143,24 +132,38 @@ main(int argc, char **argv)
                         sampling::SamplingParams::lazy(), sched});
     }
 
-    // All sampled runs of all rows in one batch.
-    std::vector<harness::BatchJob> samJobs;
+    // All sampled runs of all rows in one plan.
+    harness::ExperimentPlan samPlan;
+    samPlan.deriveSeeds = false;
     for (const RowSpec &row : rows) {
         for (const std::string &name : kBenchmarks) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = name + " " + row.label;
-            j.trace = &traces.at(name);
+            j.workload = name;
+            j.workloadParams = wp;
             j.spec = baseSpec(row.sched);
             j.sampling = row.params;
             j.mode = harness::BatchMode::Sampled;
-            samJobs.push_back(j);
+            samPlan.jobs.push_back(j);
         }
     }
     harness::progress(
         strprintf("running %zu sampled simulations (%zu jobs)",
-                  samJobs.size(), bo.jobs));
-    const std::vector<harness::BatchResult> samResults =
-        harness::BatchRunner(bo).run(samJobs);
+                  samPlan.jobs.size(), opts.jobs));
+
+    // Stream each sampled run into its table cell against the shared
+    // references; only the formatted cells are retained.
+    std::vector<std::vector<std::string>> cells(rows.size());
+    harness::FunctionSink sink([&](harness::BatchResult &&r) {
+        const std::size_t row = r.index / kBenchmarks.size();
+        const std::string &name =
+            kBenchmarks[r.index % kBenchmarks.size()];
+        const harness::ErrorSpeedup es = harness::compare(
+            *refs.at({name, rows[row].sched}), r.sampled->result);
+        cells[row].push_back(fmtDouble(es.errorPct, 2) + "% / " +
+                             fmtDouble(es.wallSpeedup, 1) + "x");
+    });
+    runner.run(samPlan, sink);
     bench::reportCacheStats(opts);
 
     std::vector<std::string> header = {"configuration"};
@@ -174,23 +177,16 @@ main(int argc, char **argv)
         "Ablation: rare-type sampling cutoff R",
         "Ablation: runtime scheduler policy (lazy defaults)"};
 
-    std::size_t at = 0;
     for (std::size_t table = 0; table < 4; ++table) {
         TextTable t(titles[table]);
         t.setHeader(header);
-        for (const RowSpec &row : rows) {
-            if (row.table != table)
+        for (std::size_t row = 0; row < rows.size(); ++row) {
+            if (rows[row].table != table)
                 continue;
-            std::vector<std::string> cells = {row.label};
-            for (const std::string &name : kBenchmarks) {
-                const harness::SampledOutcome &sam =
-                    *samResults[at++].sampled;
-                const harness::ErrorSpeedup es = harness::compare(
-                    *refs.at({name, row.sched}), sam.result);
-                cells.push_back(fmtDouble(es.errorPct, 2) + "% / " +
-                                fmtDouble(es.wallSpeedup, 1) + "x");
-            }
-            t.addRow(cells);
+            std::vector<std::string> line = {rows[row].label};
+            line.insert(line.end(), cells[row].begin(),
+                        cells[row].end());
+            t.addRow(line);
         }
         t.print();
         if (table != 3)

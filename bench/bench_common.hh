@@ -2,10 +2,13 @@
  * @file
  * Shared driver code for the per-figure bench binaries.
  *
- * Every figure of the paper's evaluation reduces to: generate the 19
- * workload traces, run the detailed reference and a TaskPoint-sampled
- * simulation per (architecture, thread count), and print error and
- * speedup per benchmark plus the average row the paper reports.
+ * Every figure of the paper's evaluation reduces to: build an
+ * ExperimentPlan over the 19 workloads — one self-describing JobSpec
+ * per (architecture, thread count, policy) — run it through
+ * BatchRunner, and stream the results into the figure's report.
+ * Single-batch figures can also save their plan to disk
+ * (`--save-plan=FILE`) and replay a saved plan in a fresh process
+ * (`--plan=FILE`) with byte-identical deterministic output.
  */
 
 #ifndef TP_BENCH_BENCH_COMMON_HH
@@ -15,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hh"
@@ -35,29 +39,84 @@ struct FigureOptions
     std::uint64_t seed = 42;
     std::vector<std::string> benchmarks; //!< empty = all 19
     std::size_t jobs = 1; //!< simulation worker threads (--jobs)
-    /** Reference-result cache (--cache-dir/--cache); may be null. */
+    /** Result cache (--cache-dir/--cache); may be null. */
     std::shared_ptr<harness::ResultCache> cache;
+    /** Replay this serialized plan instead of the built one. */
+    std::string planFile;
+    /** Serialize the plan about to run to this path. */
+    std::string savePlanFile;
 };
+
+/** Whether a figure driver supports --plan/--save-plan. */
+enum class PlanCli : std::uint8_t { None, Supported };
+
+/**
+ * Validate `--benchmarks` names against the workload registry up
+ * front, so a typo fails with the list of valid names instead of
+ * aborting the batch after minutes of simulation.
+ */
+inline void
+validateBenchmarks(const std::vector<std::string> &names)
+{
+    std::string unknown;
+    for (const std::string &name : names) {
+        if (work::findWorkload(name) == nullptr)
+            unknown += (unknown.empty() ? "" : ", ") + name;
+    }
+    if (unknown.empty())
+        return;
+    std::string valid;
+    for (const work::WorkloadInfo &w : work::allWorkloads())
+        valid += (valid.empty() ? "" : ", ") + w.name;
+    fatal("unknown benchmark(s): %s; valid names: %s",
+          unknown.c_str(), valid.c_str());
+}
 
 /**
  * Parse the common CLI surface of a figure bench: every figure
  * driver fans its simulations over BatchRunner, so all of them take
- * `--jobs` and the `--cache-dir`/`--cache` reference-cache options.
+ * `--jobs` and the `--cache-dir`/`--cache` result-cache options;
+ * single-batch figures additionally take `--plan`/`--save-plan`.
  */
 inline FigureOptions
-parseFigureOptions(int argc, char **argv)
+parseFigureOptions(int argc, char **argv,
+                   PlanCli plan = PlanCli::Supported)
 {
-    const CliArgs args(argc, argv,
-                       {"scale", "instr-scale", "seed", "benchmarks",
-                        kJobsOption, kCacheDirOption,
-                        kCacheModeOption});
+    std::vector<CliOption> options = {
+        {"scale", "multiplier on the paper's task-instance counts "
+                  "(default 0.125)"},
+        {"instr-scale",
+         "multiplier on per-task dynamic instruction counts "
+         "(default 1.0)"},
+        {"seed", "master workload-generation seed (default 42)"},
+        {"benchmarks",
+         "comma-separated workload names (default: all 19)"},
+        jobsCliOption(),
+        cacheDirCliOption(),
+        cacheModeCliOption(),
+    };
+    if (plan == PlanCli::Supported) {
+        options.push_back(
+            {"plan", "replay a serialized experiment plan instead "
+                     "of building one from the options above"});
+        options.push_back(
+            {"save-plan",
+             "serialize the experiment plan to this file before "
+             "running it"});
+    }
+    const CliArgs args(argc, argv, options);
     FigureOptions o;
     o.scale = args.getDouble("scale", o.scale);
     o.instrScale = args.getDouble("instr-scale", o.instrScale);
     o.seed = args.getUint("seed", o.seed);
     o.benchmarks = args.getList("benchmarks", {});
+    validateBenchmarks(o.benchmarks);
     o.jobs = jobsFlag(args, o.jobs);
     o.cache = harness::resultCacheFromCli(args);
+    if (plan == PlanCli::Supported) {
+        o.planFile = args.getString("plan", "");
+        o.savePlanFile = args.getString("save-plan", "");
+    }
     return o;
 }
 
@@ -81,10 +140,95 @@ selectedWorkloads(const FigureOptions &o)
     return names;
 }
 
+/** @return WorkloadParams assembled from the figure options. */
+inline work::WorkloadParams
+figureWorkloadParams(const FigureOptions &opts)
+{
+    work::WorkloadParams wp;
+    wp.scale = opts.scale;
+    wp.instrScale = opts.instrScale;
+    wp.seed = opts.seed;
+    return wp;
+}
+
+/**
+ * Apply `--plan`/`--save-plan` to the plan a figure driver built:
+ * with `--plan`, the serialized plan replaces the built one (its
+ * labels must match job for job, because the figure's report code
+ * assumes the driver's submission order — pass the same figure
+ * options used when saving); with `--save-plan`, the plan about to
+ * run is serialized first.
+ */
+inline harness::ExperimentPlan
+applyPlanOptions(const FigureOptions &opts,
+                 harness::ExperimentPlan built)
+{
+    if (!opts.planFile.empty()) {
+        harness::ExperimentPlan loaded =
+            harness::deserializePlan(opts.planFile);
+        if (loaded.jobs.size() != built.jobs.size())
+            fatal("plan '%s' has %zu jobs, this figure expects %zu "
+                  "(rerun with the options used when saving)",
+                  opts.planFile.c_str(), loaded.jobs.size(),
+                  built.jobs.size());
+        for (std::size_t i = 0; i < loaded.jobs.size(); ++i) {
+            if (loaded.jobs[i].label != built.jobs[i].label)
+                fatal("plan '%s' job %zu is '%s', this figure "
+                      "expects '%s' (rerun with the options used "
+                      "when saving)",
+                      opts.planFile.c_str(), i,
+                      loaded.jobs[i].label.c_str(),
+                      built.jobs[i].label.c_str());
+        }
+        // A figure's report titles and dereferences are only valid
+        // for the exact plan this driver builds, and figure pairs
+        // differ in fields labels don't show (sampling policy,
+        // noise, architecture) — so require full equality, not just
+        // matching labels. Plans edited or built elsewhere run
+        // through the generic replay_plan instead.
+        const std::string loadedDigest = harness::planDigest(loaded);
+        const std::string builtDigest = harness::planDigest(built);
+        if (loadedDigest != builtDigest)
+            fatal("plan '%s' does not match the plan this driver "
+                  "builds from its options (digest %s vs %s) — was "
+                  "it saved by a different figure or edited? Replay "
+                  "modified plans with replay_plan.",
+                  opts.planFile.c_str(), loadedDigest.c_str(),
+                  builtDigest.c_str());
+        harness::progress(strprintf(
+            "replaying plan %s (%zu jobs, digest %s)",
+            opts.planFile.c_str(), loaded.jobs.size(),
+            loadedDigest.c_str()));
+        built = std::move(loaded);
+    }
+    if (!opts.savePlanFile.empty()) {
+        harness::serializePlan(built, opts.savePlanFile);
+        harness::progress(strprintf(
+            "plan written to %s (%zu jobs, digest %s)",
+            opts.savePlanFile.c_str(), built.jobs.size(),
+            harness::planDigest(built).c_str()));
+    }
+    return built;
+}
+
+/** @return BatchOptions assembled from the figure options. */
+inline harness::BatchOptions
+figureBatchOptions(const FigureOptions &opts)
+{
+    harness::BatchOptions bo;
+    bo.jobs = opts.jobs;
+    bo.progress = true;
+    bo.cache = opts.cache.get();
+    return bo;
+}
+
 /**
  * One IPC-variation boxplot figure (Figs. 1 and 5 of the paper):
  * one detailed run per benchmark with task records, normalized
  * per-type IPC deviations, and the "box in +-5%" classification.
+ * Results stream through a FunctionSink — each (potentially huge)
+ * task-record vector is reduced to one boxplot row and dropped, so
+ * memory stays flat in the benchmark count.
  *
  * @param noise        noise model of the runs (enabled for Fig. 1's
  *                     native emulation, disabled for Fig. 5)
@@ -96,10 +240,7 @@ runIpcVariationFigure(const std::string &title,
                       const std::string &summarySuffix,
                       const FigureOptions &opts)
 {
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
+    const work::WorkloadParams wp = figureWorkloadParams(opts);
 
     TextTable table(title);
     table.setHeader({"benchmark", "q1", "median", "q3", "p5", "p95",
@@ -108,9 +249,10 @@ runIpcVariationFigure(const std::string &title,
     // One detailed run per benchmark; workers generate their traces
     // themselves, and cached references replay bit-identically
     // (task records included).
-    std::vector<harness::BatchJob> batch;
+    harness::ExperimentPlan plan;
+    plan.deriveSeeds = false;
     for (const std::string &name : selectedWorkloads(opts)) {
-        harness::BatchJob j;
+        harness::JobSpec j;
         j.label = name;
         j.workload = name;
         j.workloadParams = wp;
@@ -119,19 +261,12 @@ runIpcVariationFigure(const std::string &title,
         j.spec.recordTasks = true;
         j.spec.noise = noise;
         j.mode = harness::BatchMode::Reference;
-        batch.push_back(j);
+        plan.jobs.push_back(j);
     }
-    harness::BatchOptions bo;
-    bo.jobs = opts.jobs;
-    bo.deriveSeeds = false;
-    bo.progress = true;
-    bo.cache = opts.cache.get();
-    const std::vector<harness::BatchResult> results =
-        harness::BatchRunner(bo).run(batch);
-    reportCacheStats(opts);
+    plan = applyPlanOptions(opts, std::move(plan));
 
     int within = 0, total = 0;
-    for (const harness::BatchResult &r : results) {
+    harness::FunctionSink sink([&](harness::BatchResult &&r) {
         const std::vector<double> dev =
             harness::normalizedIpcDeviations(*r.reference);
         const BoxplotStats b = boxplot(dev);
@@ -146,7 +281,10 @@ runIpcVariationFigure(const std::string &title,
                       fmtDouble(b.whiskerLo, 1),
                       fmtDouble(b.whiskerHi, 1),
                       in_band ? "yes" : "NO"});
-    }
+    });
+    harness::BatchRunner(figureBatchOptions(opts)).run(plan, sink);
+    reportCacheStats(opts);
+
     table.print();
     std::printf("\n%d of %d benchmarks within +-5%%%s\n", within,
                 total, summarySuffix.c_str());
@@ -160,10 +298,7 @@ runErrorSpeedupFigure(const std::string &title,
                       const sampling::SamplingParams &params,
                       const FigureOptions &opts)
 {
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
+    const work::WorkloadParams wp = figureWorkloadParams(opts);
 
     TextTable errors(title + " — absolute execution-time error [%]");
     TextTable speedups(title + " — simulation speedup (wall clock)");
@@ -173,52 +308,50 @@ runErrorSpeedupFigure(const std::string &title,
     errors.setHeader(header);
     speedups.setHeader(header);
 
-    std::map<std::uint32_t, std::vector<double>> all_err, all_spd;
-
-    // One Both-mode job per (workload, thread count). Traces are
-    // immutable and depend only on (name, wp), so one per workload
-    // is generated up front and shared by all of its jobs.
+    // One Both-mode job per (workload, thread count). Jobs of one
+    // workload name identical (name, params), so BatchRunner
+    // realizes each trace once and shares it.
     const std::vector<std::string> names = selectedWorkloads(opts);
-    std::map<std::string, trace::TaskTrace> traces;
-    for (const std::string &name : names)
-        traces.emplace(name, work::generateWorkload(name, wp));
-    std::vector<harness::BatchJob> batch;
+    harness::ExperimentPlan plan;
+    plan.deriveSeeds = false;
     for (const std::string &name : names) {
         for (std::uint32_t threads : thread_counts) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = name + " @" + std::to_string(threads) + "t";
-            j.trace = &traces.at(name);
+            j.workload = name;
+            j.workloadParams = wp;
             j.spec.arch = arch;
             j.spec.threads = threads;
             j.sampling = params;
             j.mode = harness::BatchMode::Both;
-            batch.push_back(j);
+            plan.jobs.push_back(j);
         }
     }
-    harness::BatchOptions bo;
-    bo.jobs = opts.jobs;
-    bo.deriveSeeds = false;
-    bo.progress = true;
-    bo.cache = opts.cache.get();
-    const std::vector<harness::BatchResult> results =
-        harness::BatchRunner(bo).run(batch);
-    reportCacheStats(opts);
+    plan = applyPlanOptions(opts, std::move(plan));
 
-    std::size_t idx = 0;
-    for (const std::string &name : names) {
-        std::vector<std::string> erow = {name};
-        std::vector<std::string> srow = {name};
-        for (std::uint32_t threads : thread_counts) {
-            const harness::ErrorSpeedup &es =
-                *results[idx++].comparison;
-            erow.push_back(fmtDouble(es.errorPct, 2));
-            srow.push_back(fmtDouble(es.wallSpeedup, 1));
-            all_err[threads].push_back(es.errorPct);
-            all_spd[threads].push_back(es.wallSpeedup);
+    // Stream rows straight into the two figure tables: jobs arrive
+    // in (benchmark, thread count) submission order, so each
+    // benchmark's row completes after thread_counts.size() results.
+    std::map<std::uint32_t, std::vector<double>> all_err, all_spd;
+    std::vector<std::string> erow, srow;
+    harness::FunctionSink sink([&](harness::BatchResult &&r) {
+        const std::size_t col = r.index % thread_counts.size();
+        if (col == 0) {
+            erow = {names[r.index / thread_counts.size()]};
+            srow = erow;
         }
-        errors.addRow(erow);
-        speedups.addRow(srow);
-    }
+        const harness::ErrorSpeedup &es = *r.comparison;
+        erow.push_back(fmtDouble(es.errorPct, 2));
+        srow.push_back(fmtDouble(es.wallSpeedup, 1));
+        all_err[thread_counts[col]].push_back(es.errorPct);
+        all_spd[thread_counts[col]].push_back(es.wallSpeedup);
+        if (col + 1 == thread_counts.size()) {
+            errors.addRow(erow);
+            speedups.addRow(srow);
+        }
+    });
+    harness::BatchRunner(figureBatchOptions(opts)).run(plan, sink);
+    reportCacheStats(opts);
 
     std::vector<std::string> eavg = {"average"};
     std::vector<std::string> savg = {"average"};

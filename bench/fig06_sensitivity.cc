@@ -9,16 +9,17 @@
  *   (b) history size H in [1, 10], with W=2, P=inf
  *   (c) sampling period P in [10, 1000], with W=2, H=4
  *
- * The detailed references are computed once as a parallel batch; the
- * 21 sweep points then fan all their sampled runs into one batch, so
- * `--jobs=N` parallelizes the whole figure. Results are keyed by
- * submission index, so the cycle-derived columns (avg error) are
- * identical for any N; the avg-speedup columns are host wall-clock
- * ratios and vary with worker contention.
+ * The detailed references are computed once as a parallel plan; the
+ * 21 sweep points then fan all their sampled runs into one second
+ * plan, so `--jobs=N` parallelizes the whole figure (one BatchRunner
+ * realizes each benchmark trace once and shares it across both
+ * plans). Results are keyed by submission index, so the
+ * cycle-derived columns (avg error) are identical for any N; the
+ * avg-speedup columns are host wall-clock ratios and vary with
+ * worker contention.
  */
 
 #include <cstdio>
-#include <map>
 
 #include "bench/bench_common.hh"
 
@@ -34,8 +35,9 @@ const std::vector<std::uint32_t> kThreads = {32, 64};
 
 struct SweepPoint
 {
-    double avgError = 0.0;
-    double avgSpeedup = 0.0;
+    double errSum = 0.0;
+    double spdSum = 0.0;
+    std::size_t n = 0;
 };
 
 /** One parameter set of one sub-figure sweep. */
@@ -51,42 +53,30 @@ int
 main(int argc, char **argv)
 {
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv);
+        bench::parseFigureOptions(argc, argv, bench::PlanCli::None);
+    const work::WorkloadParams wp = bench::figureWorkloadParams(opts);
 
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
-
-    // Traces are immutable and identical across thread counts, so
-    // one per benchmark is shared by all runs below.
-    std::map<std::string, trace::TaskTrace> traces;
-    for (const std::string &name : kSensitiveBenchmarks)
-        traces.emplace(name, work::generateWorkload(name, wp));
-
-    harness::BatchOptions bo;
-    bo.jobs = opts.jobs;
-    bo.deriveSeeds = false;
-    bo.progress = true;
-    bo.cache = opts.cache.get();
+    const harness::BatchRunner runner(bench::figureBatchOptions(opts));
 
     // Shared detailed references: one Reference-mode job per
     // (benchmark, thread count).
-    std::vector<harness::BatchJob> refJobs;
+    harness::ExperimentPlan refPlan;
+    refPlan.deriveSeeds = false;
     for (const std::string &name : kSensitiveBenchmarks) {
         for (std::uint32_t t : kThreads) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = name + " @" + std::to_string(t) + "t reference";
-            j.trace = &traces.at(name);
+            j.workload = name;
+            j.workloadParams = wp;
             j.spec.arch = cpu::highPerformanceConfig();
             j.spec.threads = t;
             j.mode = harness::BatchMode::Reference;
-            refJobs.push_back(j);
+            refPlan.jobs.push_back(j);
         }
     }
     harness::progress("computing detailed references");
     const std::vector<harness::BatchResult> refResults =
-        harness::BatchRunner(bo).run(refJobs);
+        runner.run(refPlan);
 
     // The three parameter sweeps of Fig. 6.
     std::vector<SweepEntry> sweeps;
@@ -112,40 +102,37 @@ main(int argc, char **argv)
     }
 
     // Fan every (sweep point, benchmark, thread count) sampled run
-    // into one batch; job order mirrors the refResults order within
+    // into one plan; job order mirrors the refResults order within
     // each sweep point.
-    std::vector<harness::BatchJob> samJobs;
+    harness::ExperimentPlan samPlan;
+    samPlan.deriveSeeds = false;
     for (const SweepEntry &s : sweeps) {
-        for (const harness::BatchJob &ref : refJobs) {
-            harness::BatchJob j = ref;
+        for (const harness::JobSpec &ref : refPlan.jobs) {
+            harness::JobSpec j = ref;
             j.label = ref.label + " sweep " + s.label;
             j.sampling = s.params;
             j.mode = harness::BatchMode::Sampled;
-            samJobs.push_back(j);
+            samPlan.jobs.push_back(j);
         }
     }
     harness::progress(
         strprintf("running %zu sampled simulations (%zu jobs)",
-                  samJobs.size(), bo.jobs));
-    const std::vector<harness::BatchResult> samResults =
-        harness::BatchRunner(bo).run(samJobs);
-    bench::reportCacheStats(opts);
+                  samPlan.jobs.size(), opts.jobs));
 
-    // Aggregate per sweep point against the shared references.
-    std::vector<SweepPoint> points;
-    for (std::size_t s = 0; s < sweeps.size(); ++s) {
-        std::vector<double> errs, spds;
-        for (std::size_t r = 0; r < refJobs.size(); ++r) {
-            const sim::SimResult &ref = *refResults[r].reference;
-            const harness::SampledOutcome &sam =
-                *samResults[s * refJobs.size() + r].sampled;
-            const harness::ErrorSpeedup es =
-                harness::compare(ref, sam.result);
-            errs.push_back(es.errorPct);
-            spds.push_back(es.wallSpeedup);
-        }
-        points.push_back(SweepPoint{mean(errs), mean(spds)});
-    }
+    // Stream each sampled run into its sweep point's accumulator
+    // against the shared references; no sampled result is retained.
+    std::vector<SweepPoint> points(sweeps.size());
+    harness::FunctionSink sink([&](harness::BatchResult &&r) {
+        const std::size_t ref = r.index % refPlan.jobs.size();
+        const harness::ErrorSpeedup es = harness::compare(
+            *refResults[ref].reference, r.sampled->result);
+        SweepPoint &p = points[r.index / refPlan.jobs.size()];
+        p.errSum += es.errorPct;
+        p.spdSum += es.wallSpeedup;
+        ++p.n;
+    });
+    runner.run(samPlan, sink);
+    bench::reportCacheStats(opts);
 
     const char *titles[3] = {
         "Fig. 6a: error/speedup vs warmup interval W "
@@ -161,9 +148,10 @@ main(int argc, char **argv)
         TextTable t(titles[f]);
         t.setHeader({columns[f], "avg error [%]", "avg speedup"});
         for (std::size_t i = 0; i < sweepCounts[f]; ++i, ++at) {
+            const SweepPoint &p = points[at];
             t.addRow({sweeps[at].label,
-                      fmtDouble(points[at].avgError, 2),
-                      fmtDouble(points[at].avgSpeedup, 1)});
+                      fmtDouble(p.errSum / double(p.n), 2),
+                      fmtDouble(p.spdSum / double(p.n), 1)});
         }
         t.print();
         if (f != 2)

@@ -21,12 +21,8 @@ main(int argc, char **argv)
 {
     using namespace tp;
     const bench::FigureOptions opts =
-        bench::parseFigureOptions(argc, argv);
-
-    work::WorkloadParams wp;
-    wp.scale = opts.scale;
-    wp.instrScale = opts.instrScale;
-    wp.seed = opts.seed;
+        bench::parseFigureOptions(argc, argv, bench::PlanCli::None);
+    const work::WorkloadParams wp = bench::figureWorkloadParams(opts);
 
     TextTable table(
         "Table I: task-based parallel benchmarks (detailed simulation "
@@ -36,43 +32,40 @@ main(int argc, char **argv)
                      "properties"});
 
     // Two detailed runs (1 and 64 threads) per benchmark, fanned
-    // over the worker pool; one trace per benchmark is generated up
-    // front and shared by both runs and the stats column. Note the
-    // "sim [s]" columns are the whole point of this table, so a warm
-    // cache replays the *original* measured wall seconds rather
-    // than re-measuring.
+    // over the worker pool; BatchRunner realizes one trace per
+    // benchmark and shares it between both runs and the stats
+    // column. Note the "sim [s]" columns are the whole point of this
+    // table, so a warm cache replays the *original* measured wall
+    // seconds rather than re-measuring.
     const std::vector<std::string> names =
         bench::selectedWorkloads(opts);
-    std::map<std::string, trace::TaskTrace> traces;
-    for (const std::string &name : names)
-        traces.emplace(name, work::generateWorkload(name, wp));
-    std::vector<harness::BatchJob> batch;
+    harness::ExperimentPlan plan;
+    plan.deriveSeeds = false;
     for (const std::string &name : names) {
         for (std::uint32_t threads : {1u, 64u}) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = name + " @" + std::to_string(threads) + "t";
-            j.trace = &traces.at(name);
+            j.workload = name;
+            j.workloadParams = wp;
             j.spec.arch = cpu::highPerformanceConfig();
             j.spec.threads = threads;
             j.mode = harness::BatchMode::Reference;
-            batch.push_back(j);
+            plan.jobs.push_back(j);
         }
     }
-    harness::BatchOptions bo;
-    bo.jobs = opts.jobs;
-    bo.deriveSeeds = false;
-    bo.progress = true;
-    bo.cache = opts.cache.get();
+    const harness::BatchRunner runner(bench::figureBatchOptions(opts));
     const std::vector<harness::BatchResult> results =
-        harness::BatchRunner(bo).run(batch);
+        runner.run(plan);
     bench::reportCacheStats(opts);
 
     std::size_t idx = 0;
     for (const std::string &name : names) {
         const work::WorkloadInfo &info = work::workloadByName(name);
-        const sim::SimResult &r1 = *results[idx++].reference;
-        const sim::SimResult &r64 = *results[idx++].reference;
-        const trace::TraceStats ts = traces.at(name).stats();
+        const sim::SimResult &r1 = *results[idx].reference;
+        const sim::SimResult &r64 = *results[idx + 1].reference;
+        const trace::TraceStats ts =
+            runner.resolveTrace(plan.jobs[idx])->stats();
+        idx += 2;
         tp_assert(ts.numTypes == info.paperTaskTypes);
 
         table.addRow({info.name, std::to_string(ts.numTypes),

@@ -40,10 +40,20 @@ int
 main(int argc, char **argv)
 {
     using namespace tp;
-    const CliArgs args(argc, argv,
-                       {"validate", "workload", "scale", "threads",
-                        kJobsOption, kCacheDirOption,
-                        kCacheModeOption});
+    const CliArgs args(
+        argc, argv,
+        {{"validate",
+          "additionally run reference + sampled simulations on both "
+          "configurations and print the error/speedup summary"},
+         {"workload",
+          "workload to validate with (default cholesky)"},
+         {"scale",
+          "task-instance count multiplier for --validate "
+          "(default 0.0625)"},
+         {"threads",
+          "validate a single thread count instead of 16 and 32"},
+         jobsCliOption(), cacheDirCliOption(),
+         cacheModeCliOption()});
     if (!args.has("validate")) {
         for (const char *opt :
              {"workload", "scale", "threads", kJobsOption,
@@ -95,10 +105,9 @@ main(int argc, char **argv)
             args.getString("workload", "cholesky");
         work::WorkloadParams wp;
         wp.scale = args.getDouble("scale", 0.0625);
-        const trace::TaskTrace trace =
-            work::generateWorkload(name, wp);
 
-        std::vector<harness::BatchJob> batch;
+        harness::ExperimentPlan plan;
+        plan.deriveSeeds = false;
         const struct
         {
             const char *label;
@@ -111,15 +120,16 @@ main(int argc, char **argv)
                            static_cast<std::uint32_t>(
                                args.getUint("threads", 16))}
                      : std::vector<std::uint32_t>{16, 32}) {
-                harness::BatchJob j;
+                harness::JobSpec j;
                 j.label = strprintf("%s %s @%ut", a.label,
                                     name.c_str(), threads);
-                j.trace = &trace;
+                j.workload = name;
+                j.workloadParams = wp;
                 j.spec.arch = *a.arch;
                 j.spec.threads = threads;
                 j.sampling = sampling::SamplingParams::lazy();
                 j.mode = harness::BatchMode::Both;
-                batch.push_back(j);
+                plan.jobs.push_back(j);
             }
         }
 
@@ -127,19 +137,23 @@ main(int argc, char **argv)
             harness::resultCacheFromCli(args);
         harness::BatchOptions bo;
         bo.jobs = jobsFlag(args, 1);
-        bo.deriveSeeds = false;
         bo.cache = cache.get();
-        const std::vector<harness::BatchResult> results =
-            harness::BatchRunner(bo).run(batch);
+
+        // Stream results through composed sinks: the summary table
+        // renders row by row while an O(1) stats sink accumulates
+        // the error distribution — no result vector is ever held.
+        std::printf("\n");
+        harness::TableSink table(
+            "model validation (lazy sampling vs detailed reference)",
+            /*printAtEnd=*/false);
+        harness::StatsSink stats;
+        harness::TeeSink tee({&table, &stats});
+        harness::BatchRunner(bo).run(plan, tee);
         if (cache)
             harness::progress(cache->statsLine());
 
-        std::printf("\n");
-        harness::batchSummaryTable(
-            "model validation (lazy sampling vs detailed reference)",
-            results)
-            .print();
-        const RunningStats err = harness::batchErrorStats(results);
+        table.table().print();
+        const RunningStats &err = stats.errorStats();
         std::printf("error over %zu runs: mean %.2f%%, max %.2f%%\n",
                     err.count(), err.mean(), err.max());
     }

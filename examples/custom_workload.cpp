@@ -79,8 +79,14 @@ buildPipeline(std::size_t batches, std::size_t shards,
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv,
-                       {"batches", "shards", "threads", "save"});
+    const CliArgs args(
+        argc, argv,
+        {{"batches", "pipeline batches to build (default 6)"},
+         {"shards", "align/sort shards per batch (default 64)"},
+         {"threads", "simulated thread count (default 8)"},
+         {"save",
+          "serialize the built trace to this path (default "
+          "pipeline.trace); JobSpec::traceFile can replay it"}});
     const std::size_t batches = args.getUint("batches", 6);
     const std::size_t shards = args.getUint("shards", 64);
     const auto threads =

@@ -12,9 +12,11 @@
  * high-performance configuration, ranks the variants by predicted
  * execution time under lazy sampling, and re-evaluates the best
  * variant with periodic sampling (P=250) as the paper's suggested
- * second phase. All variants are independent simulations, so phase 1
- * fans out across a worker pool (--jobs); predicted cycles are
- * bit-identical for any worker count.
+ * second phase. All variants are independent jobs of one
+ * ExperimentPlan, so phase 1 fans out across a worker pool (--jobs);
+ * predicted cycles are bit-identical for any worker count, and with
+ * a cache directory both the lazy sweep and the phase-2 reference
+ * replay on reruns.
  */
 
 #include <algorithm>
@@ -34,9 +36,14 @@ using namespace tp;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv,
-                       {"workload", "threads", "scale", kJobsOption,
-                        kCacheDirOption, kCacheModeOption});
+    const CliArgs args(
+        argc, argv,
+        {{"workload", "workload to explore (default cholesky)"},
+         {"threads", "simulated thread count (default 16)"},
+         {"scale",
+          "task-instance count multiplier (default 0.0625)"},
+         jobsCliOption(), cacheDirCliOption(),
+         cacheModeCliOption()});
     const std::string name = args.getString("workload", "cholesky");
     const auto threads =
         static_cast<std::uint32_t>(args.getUint("threads", 16));
@@ -44,43 +51,44 @@ main(int argc, char **argv)
 
     work::WorkloadParams wp;
     wp.scale = args.getDouble("scale", 0.0625);
-    const trace::TaskTrace t = work::generateWorkload(name, wp);
 
     // Phase 1: lazy sampling across the whole space, in parallel.
-    std::vector<harness::BatchJob> batch;
+    // Every variant names the same (workload, params), so the runner
+    // generates one trace and shares it across the sweep.
+    harness::ExperimentPlan plan;
+    // Keep every variant (and phase 2's confirmation rerun) on the
+    // workload's own seed rather than per-index derived ones.
+    plan.deriveSeeds = false;
     for (std::uint32_t rob : {96u, 168u, 256u}) {
         for (std::uint64_t l2kb : {1024u, 2048u, 4096u}) {
-            harness::BatchJob j;
+            harness::JobSpec j;
             j.label = strprintf("rob=%u l2=%lluKiB", rob,
                                 static_cast<unsigned long long>(
                                     l2kb));
-            j.trace = &t;
+            j.workload = name;
+            j.workloadParams = wp;
             j.spec.arch = cpu::highPerformanceConfig();
             j.spec.arch.core.robSize = rob;
             j.spec.arch.memory.l2.sizeBytes = l2kb * 1024;
             j.spec.threads = threads;
             j.sampling = sampling::SamplingParams::lazy();
-            batch.push_back(j);
+            plan.jobs.push_back(j);
         }
     }
 
     std::printf("phase 1: lazy sampling over %zu variants of %s "
                 "(%u threads, %zu jobs)\n",
-                batch.size(), t.name().c_str(), threads, jobs);
+                plan.jobs.size(), name.c_str(), threads, jobs);
     harness::BatchOptions opts;
     opts.jobs = jobs;
-    // Keep every variant (and phase 2's confirmation rerun) on the
-    // workload's own seed rather than per-index derived ones.
-    opts.deriveSeeds = false;
-    // Lazy exploration itself is never cached (only detailed
-    // references are), but a shared cache dir makes any
+    // With a shared cache dir, the lazy sweep itself and any
     // Reference/Both-mode jobs of a campaign reuse prior work.
     const std::unique_ptr<harness::ResultCache> cache =
         harness::resultCacheFromCli(args);
     opts.cache = cache.get();
     const harness::BatchRunner runner(opts);
     const std::vector<harness::BatchResult> results =
-        runner.run(batch);
+        runner.run(plan);
 
     std::vector<std::size_t> ranked(results.size());
     for (std::size_t i = 0; i < ranked.size(); ++i)
@@ -106,12 +114,15 @@ main(int argc, char **argv)
     // and exactly what the result cache shares across reruns and
     // other drivers exploring the same design point.
     const harness::BatchResult &best = results[ranked.front()];
-    harness::BatchJob confirmJob = batch[best.index];
+    harness::ExperimentPlan confirmPlan;
+    confirmPlan.deriveSeeds = false;
+    confirmPlan.jobs.push_back(plan.jobs[best.index]);
+    harness::JobSpec &confirmJob = confirmPlan.jobs.back();
     confirmJob.label = best.label + " confirmation";
     confirmJob.sampling = sampling::SamplingParams::periodic(250);
     confirmJob.mode = harness::BatchMode::Both;
     const harness::BatchResult confirm =
-        runner.run({confirmJob}).front();
+        runner.run(confirmPlan).front();
     if (cache)
         harness::progress(cache->statsLine());
 

@@ -22,8 +22,14 @@ using namespace tp;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv,
-                       {"workload", "threads", "arch", "scale"});
+    const CliArgs args(
+        argc, argv,
+        {{"workload", "workload to simulate (default cholesky)"},
+         {"threads", "simulated thread count (default 8)"},
+         {"arch",
+          "architecture: highperf or lowpower (default highperf)"},
+         {"scale",
+          "task-instance count multiplier (default 0.125)"}});
 
     const std::string name = args.getString("workload", "cholesky");
     const auto threads =

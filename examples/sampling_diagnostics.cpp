@@ -31,9 +31,17 @@ using namespace tp;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv,
-                       {"workload", "threads", "arch", "scale",
-                        "dump"});
+    const CliArgs args(
+        argc, argv,
+        {{"workload", "workload to diagnose (default canneal)"},
+         {"threads", "simulated thread count (default 8)"},
+         {"arch",
+          "architecture: highperf or lowpower (default highperf)"},
+         {"scale",
+          "task-instance count multiplier (default 0.125)"},
+         {"dump",
+          "also dump the first N sampled-run task records "
+          "(default 48)"}});
     const std::string name = args.getString("workload", "canneal");
     const auto threads =
         static_cast<std::uint32_t>(args.getUint("threads", 8));

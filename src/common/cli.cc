@@ -1,8 +1,10 @@
 #include "common/cli.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -27,13 +29,48 @@ splitString(const std::string &s, char delim)
     return out;
 }
 
-CliArgs::CliArgs(int argc, const char *const *argv,
-                 const std::vector<std::string> &allowed)
+std::string
+CliArgs::helpText(const std::string &prog,
+                  const std::vector<CliOption> &options)
 {
+    std::vector<CliOption> all = options;
+    all.emplace_back("help", "show this help and exit");
+
+    std::size_t width = 0;
+    for (const CliOption &o : all)
+        width = std::max(width, o.name.size());
+
+    std::string text =
+        "usage: " + prog + " [--OPTION[=VALUE]]...\n\noptions:\n";
+    for (const CliOption &o : all) {
+        text += "  --" + o.name;
+        text.append(width - o.name.size() + 2, ' ');
+        text += o.help + "\n";
+    }
+    return text;
+}
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<CliOption> &options)
+{
+    const std::string prog =
+        argc > 0 ? std::string(argv[0]) : "taskpoint";
+    const auto slash = prog.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? prog : prog.substr(slash + 1);
+
+    // First pass: collect tokens and spot --help, which wins over
+    // any validation so `--help` works even next to a typo or a
+    // stray positional argument.
+    std::string positional;
+    std::vector<std::pair<std::string, std::string>> parsed;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
-            fatal("unexpected positional argument '%s'", arg.c_str());
+        if (arg.rfind("--", 0) != 0) {
+            if (positional.empty())
+                positional = arg;
+            continue;
+        }
         arg = arg.substr(2);
         std::string key = arg;
         std::string value = "1";
@@ -42,15 +79,25 @@ CliArgs::CliArgs(int argc, const char *const *argv,
             key = arg.substr(0, eq);
             value = arg.substr(eq + 1);
         }
-        if (std::find(allowed.begin(), allowed.end(), key) ==
-            allowed.end()) {
-            std::string known;
-            for (const auto &a : allowed)
-                known += " --" + a;
-            fatal("unknown option '--%s'; known options:%s",
-                  key.c_str(), known.c_str());
+        if (key == "help") {
+            std::fputs(helpText(base, options).c_str(), stdout);
+            std::exit(0);
         }
-        values_[key] = value;
+        parsed.emplace_back(std::move(key), std::move(value));
+    }
+    if (!positional.empty())
+        fatal("unexpected positional argument '%s' (try --help)",
+              positional.c_str());
+
+    for (auto &[key, value] : parsed) {
+        const bool known = std::any_of(
+            options.begin(), options.end(),
+            [&key](const CliOption &o) { return o.name == key; });
+        if (!known)
+            fatal("unknown option '--%s'; run '%s --help' to list "
+                  "the options this binary understands",
+                  key.c_str(), base.c_str());
+        values_[key] = std::move(value);
     }
 }
 
@@ -110,6 +157,30 @@ CliArgs::getDouble(const std::string &name, double fallback) const
 const char *const kJobsOption = "jobs";
 const char *const kCacheDirOption = "cache-dir";
 const char *const kCacheModeOption = "cache";
+
+CliOption
+jobsCliOption()
+{
+    return {kJobsOption,
+            "simulation worker threads: N, or 'auto' for the host's "
+            "hardware concurrency (default 1)"};
+}
+
+CliOption
+cacheDirCliOption()
+{
+    return {kCacheDirOption,
+            "directory of the shared on-disk result cache (created "
+            "on first use)"};
+}
+
+CliOption
+cacheModeCliOption()
+{
+    return {kCacheModeOption,
+            "result-cache mode: off, ro or rw (default rw when "
+            "--cache-dir is given, off otherwise)"};
+}
 
 std::size_t
 jobsFlag(const CliArgs &args, std::size_t fallback)

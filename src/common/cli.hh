@@ -3,8 +3,10 @@
  * Minimal command-line parsing for benches and examples.
  *
  * All experiment binaries accept `--key=value` / `--flag` options.
- * Unknown options are fatal so typos cannot silently run the wrong
- * experiment.
+ * Each binary declares its options as CliOption{name, help}; from
+ * that declaration CliArgs generates a `--help` screen (printed to
+ * stdout, exit 0), and unknown options are fatal — with a pointer to
+ * `--help` — so typos cannot silently run the wrong experiment.
  */
 
 #ifndef TP_COMMON_CLI_HH
@@ -17,6 +19,22 @@
 
 namespace tp {
 
+/** One allowed option: its name and a one-line help text. */
+struct CliOption
+{
+    std::string name;
+    std::string help;
+
+    // Implicit from a bare name so option lists can mix described
+    // options with plain string literals.
+    CliOption(const char *option_name) : name(option_name) {}
+    CliOption(std::string option_name) : name(std::move(option_name))
+    {}
+    CliOption(std::string option_name, std::string help_text)
+        : name(std::move(option_name)), help(std::move(help_text))
+    {}
+};
+
 /** Parsed command line with typed accessors and defaults. */
 class CliArgs
 {
@@ -24,11 +42,12 @@ class CliArgs
     /**
      * Parse argv. Accepted forms: `--key=value`, `--flag`.
      *
-     * @param allowed  the set of option names this binary understands;
-     *                 anything else is a fatal user error.
+     * `--help` (always accepted) prints the generated option list to
+     * stdout and exits 0. Anything not in `options` is a fatal user
+     * error suggesting `--help`.
      */
     CliArgs(int argc, const char *const *argv,
-            const std::vector<std::string> &allowed);
+            const std::vector<CliOption> &options);
 
     /** @return true if --name was present (with or without value). */
     bool has(const std::string &name) const;
@@ -53,6 +72,14 @@ class CliArgs
     getList(const std::string &name,
             const std::vector<std::string> &fallback) const;
 
+    /**
+     * @return the generated --help text: usage line plus one aligned
+     *         row per option (exposed for tests).
+     */
+    static std::string
+    helpText(const std::string &prog,
+             const std::vector<CliOption> &options);
+
   private:
     std::map<std::string, std::string> values_;
 };
@@ -64,13 +91,19 @@ std::vector<std::string> splitString(const std::string &s, char delim);
 extern const char *const kJobsOption;
 
 /**
- * Canonical names of the reference-result-cache options
- * ("cache-dir", "cache"). Drivers that batch reference simulations
- * list both among their allowed options and build the cache with
- * harness::resultCacheFromCli().
+ * Canonical names of the result-cache options ("cache-dir",
+ * "cache"). Drivers that batch simulations list both among their
+ * options and build the cache with harness::resultCacheFromCli().
  */
 extern const char *const kCacheDirOption;
 extern const char *const kCacheModeOption;
+
+/** --jobs with its canonical help text. */
+CliOption jobsCliOption();
+
+/** --cache-dir / --cache with their canonical help texts. */
+CliOption cacheDirCliOption();
+CliOption cacheModeCliOption();
 
 /**
  * Worker count from `--jobs=N` / `--jobs=auto`.

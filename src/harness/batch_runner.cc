@@ -1,19 +1,128 @@
 #include "harness/batch_runner.hh"
 
+#include <bit>
 #include <chrono>
 #include <future>
 #include <map>
+#include <mutex>
+#include <utility>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "harness/result_cache.hh"
+#include "trace/trace_io.hh"
 
 namespace tp::harness {
 
+namespace {
+
+/** Fail fast on jobs that don't name exactly one trace source. */
+void
+validateSource(const JobSpec &job, const std::string &who)
+{
+    if (job.workload.empty() == job.traceFile.empty())
+        fatal("%s ('%s') must name exactly one trace source "
+              "(workload or traceFile)",
+              who.c_str(), job.label.c_str());
+}
+
+} // namespace
+
+/** One realized trace plus its content digest (when caching). */
+struct BatchRunner::TraceEntry
+{
+    trace::TaskTrace trace;
+    /** traceDigest(trace); empty when the runner has no cache. */
+    std::string digest;
+};
+
+/**
+ * Once-per-source realization of traces. The first worker needing a
+ * source builds it (generation or file load) while holders of other
+ * sources proceed concurrently; later workers naming the same source
+ * wait on the shared future. A failed build (e.g. a corrupt trace
+ * file raising IoError) is remembered and rethrown to every job
+ * sharing the source.
+ */
+class BatchRunner::TraceStore
+{
+  public:
+    using EntryPtr = std::shared_ptr<const TraceEntry>;
+
+    /** Realize a job's trace without memoizing it. */
+    static EntryPtr
+    build(const JobSpec &job, bool wantDigest)
+    {
+        auto entry = std::make_shared<TraceEntry>();
+        entry->trace =
+            job.traceFile.empty()
+                ? work::generateWorkload(job.workload,
+                                         job.workloadParams)
+                : trace::deserializeTrace(job.traceFile);
+        if (wantDigest)
+            entry->digest = traceDigest(entry->trace);
+        return entry;
+    }
+
+    EntryPtr
+    get(const JobSpec &job, bool wantDigest)
+    {
+        const std::string key = sourceKey(job);
+        std::promise<EntryPtr> promise;
+        std::shared_future<EntryPtr> future;
+        bool builder = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = slots_.find(key);
+            if (it != slots_.end()) {
+                future = it->second;
+            } else {
+                future = promise.get_future().share();
+                slots_.emplace(key, future);
+                builder = true;
+            }
+        }
+        if (builder) {
+            try {
+                promise.set_value(build(job, wantDigest));
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return future.get();
+    }
+
+  private:
+    /**
+     * Memoization key of a job's trace source. Workload traces are
+     * pure functions of (name, params), so the key is the name plus
+     * the bit patterns of every parameter; file traces key on the
+     * path (the file must not change during the runner's lifetime).
+     */
+    static std::string
+    sourceKey(const JobSpec &job)
+    {
+        if (!job.traceFile.empty())
+            return "f:" + job.traceFile;
+        const work::WorkloadParams &p = job.workloadParams;
+        return "w:" + job.workload + ":" +
+               toHex(std::bit_cast<std::uint64_t>(p.scale)) +
+               toHex(std::bit_cast<std::uint64_t>(p.instrScale)) +
+               toHex(p.seed);
+    }
+
+    std::mutex mu_;
+    std::map<std::string, std::shared_future<EntryPtr>> slots_;
+};
+
 BatchRunner::BatchRunner(BatchOptions options)
-    : options_(std::move(options))
+    : options_(std::move(options)),
+      traces_(std::make_unique<TraceStore>())
 {
 }
+
+BatchRunner::~BatchRunner() = default;
 
 std::uint64_t
 BatchRunner::jobSeed(std::uint64_t baseSeed, std::size_t index)
@@ -29,43 +138,40 @@ BatchRunner::jobSeed(std::uint64_t baseSeed, std::size_t index)
     return z ^ (z >> 31);
 }
 
+std::shared_ptr<const trace::TaskTrace>
+BatchRunner::resolveTrace(const JobSpec &job) const
+{
+    validateSource(job, "resolveTrace job");
+    const TraceStore::EntryPtr entry =
+        traces_->get(job, options_.cache != nullptr);
+    return {entry, &entry->trace};
+}
+
 BatchResult
-BatchRunner::runJob(const BatchJob &job, std::size_t index,
-                    const TraceDigests &sharedDigests) const
+BatchRunner::runJob(const JobSpec &job, std::size_t index,
+                    bool memoizeTrace) const
 {
     const auto t0 = std::chrono::steady_clock::now();
 
-    BatchJob j = job;
-    if (options_.deriveSeeds) {
-        const std::uint64_t seed = jobSeed(options_.baseSeed, index);
-        j.workloadParams.seed = seed;
-        j.spec.noise.seed = seed ^ 0x5eedULL;
-    }
-
-    // Generate on the worker when no shared trace was provided, so
-    // trace synthesis parallelizes with everything else.
-    trace::TaskTrace generated;
-    const trace::TaskTrace *trace = j.trace;
-    if (trace == nullptr) {
-        generated =
-            work::generateWorkload(j.workload, j.workloadParams);
-        trace = &generated;
-    }
+    // Realize (or wait for) the trace this job describes; digested
+    // once per source when a cache is attached. Traces unique to
+    // this job (derived-seed workload generation) stay local to it
+    // and are freed when the job finishes, so huge derived-seed
+    // plans don't accumulate one retained trace per job.
+    const bool wantDigest = options_.cache != nullptr;
+    const TraceStore::EntryPtr entry =
+        memoizeTrace ? traces_->get(job, wantDigest)
+                     : TraceStore::build(job, wantDigest);
+    const trace::TaskTrace &trace = entry->trace;
 
     BatchResult r;
     r.index = index;
-    r.label = j.label;
-    if (j.mode == BatchMode::Reference ||
-        j.mode == BatchMode::Both) {
+    r.label = job.label;
+    if (job.mode == BatchMode::Reference ||
+        job.mode == BatchMode::Both) {
         std::string key;
         if (options_.cache != nullptr) {
-            // Shared traces were digested once up front; a trace
-            // generated on this worker is digested here.
-            const auto shared = sharedDigests.find(j.trace);
-            key = resultCacheKey(shared != sharedDigests.end()
-                                     ? shared->second
-                                     : traceDigest(*trace),
-                                 j.spec);
+            key = resultCacheKey(entry->digest, job.spec);
             if (std::optional<sim::SimResult> cached =
                     options_.cache->lookup(key)) {
                 r.reference = std::move(*cached);
@@ -73,14 +179,30 @@ BatchRunner::runJob(const BatchJob &job, std::size_t index,
             }
         }
         if (!r.reference) {
-            r.reference = runDetailed(*trace, j.spec);
+            r.reference = runDetailed(trace, job.spec);
             if (options_.cache != nullptr)
                 options_.cache->store(key, *r.reference);
         }
     }
-    if (j.mode == BatchMode::Sampled || j.mode == BatchMode::Both)
-        r.sampled = runSampled(*trace, j.spec, j.sampling);
-    if (j.mode == BatchMode::Both)
+    if (job.mode == BatchMode::Sampled ||
+        job.mode == BatchMode::Both) {
+        std::string key;
+        if (options_.cache != nullptr) {
+            key = sampledCacheKey(entry->digest, job.spec,
+                                  job.sampling);
+            if (std::optional<SampledOutcome> cached =
+                    options_.cache->lookupSampled(key)) {
+                r.sampled = std::move(*cached);
+                r.sampledFromCache = true;
+            }
+        }
+        if (!r.sampled) {
+            r.sampled = runSampled(trace, job.spec, job.sampling);
+            if (options_.cache != nullptr)
+                options_.cache->storeSampled(key, *r.sampled);
+        }
+    }
+    if (job.mode == BatchMode::Both)
         r.comparison = compare(*r.reference, r.sampled->result);
 
     r.hostSeconds =
@@ -88,84 +210,74 @@ BatchRunner::runJob(const BatchJob &job, std::size_t index,
             std::chrono::steady_clock::now() - t0)
             .count();
     if (options_.progress)
-        progress(strprintf("job %zu/%s done (%.1fs)%s", index,
+        progress(strprintf("job %zu/%s done (%.1fs)%s%s", index,
                            r.label.c_str(), r.hostSeconds,
                            r.referenceFromCache ? " [ref cached]"
-                                                : ""));
+                                                : "",
+                           r.sampledFromCache ? " [sam cached]"
+                                              : ""));
     return r;
 }
 
-std::vector<BatchResult>
-BatchRunner::run(const std::vector<BatchJob> &jobs) const
+void
+BatchRunner::run(const ExperimentPlan &plan, ResultSink &sink) const
 {
-    // Digest each shared trace once instead of per job: many jobs
-    // typically reference one trace, and the digest costs a full
-    // in-memory serialization.
-    TraceDigests sharedDigests;
-    if (options_.cache != nullptr) {
-        for (const BatchJob &j : jobs) {
-            if (j.trace != nullptr &&
-                (j.mode == BatchMode::Reference ||
-                 j.mode == BatchMode::Both) &&
-                sharedDigests.find(j.trace) == sharedDigests.end())
-                sharedDigests.emplace(j.trace,
-                                      traceDigest(*j.trace));
+    // Validate every job before any simulation starts, so a
+    // malformed plan fails fast instead of mid-batch.
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        validateSource(plan.jobs[i], strprintf("job %zu", i));
+        if (!plan.jobs[i].workload.empty())
+            work::workloadByName(
+                plan.jobs[i].workload); // fatal when unknown
+    }
+
+    // Resolve per-job seeds. Only a seed-deriving plan needs its
+    // jobs copied; otherwise run straight off the caller's vector.
+    std::vector<JobSpec> seeded;
+    if (plan.deriveSeeds) {
+        seeded = plan.jobs;
+        for (std::size_t i = 0; i < seeded.size(); ++i) {
+            const std::uint64_t seed = jobSeed(plan.baseSeed, i);
+            seeded[i].workloadParams.seed = seed;
+            seeded[i].spec.noise.seed = seed ^ 0x5eedULL;
         }
     }
+    const std::vector<JobSpec> &jobs =
+        plan.deriveSeeds ? seeded : plan.jobs;
 
-    std::vector<std::future<BatchResult>> futures;
-    futures.reserve(jobs.size());
+    // A derived-seed workload job realizes a trace no other job can
+    // share (its generation seed is unique to its index), so only
+    // shared sources go through the memo store.
+    const bool memoizeWorkloads = !plan.deriveSeeds;
+
+    sink.begin(jobs.size());
     {
         ThreadPool pool(options_.jobs);
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            futures.push_back(pool.submit(
-                [this, &job = jobs[i], i, &sharedDigests] {
-                    return runJob(job, i, sharedDigests);
+        std::vector<std::future<BatchResult>> futures;
+        futures.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const bool memoize =
+                memoizeWorkloads || !jobs[i].traceFile.empty();
+            futures.push_back(
+                pool.submit([this, &job = jobs[i], i, memoize] {
+                    return runJob(job, i, memoize);
                 }));
-        // Collect in submission order while the pool is still alive;
+        }
+        // Deliver in submission order while the pool is still alive;
+        // each result streams out as soon as it is deliverable, and
         // get() rethrows the first job exception on this thread.
-        std::vector<BatchResult> results;
-        results.reserve(jobs.size());
         for (std::future<BatchResult> &f : futures)
-            results.push_back(f.get());
-        return results;
+            sink.consume(f.get());
     }
+    sink.end();
 }
 
-TextTable
-batchSummaryTable(const std::string &title,
-                  const std::vector<BatchResult> &results)
+std::vector<BatchResult>
+BatchRunner::run(const ExperimentPlan &plan) const
 {
-    TextTable t(title);
-    t.setHeader({"#", "label", "cycles", "detail frac", "error [%]",
-                 "speedup", "host [s]"});
-    for (const BatchResult &r : results) {
-        const sim::SimResult *primary =
-            r.sampled ? &r.sampled->result
-                      : (r.reference ? &*r.reference : nullptr);
-        t.addRow({std::to_string(r.index), r.label,
-                  primary ? fmtCount(primary->totalCycles) : "-",
-                  primary ? fmtDouble(primary->detailFraction(), 3)
-                          : "-",
-                  r.comparison ? fmtDouble(r.comparison->errorPct, 2)
-                               : "-",
-                  r.comparison
-                      ? fmtDouble(r.comparison->wallSpeedup, 1)
-                      : "-",
-                  fmtDouble(r.hostSeconds, 2)});
-    }
-    return t;
-}
-
-RunningStats
-batchErrorStats(const std::vector<BatchResult> &results)
-{
-    RunningStats stats;
-    for (const BatchResult &r : results) {
-        if (r.comparison)
-            stats.add(r.comparison->errorPct);
-    }
-    return stats;
+    CollectingSink sink;
+    run(plan, sink);
+    return sink.take();
 }
 
 } // namespace tp::harness

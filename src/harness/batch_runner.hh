@@ -1,18 +1,26 @@
 /**
  * @file
- * Parallel experiment batches over the common/thread_pool.
+ * Parallel execution of ExperimentPlans over the common/thread_pool.
  *
- * Every experiment in bench/ and examples/ reduces to a list of
- * independent (architecture, workload, sampling-policy) simulations;
- * BatchRunner fans such a list across a fixed-size worker pool and
- * collects the results *in submission order*, so any report built
- * from them is byte-identical no matter how many workers ran the
- * batch.
+ * Every experiment in bench/ and examples/ reduces to an
+ * ExperimentPlan: an ordered list of self-describing JobSpecs
+ * (harness/job_spec). BatchRunner fans the plan across a fixed-size
+ * worker pool and streams each finished BatchResult to a ResultSink
+ * (harness/result_sink) *in submission order*, as soon as it is
+ * deliverable — so any report built from the stream is byte-identical
+ * no matter how many workers ran the batch, and a plan too large to
+ * hold in memory can still be reported incrementally.
+ *
+ * Trace sharing: jobs describe their trace by value (workload name +
+ * params, or a trace-file path), and the runner memoizes realization,
+ * so many jobs naming the same source share one in-memory TaskTrace
+ * and one content digest; distinct traces still generate/load
+ * concurrently on the workers that first need them.
  *
  * Determinism: each job's RNG seeds (workload synthesis and noise
- * injection) are derived from (baseSeed, job index) alone — never
- * from worker identity, scheduling order, or wall-clock time. The
- * only per-run fields that may differ between `--jobs=1` and
+ * injection) are derived from (plan.baseSeed, job index) alone —
+ * never from worker identity, scheduling order, or wall-clock time.
+ * The only per-run fields that may differ between `--jobs=1` and
  * `--jobs=N` are host wall-clock measurements (SimResult::wallSeconds
  * and BatchResult::hostSeconds).
  */
@@ -21,80 +29,36 @@
 #define TP_HARNESS_BATCH_RUNNER_HH
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/statistics.hh"
-#include "common/table.hh"
-#include "harness/experiment.hh"
+#include "harness/job_spec.hh"
+#include "harness/result_sink.hh"
 
 namespace tp::harness {
 
 class ResultCache;
 
-/** What one batch job simulates. */
-enum class BatchMode : std::uint8_t {
-    Sampled,   //!< TaskPoint-sampled run only
-    Reference, //!< full-detailed reference only
-    Both,      //!< reference + sampled + error/speedup comparison
-};
-
-/** One independent simulation job. */
-struct BatchJob
-{
-    /** Human-readable tag used in reports. */
-    std::string label;
-    /**
-     * Pre-built trace to simulate (not owned; must outlive run()).
-     * TaskTrace is immutable, so many jobs may share one trace.
-     */
-    const trace::TaskTrace *trace = nullptr;
-    /** Workload generated on the worker when `trace` is null. */
-    std::string workload;
-    work::WorkloadParams workloadParams;
-
-    RunSpec spec;
-    sampling::SamplingParams sampling;
-    BatchMode mode = BatchMode::Sampled;
-};
-
-/** Outcome of one BatchJob, delivered in submission order. */
-struct BatchResult
-{
-    std::size_t index = 0;
-    std::string label;
-    std::optional<SampledOutcome> sampled;
-    std::optional<sim::SimResult> reference;
-    /** Present iff mode == Both. */
-    std::optional<ErrorSpeedup> comparison;
-    /** The reference was replayed from the result cache. */
-    bool referenceFromCache = false;
-    /** Host seconds the whole job spent on its worker. */
-    double hostSeconds = 0.0;
-};
-
-/** Batch-wide execution options. */
+/**
+ * Batch-wide *execution environment* options. Everything here may
+ * legitimately differ between the process that wrote a plan and the
+ * process replaying it; the deterministic simulation semantics
+ * (seeds, job list) live in the ExperimentPlan itself.
+ */
 struct BatchOptions
 {
     /** Worker threads; 0 = hardware concurrency (see ThreadPool). */
     std::size_t jobs = 1;
-    /** Base seed all per-job seeds derive from. */
-    std::uint64_t baseSeed = 42;
-    /**
-     * Overwrite each job's workloadParams.seed and noise seed with
-     * jobSeed(baseSeed, index). Disable to seed jobs manually.
-     */
-    bool deriveSeeds = true;
     /** Emit one progress() line per finished job. */
     bool progress = false;
     /**
-     * Shared on-disk cache of detailed-reference results (not owned;
-     * must outlive run()). When set, Reference/Both-mode jobs consult
-     * it before simulating and publish fresh results to it; cached
-     * results are bit-identical to simulated ones, so reports differ
-     * only in host wall-clock. nullptr = no caching.
+     * Shared on-disk cache of simulation outcomes (not owned; must
+     * outlive run()). When set, Reference/Both-mode jobs consult it
+     * for the detailed reference and Sampled/Both-mode jobs for the
+     * sampled outcome before simulating, and publish fresh results
+     * to it; cached results are bit-identical to simulated ones, so
+     * reports differ only in host wall-clock. nullptr = no caching.
      */
     ResultCache *cache = nullptr;
 };
@@ -104,15 +68,23 @@ class BatchRunner
 {
   public:
     explicit BatchRunner(BatchOptions options = {});
+    ~BatchRunner();
 
     /**
-     * Run all jobs across the pool; blocks until every job finished.
+     * Run every job of `plan` across the pool, streaming each
+     * BatchResult to `sink` in submission order as soon as it is
+     * deliverable; blocks until the whole plan finished.
      *
-     * @return one BatchResult per job, in submission order. A job
-     *         that throws rethrows from here after the pool drained.
+     * The sink is called only from this thread (begin, one consume
+     * per job, end). A job that throws rethrows from here after the
+     * pool drained, without sink.end() being called. Invalid jobs
+     * (unknown workload, zero or two trace sources) fail the batch
+     * up front, before any simulation starts.
      */
-    std::vector<BatchResult> run(const std::vector<BatchJob> &jobs)
-        const;
+    void run(const ExperimentPlan &plan, ResultSink &sink) const;
+
+    /** Convenience: run `plan` collecting into a vector. */
+    std::vector<BatchResult> run(const ExperimentPlan &plan) const;
 
     const BatchOptions &options() const { return options_; }
 
@@ -123,27 +95,33 @@ class BatchRunner
     static std::uint64_t jobSeed(std::uint64_t baseSeed,
                                  std::size_t index);
 
-  private:
-    /** Trace-content digests precomputed for shared job traces. */
-    using TraceDigests =
-        std::map<const trace::TaskTrace *, std::string>;
+    /**
+     * Realize (and memoize) the trace `job` describes, exactly as a
+     * worker would — from the job's own workloadParams; plan-level
+     * seed derivation is *not* applied. Lets report code reach the
+     * trace behind a job (e.g. for structure statistics) without a
+     * second generation.
+     */
+    std::shared_ptr<const trace::TaskTrace>
+    resolveTrace(const JobSpec &job) const;
 
-    BatchResult runJob(const BatchJob &job, std::size_t index,
-                       const TraceDigests &sharedDigests) const;
+  private:
+    struct TraceEntry;
+    class TraceStore;
+
+    BatchResult runJob(const JobSpec &job, std::size_t index,
+                       bool memoizeTrace) const;
 
     BatchOptions options_;
+    /**
+     * Memoized traces, shared by every run() of this runner — a
+     * driver running several batches over the same workloads (e.g.
+     * references, then a sampled sweep) generates each trace once.
+     * Only shareable sources are retained: a derived-seed workload
+     * trace is unique to its job and stays local to it.
+     */
+    std::unique_ptr<TraceStore> traces_;
 };
-
-/**
- * Render a batch as a TextTable: one row per job with predicted
- * cycles, detailed-instruction fraction and, for Both-mode jobs, the
- * error/speedup comparison ("-" where not applicable).
- */
-TextTable batchSummaryTable(const std::string &title,
-                            const std::vector<BatchResult> &results);
-
-/** Accumulate errorPct of all Both-mode results (common/statistics). */
-RunningStats batchErrorStats(const std::vector<BatchResult> &results);
 
 } // namespace tp::harness
 

@@ -1,0 +1,288 @@
+#include "harness/job_spec.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace tp::harness {
+
+namespace {
+
+constexpr std::uint64_t kPlanMagic = 0x5450504c414e3101ULL; // TPPLAN1.
+
+void
+writeBool(BinaryWriter &w, bool b)
+{
+    w.pod<std::uint8_t>(b ? 1 : 0);
+}
+
+bool
+readBool(BinaryReader &r)
+{
+    const auto b = r.pod<std::uint8_t>();
+    if (b > 1)
+        throwIoError("'%s': corrupt boolean field",
+                     r.name().c_str());
+    return b == 1;
+}
+
+void
+writeCacheConfig(BinaryWriter &w, const mem::CacheConfig &c)
+{
+    w.pod(c.sizeBytes);
+    w.pod(c.assoc);
+    w.pod(c.lineBytes);
+    w.pod(c.latency);
+    w.pod(c.servicePeriod);
+    writeBool(w, c.scanResistantInsert);
+}
+
+mem::CacheConfig
+readCacheConfig(BinaryReader &r)
+{
+    mem::CacheConfig c;
+    c.sizeBytes = r.pod<std::uint64_t>();
+    c.assoc = r.pod<std::uint32_t>();
+    c.lineBytes = r.pod<std::uint32_t>();
+    c.latency = r.pod<Cycles>();
+    c.servicePeriod = r.pod<Cycles>();
+    c.scanResistantInsert = readBool(r);
+    return c;
+}
+
+} // namespace
+
+void
+writeWorkloadParams(BinaryWriter &w, const work::WorkloadParams &p)
+{
+    w.pod(p.scale);
+    w.pod(p.instrScale);
+    w.pod(p.seed);
+}
+
+work::WorkloadParams
+readWorkloadParams(BinaryReader &r)
+{
+    work::WorkloadParams p;
+    p.scale = r.pod<double>();
+    p.instrScale = r.pod<double>();
+    p.seed = r.pod<std::uint64_t>();
+    return p;
+}
+
+void
+writeRunSpec(BinaryWriter &w, const RunSpec &spec)
+{
+    const cpu::ArchConfig &a = spec.arch;
+    w.str(a.name);
+    w.pod(a.core.robSize);
+    w.pod(a.core.issueWidth);
+    w.pod(a.core.commitWidth);
+    writeCacheConfig(w, a.memory.l1);
+    writeCacheConfig(w, a.memory.l2);
+    writeCacheConfig(w, a.memory.l3);
+    writeBool(w, a.memory.l2Shared);
+    writeBool(w, a.memory.hasL3);
+    w.pod(a.memory.dram.latency);
+    w.pod(a.memory.dram.servicePeriod);
+    w.pod(a.memory.dram.channels);
+    w.pod(a.memory.upgradeLatency);
+    w.pod(a.memory.busServicePeriod);
+    w.pod(a.memory.coherentBase);
+    w.pod(a.memory.coherentEnd);
+    writeBool(w, a.memory.streamPrefetch);
+    w.pod(a.memory.prefetchDegree);
+
+    w.pod(spec.threads);
+    w.pod<std::uint8_t>(
+        static_cast<std::uint8_t>(spec.runtime.scheduler));
+    w.pod(spec.runtime.dispatchOverhead);
+    w.pod(spec.runtime.dispatchJitter);
+    w.pod(spec.runtime.seed);
+    w.pod(spec.quantum);
+    writeBool(w, spec.recordTasks);
+    writeBool(w, spec.noise.enabled);
+    w.pod(spec.noise.sigma);
+    w.pod(spec.noise.preemptProb);
+    w.pod(spec.noise.preemptMeanCycles);
+    w.pod(spec.noise.seed);
+}
+
+RunSpec
+readRunSpec(BinaryReader &r)
+{
+    RunSpec spec;
+    cpu::ArchConfig &a = spec.arch;
+    a.name = r.str();
+    a.core.robSize = r.pod<std::uint32_t>();
+    a.core.issueWidth = r.pod<std::uint32_t>();
+    a.core.commitWidth = r.pod<std::uint32_t>();
+    a.memory.l1 = readCacheConfig(r);
+    a.memory.l2 = readCacheConfig(r);
+    a.memory.l3 = readCacheConfig(r);
+    a.memory.l2Shared = readBool(r);
+    a.memory.hasL3 = readBool(r);
+    a.memory.dram.latency = r.pod<Cycles>();
+    a.memory.dram.servicePeriod = r.pod<Cycles>();
+    a.memory.dram.channels = r.pod<std::uint32_t>();
+    a.memory.upgradeLatency = r.pod<Cycles>();
+    a.memory.busServicePeriod = r.pod<Cycles>();
+    a.memory.coherentBase = r.pod<Addr>();
+    a.memory.coherentEnd = r.pod<Addr>();
+    a.memory.streamPrefetch = readBool(r);
+    a.memory.prefetchDegree = r.pod<std::uint32_t>();
+
+    spec.threads = r.pod<std::uint32_t>();
+    const auto sched = r.pod<std::uint8_t>();
+    if (sched > static_cast<std::uint8_t>(rt::SchedulerKind::Locality))
+        throwIoError("'%s': corrupt scheduler kind",
+                     r.name().c_str());
+    spec.runtime.scheduler = static_cast<rt::SchedulerKind>(sched);
+    spec.runtime.dispatchOverhead = r.pod<Cycles>();
+    spec.runtime.dispatchJitter = r.pod<Cycles>();
+    spec.runtime.seed = r.pod<std::uint64_t>();
+    spec.quantum = r.pod<InstCount>();
+    spec.recordTasks = readBool(r);
+    spec.noise.enabled = readBool(r);
+    spec.noise.sigma = r.pod<double>();
+    spec.noise.preemptProb = r.pod<double>();
+    spec.noise.preemptMeanCycles = r.pod<double>();
+    spec.noise.seed = r.pod<std::uint64_t>();
+    return spec;
+}
+
+void
+writeSamplingParams(BinaryWriter &w, const sampling::SamplingParams &p)
+{
+    w.pod(p.warmup);
+    w.pod<std::uint64_t>(p.historySize);
+    w.pod(p.period);
+    w.pod(p.rareCutoff);
+    w.pod(p.concurrencyHysteresis);
+    w.pod(p.concurrencyTolerance);
+}
+
+sampling::SamplingParams
+readSamplingParams(BinaryReader &r)
+{
+    sampling::SamplingParams p;
+    p.warmup = r.pod<std::uint64_t>();
+    p.historySize =
+        static_cast<std::size_t>(r.pod<std::uint64_t>());
+    p.period = r.pod<std::uint64_t>();
+    p.rareCutoff = r.pod<std::uint64_t>();
+    p.concurrencyHysteresis = r.pod<std::uint32_t>();
+    p.concurrencyTolerance = r.pod<double>();
+    return p;
+}
+
+void
+serializeJobSpec(BinaryWriter &w, const JobSpec &job)
+{
+    w.str(job.label);
+    w.str(job.workload);
+    writeWorkloadParams(w, job.workloadParams);
+    w.str(job.traceFile);
+    writeRunSpec(w, job.spec);
+    writeSamplingParams(w, job.sampling);
+    w.pod<std::uint8_t>(static_cast<std::uint8_t>(job.mode));
+}
+
+JobSpec
+deserializeJobSpec(BinaryReader &r)
+{
+    JobSpec job;
+    job.label = r.str();
+    job.workload = r.str();
+    job.workloadParams = readWorkloadParams(r);
+    job.traceFile = r.str();
+    job.spec = readRunSpec(r);
+    job.sampling = readSamplingParams(r);
+    const auto mode = r.pod<std::uint8_t>();
+    if (mode > static_cast<std::uint8_t>(BatchMode::Both))
+        throwIoError("'%s': corrupt batch mode", r.name().c_str());
+    job.mode = static_cast<BatchMode>(mode);
+    return job;
+}
+
+void
+serializePlan(const ExperimentPlan &plan, std::ostream &out)
+{
+    BinaryWriter w(out);
+    w.pod(kPlanMagic);
+    w.pod(kPlanFormatVersion);
+    w.pod(plan.baseSeed);
+    writeBool(w, plan.deriveSeeds);
+    w.pod<std::uint64_t>(plan.jobs.size());
+    for (const JobSpec &job : plan.jobs)
+        serializeJobSpec(w, job);
+}
+
+void
+serializePlan(const ExperimentPlan &plan, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    serializePlan(plan, out);
+    if (!out.good())
+        fatal("error writing plan to '%s'", path.c_str());
+}
+
+ExperimentPlan
+deserializePlan(std::istream &in, const std::string &name)
+{
+    BinaryReader r(in, name);
+    if (r.pod<std::uint64_t>() != kPlanMagic)
+        throwIoError("'%s': not a taskpoint plan file",
+                     name.c_str());
+    if (r.pod<std::uint32_t>() != kPlanFormatVersion)
+        throwIoError("'%s': unsupported plan format version",
+                     name.c_str());
+    ExperimentPlan plan;
+    plan.baseSeed = r.pod<std::uint64_t>();
+    plan.deriveSeeds = readBool(r);
+    const auto count = r.pod<std::uint64_t>();
+    // Every job occupies far more than one byte, so a count beyond
+    // the remaining stream length is certainly corrupt and must not
+    // drive the reserve below.
+    if (count > r.remainingBytes())
+        throwIoError("'%s': corrupt job count", name.c_str());
+    plan.jobs.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i)
+        plan.jobs.push_back(deserializeJobSpec(r));
+    r.expectEof();
+    return plan;
+}
+
+ExperimentPlan
+deserializePlan(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throwIoError("cannot open '%s' for reading", path.c_str());
+    return deserializePlan(in, path);
+}
+
+std::string
+jobSpecDigest(const JobSpec &job)
+{
+    std::ostringstream bytes(std::ios::binary);
+    BinaryWriter w(bytes);
+    w.pod(kPlanFormatVersion);
+    serializeJobSpec(w, job);
+    return hexDigest128(bytes.str());
+}
+
+std::string
+planDigest(const ExperimentPlan &plan)
+{
+    std::ostringstream bytes(std::ios::binary);
+    serializePlan(plan, bytes);
+    return hexDigest128(bytes.str());
+}
+
+} // namespace tp::harness

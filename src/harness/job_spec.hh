@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Self-describing, serializable experiment descriptions.
+ *
+ * A JobSpec names everything one batch job needs — the trace source
+ * (a workload-registry name plus generation parameters, or a path to
+ * a serialized trace file), the full RunSpec, the sampling policy and
+ * the batch mode — with no pointers into the building process, so a
+ * job can be written to disk, shipped to another process or machine,
+ * and replayed bit-identically. An ExperimentPlan is an ordered list
+ * of JobSpecs plus the seed-derivation policy; BatchRunner executes
+ * plans (see harness/batch_runner.hh) and streams the results to a
+ * ResultSink (see harness/result_sink.hh).
+ *
+ * Serialization uses the shared common/binary_io layer: plans
+ * round-trip bit-identically (serialize → deserialize → serialize
+ * yields the same bytes), corruption raises recoverable IoError, and
+ * jobSpecDigest()/planDigest() give stable content digests
+ * (common/hash) suitable for cache keys and change detection. The
+ * RunSpec/SamplingParams encoders below are also the key material of
+ * harness/result_cache, so a key covers every field a plan records.
+ */
+
+#ifndef TP_HARNESS_JOB_SPEC_HH
+#define TP_HARNESS_JOB_SPEC_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tp {
+class BinaryReader;
+class BinaryWriter;
+}
+
+namespace tp::harness {
+
+/** What one batch job simulates. */
+enum class BatchMode : std::uint8_t {
+    Sampled,   //!< TaskPoint-sampled run only
+    Reference, //!< full-detailed reference only
+    Both,      //!< reference + sampled + error/speedup comparison
+};
+
+/**
+ * One independent simulation job, fully described by value.
+ *
+ * The trace source is exactly one of
+ *  - `workload` + `workloadParams`: generated from the workload
+ *    registry (BatchRunner memoizes generation, so many jobs naming
+ *    the same workload and parameters share one in-memory trace), or
+ *  - `traceFile`: a trace serialized by trace/trace_io (the
+ *    custom-workload path, and the hand-off format for out-of-process
+ *    workers).
+ */
+struct JobSpec
+{
+    /** Human-readable tag used in reports. */
+    std::string label;
+    /** Workload-registry name; empty when `traceFile` is used. */
+    std::string workload;
+    work::WorkloadParams workloadParams;
+    /** Path to a serialized TaskTrace; empty when `workload` is used. */
+    std::string traceFile;
+
+    RunSpec spec;
+    sampling::SamplingParams sampling;
+    BatchMode mode = BatchMode::Sampled;
+};
+
+/**
+ * An ordered list of jobs plus the seed-derivation policy — the
+ * deterministic half of a batch. Execution-environment choices
+ * (worker count, progress output, result cache) stay in BatchOptions
+ * and may differ between the process that wrote a plan and the one
+ * replaying it without changing any reported number.
+ */
+struct ExperimentPlan
+{
+    std::vector<JobSpec> jobs;
+    /** Base seed all per-job seeds derive from. */
+    std::uint64_t baseSeed = 42;
+    /**
+     * Overwrite each job's workloadParams.seed and noise seed with
+     * BatchRunner::jobSeed(baseSeed, index). Disable to seed jobs
+     * manually.
+     */
+    bool deriveSeeds = true;
+};
+
+/**
+ * Version of the plan/JobSpec encoding. Bump whenever JobSpec,
+ * RunSpec, SamplingParams or any nested config changes shape; it is
+ * embedded in plan files and digest material, so stale files fail
+ * loudly instead of decoding garbage.
+ */
+inline constexpr std::uint32_t kPlanFormatVersion = 1;
+
+// Building blocks, shared with harness/result_cache key material.
+void writeWorkloadParams(BinaryWriter &w,
+                         const work::WorkloadParams &p);
+work::WorkloadParams readWorkloadParams(BinaryReader &r);
+void writeRunSpec(BinaryWriter &w, const RunSpec &spec);
+RunSpec readRunSpec(BinaryReader &r);
+void writeSamplingParams(BinaryWriter &w,
+                         const sampling::SamplingParams &p);
+sampling::SamplingParams readSamplingParams(BinaryReader &r);
+
+/** Write one JobSpec (payload only, no framing). */
+void serializeJobSpec(BinaryWriter &w, const JobSpec &job);
+
+/** Exact inverse of serializeJobSpec; throws IoError on corruption. */
+JobSpec deserializeJobSpec(BinaryReader &r);
+
+/** Write a plan (magic, version, jobs) to a stream. */
+void serializePlan(const ExperimentPlan &plan, std::ostream &out);
+
+/** Write a plan to `path`; fatal when the file cannot be written. */
+void serializePlan(const ExperimentPlan &plan,
+                   const std::string &path);
+
+/**
+ * Read a plan back; exact inverse of serializePlan.
+ *
+ * @param name label for error messages (the path when reading a file)
+ * @throws IoError on truncation, bad magic/version or corrupt fields
+ */
+ExperimentPlan deserializePlan(std::istream &in,
+                               const std::string &name);
+
+/** Read a plan from `path`; throws IoError on corruption. */
+ExperimentPlan deserializePlan(const std::string &path);
+
+/**
+ * @return stable 128-bit hex digest of one job's serialized bytes
+ *         (includes kPlanFormatVersion): identical across processes
+ *         and runs for identical specs, different when any field
+ *         differs.
+ */
+std::string jobSpecDigest(const JobSpec &job);
+
+/** @return stable 128-bit hex digest of a whole plan's bytes. */
+std::string planDigest(const ExperimentPlan &plan);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_JOB_SPEC_HH

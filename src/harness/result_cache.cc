@@ -14,6 +14,7 @@
 #include "common/cli.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "harness/job_spec.hh"
 #include "trace/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -24,28 +25,19 @@ namespace {
 
 constexpr std::uint64_t kEntryMagic = 0x5450524553433101ULL; // TPRESC1.
 constexpr std::uint32_t kEnvelopeVersion = 1;
-/** Bump when the key derivation below changes. */
-constexpr std::uint32_t kKeySchemeVersion = 1;
+/**
+ * Bump when the key derivation below changes. v2: keys carry an
+ * entry-kind tag, RunSpec bytes come from harness::writeRunSpec, and
+ * sampled entries (RunSpec + SamplingParams) joined the scheme.
+ */
+constexpr std::uint32_t kKeySchemeVersion = 2;
+
+/** Entry-kind tags keyed into the digest material. */
+constexpr std::uint8_t kKindReference = 'R';
+constexpr std::uint8_t kKindSampled = 'S';
 
 const char *const kIndexName = "index.tsv";
 const char *const kEntrySuffix = ".tpres";
-
-void
-writeBool(BinaryWriter &w, bool b)
-{
-    w.pod<std::uint8_t>(b ? 1 : 0);
-}
-
-void
-writeCacheConfig(BinaryWriter &w, const mem::CacheConfig &c)
-{
-    w.pod(c.sizeBytes);
-    w.pod(c.assoc);
-    w.pod(c.lineBytes);
-    w.pod(c.latency);
-    w.pod(c.servicePeriod);
-    writeBool(w, c.scanResistantInsert);
-}
 
 /** Process/thread-unique temp-file counter for atomic publishes. */
 std::atomic<std::uint64_t> g_tmpCounter{0};
@@ -68,47 +60,16 @@ resultCacheKey(const std::string &trace_digest, const RunSpec &spec,
                std::uint32_t formatVersion)
 {
     // Serialize the full key material into one buffer, then digest
-    // it to 128 bits (two independent FNV-1a passes).
+    // it to 128 bits (two independent FNV-1a passes). The RunSpec
+    // bytes are the plan-file encoding (harness/job_spec), so the
+    // key covers exactly the fields a replayed plan pins down.
     std::ostringstream material(std::ios::binary);
     BinaryWriter w(material);
+    w.pod(kKindReference);
     w.pod(kKeySchemeVersion);
     w.pod(formatVersion);
     w.str(trace_digest);
-
-    const cpu::ArchConfig &a = spec.arch;
-    w.str(a.name);
-    w.pod(a.core.robSize);
-    w.pod(a.core.issueWidth);
-    w.pod(a.core.commitWidth);
-    writeCacheConfig(w, a.memory.l1);
-    writeCacheConfig(w, a.memory.l2);
-    writeCacheConfig(w, a.memory.l3);
-    writeBool(w, a.memory.l2Shared);
-    writeBool(w, a.memory.hasL3);
-    w.pod(a.memory.dram.latency);
-    w.pod(a.memory.dram.servicePeriod);
-    w.pod(a.memory.dram.channels);
-    w.pod(a.memory.upgradeLatency);
-    w.pod(a.memory.busServicePeriod);
-    w.pod(a.memory.coherentBase);
-    w.pod(a.memory.coherentEnd);
-    writeBool(w, a.memory.streamPrefetch);
-    w.pod(a.memory.prefetchDegree);
-
-    w.pod(spec.threads);
-    w.pod<std::uint8_t>(
-        static_cast<std::uint8_t>(spec.runtime.scheduler));
-    w.pod(spec.runtime.dispatchOverhead);
-    w.pod(spec.runtime.dispatchJitter);
-    w.pod(spec.runtime.seed);
-    w.pod(spec.quantum);
-    writeBool(w, spec.recordTasks);
-    writeBool(w, spec.noise.enabled);
-    w.pod(spec.noise.sigma);
-    w.pod(spec.noise.preemptProb);
-    w.pod(spec.noise.preemptMeanCycles);
-    w.pod(spec.noise.seed);
-
+    writeRunSpec(w, spec);
     return hexDigest128(material.str());
 }
 
@@ -117,6 +78,35 @@ resultCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
                std::uint32_t formatVersion)
 {
     return resultCacheKey(traceDigest(trace), spec, formatVersion);
+}
+
+std::string
+sampledCacheKey(const std::string &trace_digest, const RunSpec &spec,
+                const sampling::SamplingParams &params,
+                std::uint32_t formatVersion)
+{
+    std::ostringstream material(std::ios::binary);
+    BinaryWriter w(material);
+    w.pod(kKindSampled);
+    w.pod(kKeySchemeVersion);
+    w.pod(formatVersion);
+    // The sampled payload embeds a serialized SimResult, so a
+    // SimResult format change must miss sampled entries too — not
+    // only reference ones.
+    w.pod(sim::kResultFormatVersion);
+    w.str(trace_digest);
+    writeRunSpec(w, spec);
+    writeSamplingParams(w, params);
+    return hexDigest128(material.str());
+}
+
+std::string
+sampledCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
+                const sampling::SamplingParams &params,
+                std::uint32_t formatVersion)
+{
+    return sampledCacheKey(traceDigest(trace), spec, params,
+                           formatVersion);
 }
 
 ResultCache::ResultCache(ResultCacheOptions options)
@@ -239,8 +229,8 @@ ResultCache::saveIndexLocked()
         fs::remove(tmp, ec);
 }
 
-std::optional<sim::SimResult>
-ResultCache::lookup(const std::string &key)
+std::optional<std::string>
+ResultCache::loadPayload(const std::string &key)
 {
     // All file reading and parsing happens outside the lock so
     // concurrent workers replaying different entries don't serialize
@@ -256,7 +246,6 @@ ResultCache::lookup(const std::string &key)
             entries_.erase(it);
             indexDirty_ = true;
         }
-        ++stats_.misses;
         return std::nullopt;
     }
 
@@ -290,9 +279,6 @@ ResultCache::lookup(const std::string &key)
             throwIoError("'%s': payload checksum mismatch",
                          path.c_str());
 
-        std::istringstream ps(payload, std::ios::binary);
-        sim::SimResult result = sim::deserializeResult(ps, path);
-
         std::lock_guard<std::mutex> lock(mu_);
         auto &e = entries_[key];
         if (e.bytes == 0) {
@@ -301,16 +287,55 @@ ResultCache::lookup(const std::string &key)
         }
         e.seq = nextSeq_++;
         indexDirty_ = true;
-        ++stats_.hits;
-        return result;
+        return payload;
     } catch (const std::exception &) {
         // Damaged or mismatched entry: a miss, never an error —
         // including allocation failures provoked by corrupt bytes.
-        // The subsequent store() overwrites it with a good one.
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.misses;
+        // The subsequent store overwrites it with a good one.
         return std::nullopt;
     }
+}
+
+std::optional<sim::SimResult>
+ResultCache::lookup(const std::string &key)
+{
+    std::optional<std::string> payload = loadPayload(key);
+    if (payload) {
+        try {
+            std::istringstream ps(*payload, std::ios::binary);
+            sim::SimResult result =
+                sim::deserializeResult(ps, entryPath(key));
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.hits;
+            return result;
+        } catch (const std::exception &) {
+            // Verified envelope but undecodable payload (e.g. an
+            // entry of the other kind): treat as damaged.
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+std::optional<SampledOutcome>
+ResultCache::lookupSampled(const std::string &key)
+{
+    std::optional<std::string> payload = loadPayload(key);
+    if (payload) {
+        try {
+            std::istringstream ps(*payload, std::ios::binary);
+            SampledOutcome outcome =
+                sim::deserializeSampledOutcome(ps, entryPath(key));
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.hits;
+            return outcome;
+        } catch (const std::exception &) {
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
 }
 
 void
@@ -319,14 +344,29 @@ ResultCache::store(const std::string &key,
 {
     if (options_.mode != CacheMode::ReadWrite)
         return;
+    std::ostringstream payload(std::ios::binary);
+    sim::serializeResult(result, payload);
+    storePayload(key, payload.str());
+}
 
-    // Serialization and the temp-file write/rename happen outside
-    // the lock (temp names are process/thread-unique and the rename
-    // is atomic); mu_ guards only the bookkeeping at the end.
-    std::ostringstream payloadStream(std::ios::binary);
-    sim::serializeResult(result, payloadStream);
-    const std::string payload = payloadStream.str();
+void
+ResultCache::storeSampled(const std::string &key,
+                          const SampledOutcome &outcome)
+{
+    if (options_.mode != CacheMode::ReadWrite)
+        return;
+    std::ostringstream payload(std::ios::binary);
+    sim::serializeSampledOutcome(outcome, payload);
+    storePayload(key, payload.str());
+}
 
+void
+ResultCache::storePayload(const std::string &key,
+                          const std::string &payload)
+{
+    // The temp-file write/rename happens outside the lock (temp
+    // names are process/thread-unique and the rename is atomic);
+    // mu_ guards only the bookkeeping at the end.
     const fs::path dir(options_.dir);
     const std::string tmp =
         (dir / strprintf(".tmp.%d.%llu",

@@ -1,31 +1,37 @@
 /**
  * @file
- * Content-addressed on-disk cache of detailed-reference SimResults.
+ * Content-addressed on-disk cache of simulation outcomes: detailed
+ * reference SimResults and TaskPoint-sampled SampledOutcomes.
  *
  * The dominant cost of every error/speedup figure is the full-detailed
  * reference simulation the sampled run is compared against, and the
  * same (architecture, workload, seed) reference is recomputed by
- * several drivers. This cache lets all of them — and repeated
- * invocations of the same driver — share one results directory.
+ * several drivers; large sweeps additionally rerun identical sampled
+ * simulations on every invocation. This cache lets all of them — and
+ * repeated invocations of the same driver — share one results
+ * directory.
  *
  * Keying. An entry's key is a stable 128-bit FNV-1a digest
  * (common/hash) of
+ *  - an entry-kind tag (reference vs. sampled),
  *  - the serialized bytes of the TaskTrace (trace/trace_io), which
  *    pin the workload name, WorkloadParams and derived job seed via
  *    the generated structure itself,
- *  - every field of the RunSpec: ArchConfig, thread count, runtime
+ *  - every field of the RunSpec (via harness::writeRunSpec, the same
+ *    encoder plan files use): ArchConfig, thread count, runtime
  *    configuration, quantum, recordTasks and the noise model
- *    (including its seed), and
- *  - the key-scheme and SimResult-format versions, so entries written
+ *    (including its seed),
+ *  - for sampled entries, every field of the SamplingParams, and
+ *  - the key-scheme and payload-format versions, so entries written
  *    by an older build can never be decoded as current ones.
  * Any single-field change therefore changes the key; a stale or
  * mismatched entry misses, it is never reinterpreted.
  *
  * Entry files. `<dir>/<key>.tpres` holds magic, envelope version, the
- * embedded key (verified on load), the length-prefixed SimResult
- * payload (sim/result_io) and an FNV-1a checksum of the payload.
- * Truncated, torn or otherwise damaged entries fail the checksum or
- * raise IoError and count as a miss — they cannot corrupt a figure.
+ * embedded key (verified on load), the length-prefixed payload
+ * (sim/result_io) and an FNV-1a checksum of the payload. Truncated,
+ * torn or otherwise damaged entries fail the checksum or raise
+ * IoError and count as a miss — they cannot corrupt a figure.
  *
  * Concurrency. Writers serialize to a process/thread-unique temp file
  * in the cache directory and publish it with an atomic rename, so
@@ -110,6 +116,23 @@ std::string
 resultCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
                std::uint32_t formatVersion = sim::kResultFormatVersion);
 
+/**
+ * @return the cache key of one TaskPoint-sampled simulation: like
+ *         resultCacheKey, but tagged as a sampled entry and covering
+ *         every SamplingParams field, so two policies over one trace
+ *         and RunSpec never share an entry.
+ */
+std::string
+sampledCacheKey(const std::string &trace_digest, const RunSpec &spec,
+                const sampling::SamplingParams &params,
+                std::uint32_t formatVersion = sim::kSampledFormatVersion);
+
+/** Convenience overload computing the trace digest inline. */
+std::string
+sampledCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
+                const sampling::SamplingParams &params,
+                std::uint32_t formatVersion = sim::kSampledFormatVersion);
+
 /** See file comment. */
 class ResultCache
 {
@@ -121,7 +144,7 @@ class ResultCache
     ~ResultCache();
 
     /**
-     * Look up `key`.
+     * Look up a reference entry.
      *
      * @return the bit-identical stored SimResult, or std::nullopt on
      *         miss (absent, damaged or key-mismatched entry)
@@ -133,6 +156,19 @@ class ResultCache
      * entries beyond the size cap. No-op in read-only mode.
      */
     void store(const std::string &key, const sim::SimResult &result);
+
+    /**
+     * Look up a sampled entry (key from sampledCacheKey).
+     *
+     * @return the bit-identical stored SampledOutcome, or
+     *         std::nullopt on miss
+     */
+    std::optional<SampledOutcome>
+    lookupSampled(const std::string &key);
+
+    /** Store a whole sampled outcome under `key`. */
+    void storeSampled(const std::string &key,
+                      const SampledOutcome &outcome);
 
     /** @return whether an entry file for `key` exists right now
      *          (no validation, no LRU effect; for tests/tools). */
@@ -153,6 +189,15 @@ class ResultCache
     };
 
     std::string entryPath(const std::string &key) const;
+    /**
+     * Read and envelope-verify the payload bytes of `key`; updates
+     * recency on success. The typed lookup wrappers decode the
+     * payload and count hits/misses.
+     */
+    std::optional<std::string> loadPayload(const std::string &key);
+    /** Publish `payload` under `key` (atomic rename), then evict. */
+    void storePayload(const std::string &key,
+                      const std::string &payload);
     /** Reconcile index.tsv with the directory contents. */
     void loadIndexLocked();
     void saveIndexLocked();

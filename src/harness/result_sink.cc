@@ -1,0 +1,107 @@
+#include "harness/result_sink.hh"
+
+namespace tp::harness {
+
+namespace {
+
+const std::vector<std::string> kSummaryHeader = {
+    "#",         "label",   "cycles",  "detail frac",
+    "error [%]", "speedup", "host [s]"};
+
+std::vector<std::string>
+summaryRow(const BatchResult &r)
+{
+    const sim::SimResult *primary =
+        r.sampled ? &r.sampled->result
+                  : (r.reference ? &*r.reference : nullptr);
+    return {std::to_string(r.index), r.label,
+            primary ? fmtCount(primary->totalCycles) : "-",
+            primary ? fmtDouble(primary->detailFraction(), 3) : "-",
+            r.comparison ? fmtDouble(r.comparison->errorPct, 2)
+                         : "-",
+            r.comparison ? fmtDouble(r.comparison->wallSpeedup, 1)
+                         : "-",
+            fmtDouble(r.hostSeconds, 2)};
+}
+
+} // namespace
+
+TableSink::TableSink(const std::string &title, bool printAtEnd)
+    : table_(title), printAtEnd_(printAtEnd)
+{
+    table_.setHeader(kSummaryHeader);
+}
+
+void
+TableSink::consume(BatchResult &&result)
+{
+    table_.addRow(summaryRow(result));
+}
+
+void
+TableSink::end()
+{
+    if (printAtEnd_)
+        table_.print();
+}
+
+void
+StatsSink::consume(BatchResult &&result)
+{
+    ++jobs_;
+    if (result.comparison)
+        errorStats_.add(result.comparison->errorPct);
+}
+
+TeeSink::TeeSink(std::vector<ResultSink *> sinks)
+    : sinks_(std::move(sinks))
+{
+}
+
+void
+TeeSink::begin(std::size_t totalJobs)
+{
+    for (ResultSink *s : sinks_)
+        s->begin(totalJobs);
+}
+
+void
+TeeSink::consume(BatchResult &&result)
+{
+    if (sinks_.empty())
+        return;
+    for (std::size_t i = 0; i + 1 < sinks_.size(); ++i)
+        sinks_[i]->consume(BatchResult(result));
+    sinks_.back()->consume(std::move(result));
+}
+
+void
+TeeSink::end()
+{
+    for (ResultSink *s : sinks_)
+        s->end();
+}
+
+TextTable
+batchSummaryTable(const std::string &title,
+                  const std::vector<BatchResult> &results)
+{
+    TextTable t(title);
+    t.setHeader(kSummaryHeader);
+    for (const BatchResult &r : results)
+        t.addRow(summaryRow(r));
+    return t;
+}
+
+RunningStats
+batchErrorStats(const std::vector<BatchResult> &results)
+{
+    RunningStats stats;
+    for (const BatchResult &r : results) {
+        if (r.comparison)
+            stats.add(r.comparison->errorPct);
+    }
+    return stats;
+}
+
+} // namespace tp::harness

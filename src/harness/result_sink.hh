@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Streaming consumption of batch results.
+ *
+ * BatchRunner::run(plan, sink) delivers each finished BatchResult to
+ * a ResultSink in submission order as soon as it is deliverable,
+ * instead of materializing the whole batch in one vector. Reports
+ * over huge plans therefore hold only what their sink accumulates:
+ * a StatsSink is O(1), a TableSink keeps formatted rows only, and a
+ * TeeSink composes several consumers over one pass. CollectingSink
+ * restores the collect-everything behaviour where a driver really
+ * needs random access to all results.
+ *
+ * Sinks are called from the thread that invoked run() — begin(),
+ * every consume() and end() are strictly sequential, so sinks need no
+ * locking. If a job throws, the exception propagates from run()
+ * without end() being called.
+ */
+
+#ifndef TP_HARNESS_RESULT_SINK_HH
+#define TP_HARNESS_RESULT_SINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statistics.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace tp::harness {
+
+/** Outcome of one JobSpec, delivered in submission order. */
+struct BatchResult
+{
+    std::size_t index = 0;
+    std::string label;
+    std::optional<SampledOutcome> sampled;
+    std::optional<sim::SimResult> reference;
+    /** Present iff mode == Both. */
+    std::optional<ErrorSpeedup> comparison;
+    /** The reference was replayed from the result cache. */
+    bool referenceFromCache = false;
+    /** The sampled outcome was replayed from the result cache. */
+    bool sampledFromCache = false;
+    /** Host seconds the whole job spent on its worker. */
+    double hostSeconds = 0.0;
+};
+
+/** See file comment. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Called once before the first result. */
+    virtual void
+    begin(std::size_t totalJobs)
+    {
+        (void)totalJobs;
+    }
+
+    /** Called once per job, in submission order. */
+    virtual void consume(BatchResult &&result) = 0;
+
+    /** Called once after the last result. */
+    virtual void end() {}
+};
+
+/** Collects every result into a vector (the pre-streaming shape). */
+class CollectingSink final : public ResultSink
+{
+  public:
+    void
+    begin(std::size_t totalJobs) override
+    {
+        results_.reserve(totalJobs);
+    }
+
+    void
+    consume(BatchResult &&result) override
+    {
+        results_.push_back(std::move(result));
+    }
+
+    const std::vector<BatchResult> &results() const
+    {
+        return results_;
+    }
+
+    /** @return the collected results, leaving the sink empty. */
+    std::vector<BatchResult>
+    take()
+    {
+        return std::move(results_);
+    }
+
+  private:
+    std::vector<BatchResult> results_;
+};
+
+/** Adapts a callable into a sink (ad-hoc streaming consumers). */
+class FunctionSink final : public ResultSink
+{
+  public:
+    explicit FunctionSink(std::function<void(BatchResult &&)> fn)
+        : fn_(std::move(fn))
+    {}
+
+    void
+    consume(BatchResult &&result) override
+    {
+        fn_(std::move(result));
+    }
+
+  private:
+    std::function<void(BatchResult &&)> fn_;
+};
+
+/**
+ * Renders the standard batch summary table — one row per job with
+ * predicted cycles, detailed-instruction fraction and, for Both-mode
+ * jobs, the error/speedup comparison — holding only the formatted
+ * rows. Prints the table in end() unless printing is disabled.
+ */
+class TableSink final : public ResultSink
+{
+  public:
+    explicit TableSink(const std::string &title,
+                       bool printAtEnd = true);
+
+    void consume(BatchResult &&result) override;
+    void end() override;
+
+    const TextTable &table() const { return table_; }
+
+  private:
+    TextTable table_;
+    bool printAtEnd_;
+};
+
+/** Accumulates errorPct of Both-mode results in O(1) memory. */
+class StatsSink final : public ResultSink
+{
+  public:
+    void consume(BatchResult &&result) override;
+
+    /** @return errorPct statistics over all Both-mode results. */
+    const RunningStats &errorStats() const { return errorStats_; }
+
+    /** @return number of results consumed (any mode). */
+    std::size_t jobs() const { return jobs_; }
+
+  private:
+    RunningStats errorStats_;
+    std::size_t jobs_ = 0;
+};
+
+/**
+ * Fans one result stream out to several sinks (not owned; must
+ * outlive the run). All but the last sink receive a copy; the last
+ * receives the moved original.
+ */
+class TeeSink final : public ResultSink
+{
+  public:
+    explicit TeeSink(std::vector<ResultSink *> sinks);
+
+    void begin(std::size_t totalJobs) override;
+    void consume(BatchResult &&result) override;
+    void end() override;
+
+  private:
+    std::vector<ResultSink *> sinks_;
+};
+
+/**
+ * Render a batch as a TextTable (the TableSink format, for drivers
+ * that already hold a result vector).
+ */
+TextTable batchSummaryTable(const std::string &title,
+                            const std::vector<BatchResult> &results);
+
+/** Accumulate errorPct of all Both-mode results (common/statistics). */
+RunningStats batchErrorStats(const std::vector<BatchResult> &results);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_RESULT_SINK_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/binary_io.hh"
+#include "harness/experiment.hh"
 
 namespace tp::sim {
 
@@ -108,6 +109,79 @@ deserializeResult(std::istream &in, const std::string &name)
         res.tasks.push_back(t);
     }
     return res;
+}
+
+void
+serializeSampledOutcome(const harness::SampledOutcome &o,
+                        std::ostream &out)
+{
+    serializeResult(o.result, out);
+
+    BinaryWriter w(out);
+    const sampling::SamplingStats &s = o.stats;
+    w.pod(s.warmupTasks);
+    w.pod(s.sampleTasks);
+    w.pod(s.fastTasks);
+    w.pod(s.resamples);
+    w.pod(s.resamplesPeriod);
+    w.pod(s.resamplesNewType);
+    w.pod(s.resamplesConcurrency);
+    w.pod(s.phaseChanges);
+
+    w.pod<std::uint64_t>(o.phaseLog.size());
+    for (const sampling::PhaseChange &c : o.phaseLog) {
+        w.pod(c.at);
+        w.pod(static_cast<std::uint8_t>(c.to));
+    }
+
+    w.pod<std::uint64_t>(o.validHistSizes.size());
+    for (std::size_t n : o.validHistSizes)
+        w.pod<std::uint64_t>(n);
+}
+
+harness::SampledOutcome
+deserializeSampledOutcome(std::istream &in, const std::string &name)
+{
+    harness::SampledOutcome o;
+    o.result = deserializeResult(in, name);
+
+    BinaryReader r(in, name);
+    sampling::SamplingStats &s = o.stats;
+    s.warmupTasks = r.pod<std::uint64_t>();
+    s.sampleTasks = r.pod<std::uint64_t>();
+    s.fastTasks = r.pod<std::uint64_t>();
+    s.resamples = r.pod<std::uint64_t>();
+    s.resamplesPeriod = r.pod<std::uint64_t>();
+    s.resamplesNewType = r.pod<std::uint64_t>();
+    s.resamplesConcurrency = r.pod<std::uint64_t>();
+    s.phaseChanges = r.pod<std::uint64_t>();
+
+    const auto nphases = r.pod<std::uint64_t>();
+    if (nphases > (1ULL << 32))
+        throwIoError("'%s': corrupt phase-log count", name.c_str());
+    o.phaseLog.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nphases, 1ULL << 16)));
+    for (std::uint64_t i = 0; i < nphases; ++i) {
+        sampling::PhaseChange c;
+        c.at = r.pod<Cycles>();
+        const auto phase = r.pod<std::uint8_t>();
+        if (phase >
+            static_cast<std::uint8_t>(sampling::Phase::Fast))
+            throwIoError("'%s': corrupt phase value", name.c_str());
+        c.to = static_cast<sampling::Phase>(phase);
+        o.phaseLog.push_back(c);
+    }
+
+    const auto ntypes = r.pod<std::uint64_t>();
+    if (ntypes > (1ULL << 32))
+        throwIoError("'%s': corrupt history-size count",
+                     name.c_str());
+    o.validHistSizes.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(ntypes, 1ULL << 16)));
+    for (std::uint64_t i = 0; i < ntypes; ++i)
+        o.validHistSizes.push_back(
+            static_cast<std::size_t>(r.pod<std::uint64_t>()));
+    return o;
 }
 
 } // namespace tp::sim

@@ -1,14 +1,15 @@
 /**
  * @file
- * Binary (de)serialization of SimResults.
+ * Binary (de)serialization of simulation outcomes.
  *
- * The payload format behind harness/result_cache: every field of
+ * The payload formats behind harness/result_cache: every field of
  * SimResult — including doubles by bit pattern, the optional
  * per-instance TaskRecords and the memory-hierarchy statistics — is
  * written so that a deserialized result is bit-identical to the
- * original. Cached reference runs must be indistinguishable from
- * freshly simulated ones; any lossy encoding here would silently
- * corrupt error figures.
+ * original, and the same guarantee extends to whole SampledOutcomes
+ * (result + sampling statistics + phase log + history fill levels).
+ * Cached runs must be indistinguishable from freshly simulated ones;
+ * any lossy encoding here would silently corrupt error figures.
  *
  * Corruption raises IoError (recoverable, see common/binary_io);
  * the result cache treats that as a miss.
@@ -22,6 +23,10 @@
 #include <string>
 
 #include "sim/sim_result.hh"
+
+namespace tp::harness {
+struct SampledOutcome;
+}
 
 namespace tp::sim {
 
@@ -43,6 +48,28 @@ void serializeResult(const SimResult &r, std::ostream &out);
  * @throws IoError on truncation or corrupt lengths
  */
 SimResult deserializeResult(std::istream &in, const std::string &name);
+
+/**
+ * Version of the SampledOutcome payload encoding. Bump whenever
+ * SampledOutcome, SamplingStats or PhaseChange changes shape; it
+ * participates in sampled-result cache keys (see
+ * harness::sampledCacheKey).
+ */
+inline constexpr std::uint32_t kSampledFormatVersion = 1;
+
+/** Write a whole sampled outcome (payload only, no framing). */
+void serializeSampledOutcome(const harness::SampledOutcome &o,
+                             std::ostream &out);
+
+/**
+ * Read a SampledOutcome back; exact inverse of
+ * serializeSampledOutcome.
+ *
+ * @param name label for error messages
+ * @throws IoError on truncation or corrupt lengths
+ */
+harness::SampledOutcome
+deserializeSampledOutcome(std::istream &in, const std::string &name);
 
 } // namespace tp::sim
 

@@ -60,13 +60,21 @@ allWorkloads()
     return registry;
 }
 
-const WorkloadInfo &
-workloadByName(const std::string &name)
+const WorkloadInfo *
+findWorkload(const std::string &name)
 {
     for (const WorkloadInfo &w : allWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
+    return nullptr;
+}
+
+const WorkloadInfo &
+workloadByName(const std::string &name)
+{
+    if (const WorkloadInfo *w = findWorkload(name))
+        return *w;
     fatal("unknown workload '%s' (see allWorkloads())", name.c_str());
 }
 

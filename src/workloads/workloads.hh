@@ -54,6 +54,9 @@ struct WorkloadInfo
 /** @return all 19 workloads in Table I order. */
 const std::vector<WorkloadInfo> &allWorkloads();
 
+/** @return registry entry by name, or nullptr if unknown. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
 /** @return registry entry by name; fatal if unknown. */
 const WorkloadInfo &workloadByName(const std::string &name);
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Smoke test of the shared reference-result cache (`ctest -L cache`):
-# run one figure driver twice in the same cache directory and assert
-# that the second run (a) reports cache hits and no reference
-# simulations, and (b) prints a byte-identical error figure.
+# Smoke test of the shared result cache (`ctest -L cache`): run one
+# figure driver twice in the same cache directory and assert that the
+# second run (a) reports cache hits and simulates nothing — neither
+# the references nor the sampled runs — and (b) prints a
+# byte-identical error figure.
 #
 # Usage: cache_smoke_rerun.sh <figure-driver-binary>
 set -euo pipefail
@@ -29,11 +30,13 @@ grep "result cache" "$work/err2.txt"
 grep -q "result cache.*hits=0 " "$work/err1.txt"
 grep -Eq "result cache.*stores=[1-9]" "$work/err1.txt"
 
-# Warm run hits every reference and simulates none.
+# Warm run hits every entry — references and sampled runs alike —
+# and simulates none.
 grep -Eq "result cache.*hits=[1-9]" "$work/err2.txt"
 grep -q "result cache.*misses=0 " "$work/err2.txt"
 grep -q "result cache.*stores=0 " "$work/err2.txt"
 grep -q "\[ref cached\]" "$work/err2.txt"
+grep -q "\[sam cached\]" "$work/err2.txt"
 
 # The error figure (first table on stdout; everything before the
 # wall-clock speedup table) must be byte-identical.

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke test of serializable experiment plans (`ctest -L plan`):
+#
+#  1. A figure driver builds its plan in-process, saves it to disk
+#     with --save-plan, and runs it (cold cache).
+#  2. A fresh process replays the serialized plan with --plan and a
+#     warm cache: its deterministic report (the error figure) must be
+#     byte-identical to the in-process run, every cache entry —
+#     reference and sampled — must hit, and nothing may simulate.
+#  3. The generic replay_plan binary executes the same plan file,
+#     demonstrating cross-binary hand-off; warm again: zero stores.
+#
+# Usage: plan_roundtrip_smoke.sh <figure-driver-binary> <replay-plan-binary>
+set -euo pipefail
+
+fig="$1"
+replay="$2"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+common=(--benchmarks=histogram --scale=0.02 --jobs=2
+        --cache=rw --cache-dir="$work/cache")
+
+# 1. In-process run, serializing the plan first (cold cache).
+"$fig" "${common[@]}" --save-plan="$work/fig.tpplan" \
+    >"$work/out1.txt" 2>"$work/err1.txt"
+test -s "$work/fig.tpplan"
+grep -q "plan written to" "$work/err1.txt"
+grep -q "result cache.*hits=0 " "$work/err1.txt"
+
+# 2. Fresh process replays the plan from disk (warm cache).
+"$fig" "${common[@]}" --plan="$work/fig.tpplan" \
+    >"$work/out2.txt" 2>"$work/err2.txt"
+grep -q "replaying plan" "$work/err2.txt"
+grep -Eq "result cache.*hits=[1-9]" "$work/err2.txt"
+grep -q "result cache.*misses=0 " "$work/err2.txt"
+grep -q "result cache.*stores=0 " "$work/err2.txt"
+grep -q "\[ref cached\]" "$work/err2.txt"
+grep -q "\[sam cached\]" "$work/err2.txt"
+
+# The error figure (first table on stdout; everything before the
+# wall-clock speedup table) must be byte-identical between the
+# in-process run and the replayed plan.
+awk '/^$/{exit} {print}' "$work/out1.txt" >"$work/fig1.txt"
+awk '/^$/{exit} {print}' "$work/out2.txt" >"$work/fig2.txt"
+test -s "$work/fig1.txt"
+diff -u "$work/fig1.txt" "$work/fig2.txt"
+
+# 3. The generic replayer lists and executes the same plan file.
+"$replay" --plan="$work/fig.tpplan" --list >"$work/list.txt"
+grep -q "histogram" "$work/list.txt"
+
+"$replay" --plan="$work/fig.tpplan" --jobs=2 \
+    --cache=rw --cache-dir="$work/cache" \
+    >"$work/out3.txt" 2>"$work/err3.txt"
+grep -q "result cache.*misses=0 " "$work/err3.txt"
+grep -q "result cache.*stores=0 " "$work/err3.txt"
+grep -q "error over" "$work/out3.txt"
+
+# The plan digest printed by the replayer matches the one the saving
+# process reported: the bytes survived the round trip unchanged.
+saved_digest="$(grep -o 'digest [0-9a-f]*' "$work/err1.txt" | head -1)"
+grep -q "$saved_digest" "$work/out3.txt"
+
+echo "plan roundtrip smoke: OK"

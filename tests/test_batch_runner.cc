@@ -1,9 +1,10 @@
 /**
  * @file
- * Tests of the parallel experiment batch runner: ordered result
- * collection, per-job deterministic seeding, exception propagation,
- * and — the contract the whole design rests on — bit-identical
- * reported statistics for any worker count.
+ * Tests of the plan-driven experiment runner: ordered streaming
+ * delivery to sinks, per-job deterministic seeding, trace
+ * memoization across jobs and trace sources, exception propagation,
+ * sink composition, and — the contract the whole design rests on —
+ * bit-identical reported statistics for any worker count.
  */
 
 #include <gtest/gtest.h>
@@ -12,12 +13,16 @@
 #include <filesystem>
 #include <set>
 
+#include "common/binary_io.hh"
 #include "common/logging.hh"
 #include "harness/batch_runner.hh"
 #include "harness/result_cache.hh"
+#include "trace/trace_io.hh"
 
 namespace tp::harness {
 namespace {
+
+namespace fs = std::filesystem;
 
 work::WorkloadParams
 tinyScale()
@@ -28,14 +33,14 @@ tinyScale()
     return p;
 }
 
-/** A small mixed batch over two workloads and two policies. */
-std::vector<BatchJob>
-smallBatch()
+/** A small mixed plan over two workloads and two policies. */
+ExperimentPlan
+smallPlan()
 {
-    std::vector<BatchJob> jobs;
+    ExperimentPlan plan;
     for (const char *name : {"histogram", "vector-operation"}) {
         for (bool lazy : {true, false}) {
-            BatchJob j;
+            JobSpec j;
             j.label = std::string(name) + (lazy ? " lazy" : " p100");
             j.workload = name;
             j.workloadParams = tinyScale();
@@ -45,10 +50,10 @@ smallBatch()
                              ? sampling::SamplingParams::lazy()
                              : sampling::SamplingParams::periodic(100);
             j.mode = BatchMode::Both;
-            jobs.push_back(j);
+            plan.jobs.push_back(j);
         }
     }
-    return jobs;
+    return plan;
 }
 
 /** The deterministic (host-timing-free) fields of a SimResult. */
@@ -94,17 +99,57 @@ TEST(BatchRunner, ResultsArriveInSubmissionOrder)
 {
     BatchOptions opts;
     opts.jobs = 4;
-    const std::vector<BatchJob> jobs = smallBatch();
+    const ExperimentPlan plan = smallPlan();
     const std::vector<BatchResult> results =
-        BatchRunner(opts).run(jobs);
-    ASSERT_EQ(results.size(), jobs.size());
+        BatchRunner(opts).run(plan);
+    ASSERT_EQ(results.size(), plan.jobs.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
         EXPECT_EQ(results[i].index, i);
-        EXPECT_EQ(results[i].label, jobs[i].label);
+        EXPECT_EQ(results[i].label, plan.jobs[i].label);
         ASSERT_TRUE(results[i].sampled.has_value());
         ASSERT_TRUE(results[i].reference.has_value());
         ASSERT_TRUE(results[i].comparison.has_value());
     }
+}
+
+TEST(BatchRunner, SinkSeesOrderedStreamWithBeginAndEnd)
+{
+    /** Records the call protocol run() promises to sinks. */
+    class ProtocolSink final : public ResultSink
+    {
+      public:
+        void
+        begin(std::size_t totalJobs) override
+        {
+            ++begins;
+            announced = totalJobs;
+        }
+        void
+        consume(BatchResult &&r) override
+        {
+            indices.push_back(r.index);
+        }
+        void end() override { ++ends; }
+
+        int begins = 0;
+        int ends = 0;
+        std::size_t announced = 0;
+        std::vector<std::size_t> indices;
+    };
+
+    const ExperimentPlan plan = smallPlan();
+    BatchOptions opts;
+    opts.jobs = 4;
+    ProtocolSink sink;
+    BatchRunner(opts).run(plan, sink);
+
+    EXPECT_EQ(sink.begins, 1);
+    EXPECT_EQ(sink.ends, 1);
+    EXPECT_EQ(sink.announced, plan.jobs.size());
+    ASSERT_EQ(sink.indices.size(), plan.jobs.size());
+    for (std::size_t i = 0; i < sink.indices.size(); ++i)
+        EXPECT_EQ(sink.indices[i], i)
+            << "delivery must follow submission order";
 }
 
 TEST(BatchRunner, EightJobsBitIdenticalToOneJob)
@@ -112,16 +157,16 @@ TEST(BatchRunner, EightJobsBitIdenticalToOneJob)
     // The acceptance test of the parallel runner: everything reported
     // except host wall-clock must be bit-identical between a serial
     // and a heavily oversubscribed parallel run.
-    const std::vector<BatchJob> jobs = smallBatch();
+    const ExperimentPlan plan = smallPlan();
 
     BatchOptions serial;
     serial.jobs = 1;
-    const std::vector<BatchResult> a = BatchRunner(serial).run(jobs);
+    const std::vector<BatchResult> a = BatchRunner(serial).run(plan);
 
     BatchOptions parallel;
     parallel.jobs = 8;
     const std::vector<BatchResult> b =
-        BatchRunner(parallel).run(jobs);
+        BatchRunner(parallel).run(plan);
 
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -145,37 +190,68 @@ TEST(BatchRunner, EightJobsBitIdenticalToOneJob)
     }
 }
 
-TEST(BatchRunner, SharedTraceMatchesPerJobGeneration)
+TEST(BatchRunner, TraceFileJobMatchesWorkloadJob)
 {
-    // A job given a pre-built trace must equal a job that generates
-    // the same trace itself (same workload, same seed).
+    // A job naming a trace file must equal a job generating the same
+    // trace from the registry (same workload, same seed).
     const trace::TaskTrace shared =
         work::generateWorkload("histogram", tinyScale());
+    const fs::path file =
+        fs::path(testing::TempDir()) / "tp_batch_runner_shared.trace";
+    trace::serializeTrace(shared, file.string());
 
-    BatchJob generating;
+    ExperimentPlan plan;
+    plan.deriveSeeds = false; // keep the workloadParams seed
+    JobSpec generating;
     generating.label = "own";
     generating.workload = "histogram";
     generating.workloadParams = tinyScale();
     generating.spec.arch = cpu::highPerformanceConfig();
     generating.spec.threads = 8;
     generating.sampling = sampling::SamplingParams::lazy();
+    plan.jobs.push_back(generating);
 
-    BatchJob sharing = generating;
-    sharing.label = "shared";
-    sharing.trace = &shared;
+    JobSpec fromFile = generating;
+    fromFile.label = "from file";
+    fromFile.workload.clear();
+    fromFile.traceFile = file.string();
+    plan.jobs.push_back(fromFile);
 
     BatchOptions opts;
     opts.jobs = 2;
-    opts.deriveSeeds = false; // keep the workloadParams seed
     const std::vector<BatchResult> results =
-        BatchRunner(opts).run({generating, sharing});
+        BatchRunner(opts).run(plan);
     EXPECT_TRUE(fingerprint(results[0].sampled->result) ==
                 fingerprint(results[1].sampled->result));
+    fs::remove(file);
+}
+
+TEST(BatchRunner, ResolveTraceMemoizesPerSource)
+{
+    JobSpec j;
+    j.label = "memo";
+    j.workload = "histogram";
+    j.workloadParams = tinyScale();
+
+    const BatchRunner runner;
+    const std::shared_ptr<const trace::TaskTrace> a =
+        runner.resolveTrace(j);
+    const std::shared_ptr<const trace::TaskTrace> b =
+        runner.resolveTrace(j);
+    EXPECT_EQ(a.get(), b.get())
+        << "identical sources must share one realized trace";
+    EXPECT_EQ(a->size(),
+              work::generateWorkload("histogram", tinyScale()).size());
+
+    JobSpec other = j;
+    other.workloadParams.seed = 43;
+    EXPECT_NE(runner.resolveTrace(other).get(), a.get())
+        << "a different seed is a different source";
 }
 
 TEST(BatchRunner, DerivedSeedsChangeWithBaseSeed)
 {
-    BatchJob j;
+    JobSpec j;
     j.label = "seeded";
     j.workload = "histogram";
     j.workloadParams = tinyScale();
@@ -183,28 +259,56 @@ TEST(BatchRunner, DerivedSeedsChangeWithBaseSeed)
     j.spec.threads = 8;
     j.sampling = sampling::SamplingParams::lazy();
 
-    BatchOptions s1;
-    s1.jobs = 2;
-    s1.baseSeed = 1;
-    BatchOptions s2 = s1;
-    s2.baseSeed = 2;
-    const Cycles c1 =
-        BatchRunner(s1).run({j})[0].sampled->result.totalCycles;
-    const Cycles c2 =
-        BatchRunner(s2).run({j})[0].sampled->result.totalCycles;
+    ExperimentPlan p1;
+    p1.jobs = {j};
+    p1.baseSeed = 1;
+    ExperimentPlan p2 = p1;
+    p2.baseSeed = 2;
+    BatchOptions opts;
+    opts.jobs = 2;
+    const BatchRunner runner(opts);
+    const Cycles c1 = runner.run(p1)[0].sampled->result.totalCycles;
+    const Cycles c2 = runner.run(p2)[0].sampled->result.totalCycles;
     EXPECT_NE(c1, c2)
         << "deriveSeeds must reseed workload synthesis per base seed";
 }
 
-TEST(BatchRunner, JobExceptionPropagatesToCaller)
+TEST(BatchRunner, MalformedJobsFailFast)
 {
-    BatchJob bad;
+    BatchOptions opts;
+    opts.jobs = 2;
+
+    JobSpec bad;
     bad.label = "bad";
     bad.workload = "no-such-workload";
     bad.spec.arch = cpu::highPerformanceConfig();
+    ExperimentPlan plan;
+    plan.jobs = {bad};
+    EXPECT_THROW((void)BatchRunner(opts).run(plan), SimError);
+
+    JobSpec none;
+    none.label = "no source";
+    plan.jobs = {none};
+    EXPECT_THROW((void)BatchRunner(opts).run(plan), SimError);
+
+    JobSpec both;
+    both.label = "two sources";
+    both.workload = "histogram";
+    both.traceFile = "whatever.trace";
+    plan.jobs = {both};
+    EXPECT_THROW((void)BatchRunner(opts).run(plan), SimError);
+}
+
+TEST(BatchRunner, MissingTraceFileRaisesRecoverableIoError)
+{
+    JobSpec j;
+    j.label = "gone";
+    j.traceFile = "/nonexistent/tp_no_such.trace";
+    ExperimentPlan plan;
+    plan.jobs = {j};
     BatchOptions opts;
     opts.jobs = 2;
-    EXPECT_THROW((void)BatchRunner(opts).run({bad}), SimError);
+    EXPECT_THROW((void)BatchRunner(opts).run(plan), IoError);
 }
 
 TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
@@ -212,8 +316,8 @@ TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
     // Determinism regression over the result cache: a serial
     // cold-cache run, a parallel cold-cache run and a parallel
     // warm-cache run must produce identical reports except host
-    // wall-clock fields.
-    namespace fs = std::filesystem;
+    // wall-clock fields — for the references and, since sampled
+    // outcomes are cached too, for the sampled runs.
     const fs::path coldDir =
         fs::path(testing::TempDir()) / "tp_batch_cache_cold";
     const fs::path warmDir =
@@ -221,7 +325,7 @@ TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
     fs::remove_all(coldDir);
     fs::remove_all(warmDir);
 
-    const std::vector<BatchJob> jobs = smallBatch();
+    const ExperimentPlan plan = smallPlan();
 
     ResultCacheOptions co;
     co.dir = coldDir.string();
@@ -229,7 +333,7 @@ TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
     BatchOptions serial;
     serial.jobs = 1;
     serial.cache = &serialCache;
-    const std::vector<BatchResult> a = BatchRunner(serial).run(jobs);
+    const std::vector<BatchResult> a = BatchRunner(serial).run(plan);
 
     ResultCacheOptions wo;
     wo.dir = warmDir.string();
@@ -238,20 +342,23 @@ TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
     parallel.jobs = 4;
     parallel.cache = &parallelCache;
     const std::vector<BatchResult> b =
-        BatchRunner(parallel).run(jobs); // cold
+        BatchRunner(parallel).run(plan); // cold
     const std::vector<BatchResult> c =
-        BatchRunner(parallel).run(jobs); // warm, same directory
+        BatchRunner(parallel).run(plan); // warm, same directory
 
-    ASSERT_EQ(a.size(), jobs.size());
-    ASSERT_EQ(b.size(), jobs.size());
-    ASSERT_EQ(c.size(), jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        SCOPED_TRACE(jobs[i].label);
-        // Every reference was simulated in the cold runs and
-        // replayed in the warm one.
+    ASSERT_EQ(a.size(), plan.jobs.size());
+    ASSERT_EQ(b.size(), plan.jobs.size());
+    ASSERT_EQ(c.size(), plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        SCOPED_TRACE(plan.jobs[i].label);
+        // Everything was simulated in the cold runs and replayed in
+        // the warm one.
         EXPECT_FALSE(a[i].referenceFromCache);
+        EXPECT_FALSE(a[i].sampledFromCache);
         EXPECT_FALSE(b[i].referenceFromCache);
+        EXPECT_FALSE(b[i].sampledFromCache);
         EXPECT_TRUE(c[i].referenceFromCache);
+        EXPECT_TRUE(c[i].sampledFromCache);
 
         // Deterministic fields agree across all three runs.
         EXPECT_TRUE(fingerprint(*a[i].reference) ==
@@ -266,33 +373,73 @@ TEST(BatchRunner, ColdAndWarmCacheRunsAreIdentical)
                   c[i].comparison->detailFraction);
 
         // The warm run replays even the stored host wall-clock of
-        // the cold run's reference, bit for bit.
+        // the cold run, bit for bit — reference and sampled alike.
         EXPECT_EQ(std::memcmp(&b[i].reference->wallSeconds,
                               &c[i].reference->wallSeconds,
                               sizeof(double)),
                   0);
+        EXPECT_EQ(std::memcmp(&b[i].sampled->result.wallSeconds,
+                              &c[i].sampled->result.wallSeconds,
+                              sizeof(double)),
+                  0);
     }
-    EXPECT_EQ(parallelCache.stats().hits, jobs.size());
-    EXPECT_EQ(parallelCache.stats().stores, jobs.size());
+    // One reference and one sampled entry per job.
+    EXPECT_EQ(parallelCache.stats().hits, 2 * plan.jobs.size());
+    EXPECT_EQ(parallelCache.stats().stores, 2 * plan.jobs.size());
 
     fs::remove_all(coldDir);
     fs::remove_all(warmDir);
+}
+
+TEST(BatchRunner, TeeAndStatsSinksComposeOverOnePass)
+{
+    const ExperimentPlan plan = smallPlan();
+    BatchOptions opts;
+    opts.jobs = 4;
+
+    CollectingSink first, second;
+    StatsSink stats;
+    TeeSink tee({&first, &stats, &second});
+    BatchRunner(opts).run(plan, tee);
+
+    ASSERT_EQ(first.results().size(), plan.jobs.size());
+    ASSERT_EQ(second.results().size(), plan.jobs.size());
+    EXPECT_EQ(stats.jobs(), plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        EXPECT_EQ(first.results()[i].label,
+                  second.results()[i].label);
+        EXPECT_TRUE(fingerprint(first.results()[i].sampled->result) ==
+                    fingerprint(second.results()[i].sampled->result));
+    }
+
+    // The streaming stats equal the collected-vector helper.
+    const RunningStats collected =
+        batchErrorStats(first.results());
+    EXPECT_EQ(stats.errorStats().count(), collected.count());
+    EXPECT_EQ(stats.errorStats().mean(), collected.mean());
+    EXPECT_EQ(stats.errorStats().max(), collected.max());
 }
 
 TEST(BatchRunner, SummaryTableAndErrorStats)
 {
     BatchOptions opts;
     opts.jobs = 4;
-    const std::vector<BatchResult> results =
-        BatchRunner(opts).run(smallBatch());
+    const ExperimentPlan plan = smallPlan();
 
-    const RunningStats err = batchErrorStats(results);
-    EXPECT_EQ(err.count(), results.size());
+    // Streamed table rows must equal the collected-vector helper.
+    TableSink streamed("t", /*printAtEnd=*/false);
+    CollectingSink collected;
+    TeeSink tee({&streamed, &collected});
+    BatchRunner(opts).run(plan, tee);
+
+    const RunningStats err = batchErrorStats(collected.results());
+    EXPECT_EQ(err.count(), plan.jobs.size());
     EXPECT_GE(err.min(), 0.0);
 
     const std::string rendered =
-        batchSummaryTable("t", results).render();
-    for (const BatchResult &r : results)
+        batchSummaryTable("t", collected.results()).render();
+    EXPECT_EQ(rendered, streamed.table().render());
+    for (const BatchResult &r : collected.results())
         EXPECT_NE(rendered.find(r.label), std::string::npos);
 }
 

@@ -338,6 +338,37 @@ TEST(Cli, ParsesDoubles)
     EXPECT_DOUBLE_EQ(args.getDouble("x", 1.0), 0.25);
 }
 
+TEST(Cli, UnknownOptionErrorSuggestsHelp)
+{
+    const char *argv[] = {"some/dir/prog", "--bogus=1"};
+    try {
+        CliArgs args(2, argv, {{"alpha", "the alpha knob"}});
+        FAIL() << "unknown option must be fatal";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("--help"),
+                  std::string::npos)
+            << "error must point at --help";
+        EXPECT_NE(std::string(e.what()).find("prog"),
+                  std::string::npos)
+            << "error must name the binary (basename)";
+    }
+}
+
+TEST(Cli, GeneratedHelpListsEveryOptionWithDescription)
+{
+    const std::string help = CliArgs::helpText(
+        "prog", {{"alpha", "the alpha knob"},
+                 {"beta-mode", "how beta behaves"},
+                 jobsCliOption(), cacheDirCliOption(),
+                 cacheModeCliOption()});
+    EXPECT_NE(help.find("usage: prog"), std::string::npos);
+    for (const char *needle :
+         {"--alpha", "the alpha knob", "--beta-mode",
+          "how beta behaves", "--jobs", "--cache-dir", "--cache",
+          "--help", "show this help"})
+        EXPECT_NE(help.find(needle), std::string::npos) << needle;
+}
+
 TEST(Table, RendersAlignedColumns)
 {
     TextTable t("title");

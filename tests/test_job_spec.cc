@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Round-trip, digest and corruption batteries for the serializable
+ * experiment descriptions (harness/job_spec) and for SampledOutcome
+ * serialization (sim/result_io) — the prerequisites for shipping
+ * whole experiment plans to out-of-process workers and for caching
+ * sampled runs.
+ *
+ * Round trip: serialize → deserialize → re-serialize is
+ * byte-identical for plans exercising every field, and a replayed
+ * plan simulates to the same results as the in-memory original.
+ *
+ * Digests: jobSpecDigest/planDigest are stable across recomputation
+ * and round trips, and sensitive to every field.
+ *
+ * Corruption: truncated streams, bad magic/version, corrupt enum
+ * bytes and trailing garbage must raise a recoverable IoError,
+ * never crash or silently succeed (mirroring test_trace_io).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/binary_io.hh"
+#include "harness/batch_runner.hh"
+#include "sim/result_io.hh"
+
+namespace tp::harness {
+namespace {
+
+/** A plan exercising every serialized field at non-default values. */
+ExperimentPlan
+fullPlan()
+{
+    ExperimentPlan plan;
+    plan.baseSeed = 0xdeadbeefULL;
+    plan.deriveSeeds = false;
+
+    JobSpec a;
+    a.label = "workload job";
+    a.workload = "histogram";
+    a.workloadParams.scale = 0.75;
+    a.workloadParams.instrScale = 1.5;
+    a.workloadParams.seed = 7;
+    a.spec.arch = cpu::lowPowerConfig();
+    a.spec.arch.core.robSize = 97;
+    a.spec.arch.memory.l2.scanResistantInsert = true;
+    a.spec.threads = 24;
+    a.spec.runtime.scheduler = rt::SchedulerKind::Locality;
+    a.spec.runtime.dispatchOverhead = 321;
+    a.spec.runtime.dispatchJitter = 17;
+    a.spec.runtime.seed = 99;
+    a.spec.quantum = 2048;
+    a.spec.recordTasks = true;
+    a.spec.noise.enabled = true;
+    a.spec.noise.sigma = 0.05;
+    a.spec.noise.preemptProb = 0.01;
+    a.spec.noise.preemptMeanCycles = 12345.5;
+    a.spec.noise.seed = 0xabc;
+    a.sampling.warmup = 3;
+    a.sampling.historySize = 7;
+    a.sampling.period = 250;
+    a.sampling.rareCutoff = 9;
+    a.sampling.concurrencyHysteresis = 5;
+    a.sampling.concurrencyTolerance = 0.375;
+    a.mode = BatchMode::Both;
+    plan.jobs.push_back(a);
+
+    JobSpec b;
+    b.label = "trace-file job";
+    b.traceFile = "/some/dir/app.trace";
+    b.spec.arch = cpu::highPerformanceConfig();
+    b.spec.threads = 64;
+    b.mode = BatchMode::Reference;
+    plan.jobs.push_back(b);
+
+    JobSpec c;
+    c.label = "sampled job";
+    c.workload = "cholesky";
+    c.mode = BatchMode::Sampled;
+    plan.jobs.push_back(c);
+
+    return plan;
+}
+
+std::string
+planBytes(const ExperimentPlan &plan)
+{
+    std::ostringstream os(std::ios::binary);
+    serializePlan(plan, os);
+    return os.str();
+}
+
+ExperimentPlan
+fromBytes(const std::string &bytes)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    return deserializePlan(is, "<memory>");
+}
+
+TEST(JobSpecRoundTrip, PlanReserializesByteIdentical)
+{
+    const ExperimentPlan plan = fullPlan();
+    const std::string bytes = planBytes(plan);
+    const ExperimentPlan replay = fromBytes(bytes);
+    EXPECT_EQ(planBytes(replay), bytes)
+        << "serialize -> deserialize -> serialize must be a fixed "
+           "point";
+}
+
+TEST(JobSpecRoundTrip, EveryFieldSurvives)
+{
+    const ExperimentPlan plan = fullPlan();
+    const ExperimentPlan replay = fromBytes(planBytes(plan));
+
+    EXPECT_EQ(replay.baseSeed, plan.baseSeed);
+    EXPECT_EQ(replay.deriveSeeds, plan.deriveSeeds);
+    ASSERT_EQ(replay.jobs.size(), plan.jobs.size());
+
+    const JobSpec &a = plan.jobs[0];
+    const JobSpec &r = replay.jobs[0];
+    EXPECT_EQ(r.label, a.label);
+    EXPECT_EQ(r.workload, a.workload);
+    EXPECT_EQ(r.traceFile, a.traceFile);
+    EXPECT_EQ(r.workloadParams.scale, a.workloadParams.scale);
+    EXPECT_EQ(r.workloadParams.instrScale,
+              a.workloadParams.instrScale);
+    EXPECT_EQ(r.workloadParams.seed, a.workloadParams.seed);
+    EXPECT_EQ(r.spec.arch.name, a.spec.arch.name);
+    EXPECT_EQ(r.spec.arch.core.robSize, a.spec.arch.core.robSize);
+    EXPECT_EQ(r.spec.arch.memory.l2.scanResistantInsert,
+              a.spec.arch.memory.l2.scanResistantInsert);
+    EXPECT_EQ(r.spec.arch.memory.l2Shared,
+              a.spec.arch.memory.l2Shared);
+    EXPECT_EQ(r.spec.arch.memory.hasL3, a.spec.arch.memory.hasL3);
+    EXPECT_EQ(r.spec.arch.memory.dram.channels,
+              a.spec.arch.memory.dram.channels);
+    EXPECT_EQ(r.spec.threads, a.spec.threads);
+    EXPECT_EQ(r.spec.runtime.scheduler, a.spec.runtime.scheduler);
+    EXPECT_EQ(r.spec.runtime.dispatchOverhead,
+              a.spec.runtime.dispatchOverhead);
+    EXPECT_EQ(r.spec.runtime.dispatchJitter,
+              a.spec.runtime.dispatchJitter);
+    EXPECT_EQ(r.spec.runtime.seed, a.spec.runtime.seed);
+    EXPECT_EQ(r.spec.quantum, a.spec.quantum);
+    EXPECT_EQ(r.spec.recordTasks, a.spec.recordTasks);
+    EXPECT_EQ(r.spec.noise.enabled, a.spec.noise.enabled);
+    EXPECT_EQ(r.spec.noise.sigma, a.spec.noise.sigma);
+    EXPECT_EQ(r.spec.noise.preemptProb, a.spec.noise.preemptProb);
+    EXPECT_EQ(r.spec.noise.preemptMeanCycles,
+              a.spec.noise.preemptMeanCycles);
+    EXPECT_EQ(r.spec.noise.seed, a.spec.noise.seed);
+    EXPECT_EQ(r.sampling.warmup, a.sampling.warmup);
+    EXPECT_EQ(r.sampling.historySize, a.sampling.historySize);
+    EXPECT_EQ(r.sampling.period, a.sampling.period);
+    EXPECT_EQ(r.sampling.rareCutoff, a.sampling.rareCutoff);
+    EXPECT_EQ(r.sampling.concurrencyHysteresis,
+              a.sampling.concurrencyHysteresis);
+    EXPECT_EQ(r.sampling.concurrencyTolerance,
+              a.sampling.concurrencyTolerance);
+    EXPECT_EQ(r.mode, a.mode);
+
+    EXPECT_EQ(replay.jobs[1].traceFile, plan.jobs[1].traceFile);
+    EXPECT_TRUE(replay.jobs[1].workload.empty());
+    EXPECT_EQ(replay.jobs[2].mode, BatchMode::Sampled);
+}
+
+TEST(JobSpecRoundTrip, FileAndStreamFormatsAgree)
+{
+    const ExperimentPlan plan = fullPlan();
+    const std::string path =
+        testing::TempDir() + "tp_job_spec_plan.tpplan";
+    serializePlan(plan, path);
+    const ExperimentPlan fromFile = deserializePlan(path);
+    EXPECT_EQ(planBytes(fromFile), planBytes(plan));
+    std::remove(path.c_str());
+}
+
+TEST(JobSpecRoundTrip, ReplayedPlanSimulatesIdentically)
+{
+    // The whole point of plans: a plan that went through disk drives
+    // the same simulations as the in-memory original.
+    ExperimentPlan plan;
+    JobSpec j;
+    j.label = "replayed";
+    j.workload = "histogram";
+    j.workloadParams.scale = 0.02;
+    j.spec.arch = cpu::highPerformanceConfig();
+    j.spec.threads = 8;
+    j.sampling = sampling::SamplingParams::lazy();
+    j.mode = BatchMode::Both;
+    plan.jobs.push_back(j);
+
+    const ExperimentPlan replayed = fromBytes(planBytes(plan));
+    BatchOptions opts;
+    opts.jobs = 2;
+    const BatchRunner runner(opts);
+    const BatchResult a = runner.run(plan).front();
+    const BatchResult b = runner.run(replayed).front();
+    EXPECT_EQ(a.sampled->result.totalCycles,
+              b.sampled->result.totalCycles);
+    EXPECT_EQ(a.reference->totalCycles, b.reference->totalCycles);
+    EXPECT_EQ(a.comparison->errorPct, b.comparison->errorPct);
+}
+
+TEST(JobSpecDigest, StableAcrossRecomputationAndRoundTrip)
+{
+    const ExperimentPlan plan = fullPlan();
+    EXPECT_EQ(planDigest(plan), planDigest(plan));
+    EXPECT_EQ(planDigest(fromBytes(planBytes(plan))),
+              planDigest(plan));
+    EXPECT_EQ(planDigest(plan).size(), 32u)
+        << "digests are 32 hex chars (128 bits)";
+
+    const JobSpec &job = plan.jobs[0];
+    EXPECT_EQ(jobSpecDigest(job), jobSpecDigest(job));
+    EXPECT_EQ(jobSpecDigest(job).size(), 32u);
+}
+
+TEST(JobSpecDigest, SensitiveToEveryFieldClass)
+{
+    const JobSpec base = fullPlan().jobs[0];
+    const std::string d0 = jobSpecDigest(base);
+
+    JobSpec j = base;
+    j.label += "x";
+    EXPECT_NE(jobSpecDigest(j), d0) << "label";
+    j = base;
+    j.workload = "cholesky";
+    EXPECT_NE(jobSpecDigest(j), d0) << "workload";
+    j = base;
+    j.workloadParams.seed += 1;
+    EXPECT_NE(jobSpecDigest(j), d0) << "workload seed";
+    j = base;
+    j.traceFile = "other.trace";
+    EXPECT_NE(jobSpecDigest(j), d0) << "traceFile";
+    j = base;
+    j.spec.threads += 1;
+    EXPECT_NE(jobSpecDigest(j), d0) << "threads";
+    j = base;
+    j.spec.arch.memory.l1.latency += 1;
+    EXPECT_NE(jobSpecDigest(j), d0) << "arch";
+    j = base;
+    j.sampling.period = 100;
+    EXPECT_NE(jobSpecDigest(j), d0) << "sampling";
+    j = base;
+    j.mode = BatchMode::Sampled;
+    EXPECT_NE(jobSpecDigest(j), d0) << "mode";
+
+    ExperimentPlan p1 = fullPlan();
+    ExperimentPlan p2 = p1;
+    p2.jobs.push_back(p2.jobs.front());
+    EXPECT_NE(planDigest(p1), planDigest(p2)) << "job count";
+    p2 = p1;
+    p2.baseSeed += 1;
+    EXPECT_NE(planDigest(p1), planDigest(p2)) << "baseSeed";
+}
+
+TEST(JobSpecCorruption, EveryPrefixFailsCleanlyOrRoundTrips)
+{
+    const std::string bytes = planBytes(fullPlan());
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        try {
+            (void)fromBytes(bytes.substr(0, len));
+            FAIL() << "truncation at " << len << " must not decode";
+        } catch (const IoError &) {
+            // expected: recoverable, typed error
+        }
+    }
+    EXPECT_NO_THROW((void)fromBytes(bytes));
+}
+
+TEST(JobSpecCorruption, BadMagicAndVersionThrowIoError)
+{
+    std::string bytes = planBytes(fullPlan());
+    std::string badMagic = bytes;
+    badMagic[0] = static_cast<char>(badMagic[0] ^ 0xff);
+    EXPECT_THROW((void)fromBytes(badMagic), IoError);
+
+    std::string badVersion = bytes;
+    badVersion[8] = static_cast<char>(badVersion[8] ^ 0xff);
+    EXPECT_THROW((void)fromBytes(badVersion), IoError);
+}
+
+TEST(JobSpecCorruption, TrailingBytesThrowIoError)
+{
+    EXPECT_THROW((void)fromBytes(planBytes(fullPlan()) + "x"),
+                 IoError);
+}
+
+TEST(JobSpecCorruption, CorruptEnumBytesThrowIoError)
+{
+    // The mode byte is the last byte of each serialized job; the
+    // last job's mode byte is the last payload byte of the plan.
+    std::string bytes = planBytes(fullPlan());
+    bytes[bytes.size() - 1] = static_cast<char>(0x7f);
+    EXPECT_THROW((void)fromBytes(bytes), IoError);
+}
+
+TEST(JobSpecCorruption, MissingFileThrowsIoError)
+{
+    EXPECT_THROW(
+        (void)deserializePlan("/nonexistent/tp_no_plan.tpplan"),
+        IoError);
+}
+
+TEST(SampledOutcomeIo, RoundTripsBitIdentical)
+{
+    work::WorkloadParams wp;
+    wp.scale = 0.02;
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", wp);
+    RunSpec spec;
+    spec.arch = cpu::highPerformanceConfig();
+    spec.threads = 8;
+    spec.recordTasks = true;
+    const SampledOutcome fresh =
+        runSampled(t, spec, sampling::SamplingParams::lazy());
+
+    std::ostringstream os(std::ios::binary);
+    sim::serializeSampledOutcome(fresh, os);
+    const std::string bytes = os.str();
+
+    std::istringstream is(bytes, std::ios::binary);
+    const SampledOutcome replay =
+        sim::deserializeSampledOutcome(is, "<memory>");
+
+    // Re-serialization is a fixed point (covers doubles bit for
+    // bit, wallSeconds included).
+    std::ostringstream os2(std::ios::binary);
+    sim::serializeSampledOutcome(replay, os2);
+    EXPECT_EQ(os2.str(), bytes);
+
+    EXPECT_EQ(replay.result.totalCycles, fresh.result.totalCycles);
+    EXPECT_EQ(std::memcmp(&replay.result.wallSeconds,
+                          &fresh.result.wallSeconds, sizeof(double)),
+              0);
+    EXPECT_EQ(replay.result.tasks.size(), fresh.result.tasks.size());
+    EXPECT_EQ(replay.stats.fastTasks, fresh.stats.fastTasks);
+    EXPECT_EQ(replay.phaseLog.size(), fresh.phaseLog.size());
+    EXPECT_EQ(replay.validHistSizes, fresh.validHistSizes);
+}
+
+TEST(SampledOutcomeIo, TruncationThrowsIoError)
+{
+    work::WorkloadParams wp;
+    wp.scale = 0.02;
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", wp);
+    RunSpec spec;
+    spec.arch = cpu::highPerformanceConfig();
+    spec.threads = 4;
+    const SampledOutcome fresh =
+        runSampled(t, spec, sampling::SamplingParams::lazy());
+
+    std::ostringstream os(std::ios::binary);
+    sim::serializeSampledOutcome(fresh, os);
+    const std::string bytes = os.str();
+
+    for (double frac : {0.0, 0.25, 0.5, 0.9}) {
+        SCOPED_TRACE(frac);
+        std::istringstream is(
+            bytes.substr(0, static_cast<std::size_t>(
+                                double(bytes.size()) * frac)),
+            std::ios::binary);
+        EXPECT_THROW(
+            (void)sim::deserializeSampledOutcome(is, "<memory>"),
+            IoError);
+    }
+}
+
+} // namespace
+} // namespace tp::harness

@@ -1,9 +1,10 @@
 /**
  * @file
- * Tests of the on-disk reference-result cache: bit-identical replay,
- * single-field key sensitivity, torn/truncated-entry detection, LRU
- * eviction under the size cap, and read-only/shared-directory
- * behaviour.
+ * Tests of the on-disk result cache: bit-identical replay of both
+ * reference SimResults and sampled outcomes, single-field key
+ * sensitivity (including sampling parameters), torn/truncated-entry
+ * detection, LRU eviction under the size cap, and
+ * read-only/shared-directory behaviour.
  */
 
 #include <gtest/gtest.h>
@@ -405,6 +406,137 @@ TEST_F(ResultCacheTest, ReadOnlyModeNeverWrites)
     cache.store(otherKey, fresh);
     EXPECT_FALSE(cache.contains(otherKey));
     EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST_F(ResultCacheTest, SampledEntryReplaysBitIdentical)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    RunSpec spec = smallSpec();
+    spec.recordTasks = true;
+    const sampling::SamplingParams params =
+        sampling::SamplingParams::lazy();
+    const SampledOutcome fresh = runSampled(t, spec, params);
+    const std::string key = sampledCacheKey(t, spec, params);
+
+    ResultCache cache(options());
+    EXPECT_FALSE(cache.lookupSampled(key).has_value())
+        << "cold cache";
+    cache.storeSampled(key, fresh);
+    EXPECT_TRUE(cache.contains(key));
+
+    const std::optional<SampledOutcome> replay =
+        cache.lookupSampled(key);
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_TRUE(bitIdentical(fresh.result, replay->result));
+
+    EXPECT_EQ(replay->stats.warmupTasks, fresh.stats.warmupTasks);
+    EXPECT_EQ(replay->stats.sampleTasks, fresh.stats.sampleTasks);
+    EXPECT_EQ(replay->stats.fastTasks, fresh.stats.fastTasks);
+    EXPECT_EQ(replay->stats.resamples, fresh.stats.resamples);
+    EXPECT_EQ(replay->stats.resamplesPeriod,
+              fresh.stats.resamplesPeriod);
+    EXPECT_EQ(replay->stats.resamplesNewType,
+              fresh.stats.resamplesNewType);
+    EXPECT_EQ(replay->stats.resamplesConcurrency,
+              fresh.stats.resamplesConcurrency);
+    EXPECT_EQ(replay->stats.phaseChanges, fresh.stats.phaseChanges);
+
+    ASSERT_EQ(replay->phaseLog.size(), fresh.phaseLog.size());
+    for (std::size_t i = 0; i < fresh.phaseLog.size(); ++i) {
+        EXPECT_EQ(replay->phaseLog[i].at, fresh.phaseLog[i].at);
+        EXPECT_EQ(replay->phaseLog[i].to, fresh.phaseLog[i].to);
+    }
+    EXPECT_EQ(replay->validHistSizes, fresh.validHistSizes);
+
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST_F(ResultCacheTest, SampledKeyCoversSamplingParams)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    const RunSpec spec = smallSpec();
+    const sampling::SamplingParams base =
+        sampling::SamplingParams::lazy();
+
+    std::set<std::string> keys = {sampledCacheKey(t, spec, base)};
+    const auto expectNew = [&keys](const std::string &key,
+                                   const char *what) {
+        EXPECT_TRUE(keys.insert(key).second)
+            << what << " must change the sampled cache key";
+    };
+
+    // Sampled and reference entries of one (trace, spec) never
+    // collide.
+    expectNew(resultCacheKey(t, spec), "entry kind");
+
+    sampling::SamplingParams p = base;
+    p.warmup += 1;
+    expectNew(sampledCacheKey(t, spec, p), "warmup");
+    p = base;
+    p.historySize += 1;
+    expectNew(sampledCacheKey(t, spec, p), "historySize");
+    p = base;
+    p.period = 250;
+    expectNew(sampledCacheKey(t, spec, p), "period");
+    p = base;
+    p.rareCutoff += 1;
+    expectNew(sampledCacheKey(t, spec, p), "rareCutoff");
+    p = base;
+    p.concurrencyHysteresis += 1;
+    expectNew(sampledCacheKey(t, spec, p), "concurrencyHysteresis");
+    p = base;
+    p.concurrencyTolerance += 0.001;
+    expectNew(sampledCacheKey(t, spec, p), "concurrencyTolerance");
+
+    // RunSpec fields and format version stay covered too.
+    RunSpec s = spec;
+    s.threads += 1;
+    expectNew(sampledCacheKey(t, s, base), "threads");
+    expectNew(sampledCacheKey(t, spec, base,
+                              sim::kSampledFormatVersion + 1),
+              "format version");
+}
+
+TEST_F(ResultCacheTest, TornSampledEntryIsAMiss)
+{
+    const trace::TaskTrace t =
+        work::generateWorkload("histogram", tinyScale());
+    const RunSpec spec = smallSpec();
+    const sampling::SamplingParams params =
+        sampling::SamplingParams::lazy();
+    const SampledOutcome fresh = runSampled(t, spec, params);
+    const std::string key = sampledCacheKey(t, spec, params);
+
+    ResultCache cache(options());
+    cache.storeSampled(key, fresh);
+    const fs::path entry = dir_ / (key + ".tpres");
+    ASSERT_TRUE(fs::exists(entry));
+
+    std::string bytes;
+    {
+        std::ifstream in(entry, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        bytes = ss.str();
+    }
+    for (double frac : {0.0, 0.5, 0.95}) {
+        SCOPED_TRACE(frac);
+        std::ofstream out(entry,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(
+                      double(bytes.size()) * frac));
+        out.close();
+        EXPECT_FALSE(cache.lookupSampled(key).has_value());
+    }
+
+    // A store after the damage repairs the entry.
+    cache.storeSampled(key, fresh);
+    EXPECT_TRUE(cache.lookupSampled(key).has_value());
 }
 
 TEST_F(ResultCacheTest, KeysAreStableAcrossInstancesAndRuns)
