@@ -27,6 +27,7 @@
 #include "common/table.hh"
 #include "harness/batch_runner.hh"
 #include "harness/experiment.hh"
+#include "harness/process_pool.hh"
 #include "harness/result_cache.hh"
 
 namespace tp::bench {
@@ -39,6 +40,13 @@ struct FigureOptions
     std::uint64_t seed = 42;
     std::vector<std::string> benchmarks; //!< empty = all 19
     std::size_t jobs = 1; //!< simulation worker threads (--jobs)
+    /**
+     * Multi-process execution (--workers/--worker-bin): when
+     * pool.workers > 0 the plan runs across spawned
+     * taskpoint_worker processes instead of in-process threads,
+     * with byte-identical deterministic output.
+     */
+    harness::ProcessPoolOptions pool;
     /** Result cache (--cache-dir/--cache); may be null. */
     std::shared_ptr<harness::ResultCache> cache;
     /** Replay this serialized plan instead of the built one. */
@@ -92,6 +100,8 @@ parseFigureOptions(int argc, char **argv,
         {"benchmarks",
          "comma-separated workload names (default: all 19)"},
         jobsCliOption(),
+        workersCliOption(),
+        workerBinCliOption(),
         cacheDirCliOption(),
         cacheModeCliOption(),
     };
@@ -112,7 +122,12 @@ parseFigureOptions(int argc, char **argv,
     o.benchmarks = args.getList("benchmarks", {});
     validateBenchmarks(o.benchmarks);
     o.jobs = jobsFlag(args, o.jobs);
-    o.cache = harness::resultCacheFromCli(args);
+    o.pool = harness::processPoolFromCli(args);
+    // Multi-process runs consult the cache inside the workers (the
+    // pool forwards --cache-dir/--cache); a driver-side instance
+    // would only ever report zero hits.
+    if (o.pool.workers == 0)
+        o.cache = harness::resultCacheFromCli(args);
     if (plan == PlanCli::Supported) {
         o.planFile = args.getString("plan", "");
         o.savePlanFile = args.getString("save-plan", "");
@@ -223,6 +238,64 @@ figureBatchOptions(const FigureOptions &opts)
 }
 
 /**
+ * Executes a figure's plans either in-process or multi-process.
+ *
+ * Holds one BatchRunner for the in-process path, so a driver running
+ * several plans (references, then a sampled sweep) realizes each
+ * trace once and shares it — and resolveTrace() works for structure
+ * statistics in both modes. With `--workers=N` every run() is
+ * delegated to a ProcessPool of spawned taskpoint_worker processes;
+ * both paths honour the same ordered-sink contract, so a figure's
+ * deterministic output is byte-identical either way.
+ */
+class PlanExecutor
+{
+  public:
+    explicit PlanExecutor(const FigureOptions &opts)
+        : opts_(&opts), runner_(figureBatchOptions(opts))
+    {}
+
+    void
+    run(const harness::ExperimentPlan &plan,
+        harness::ResultSink &sink) const
+    {
+        if (opts_->pool.workers > 0)
+            harness::ProcessPool(opts_->pool).run(plan, sink);
+        else
+            runner_.run(plan, sink);
+    }
+
+    /** Convenience: run `plan` collecting into a vector. */
+    std::vector<harness::BatchResult>
+    run(const harness::ExperimentPlan &plan) const
+    {
+        harness::CollectingSink sink;
+        run(plan, sink);
+        return sink.take();
+    }
+
+    /** See BatchRunner::resolveTrace (works in both modes). */
+    std::shared_ptr<const trace::TaskTrace>
+    resolveTrace(const harness::JobSpec &job) const
+    {
+        return runner_.resolveTrace(job);
+    }
+
+  private:
+    const FigureOptions *opts_;
+    harness::BatchRunner runner_;
+};
+
+/** Execute one figure plan (see PlanExecutor). */
+inline void
+runFigurePlan(const FigureOptions &opts,
+              const harness::ExperimentPlan &plan,
+              harness::ResultSink &sink)
+{
+    PlanExecutor(opts).run(plan, sink);
+}
+
+/**
  * One IPC-variation boxplot figure (Figs. 1 and 5 of the paper):
  * one detailed run per benchmark with task records, normalized
  * per-type IPC deviations, and the "box in +-5%" classification.
@@ -282,7 +355,7 @@ runIpcVariationFigure(const std::string &title,
                       fmtDouble(b.whiskerHi, 1),
                       in_band ? "yes" : "NO"});
     });
-    harness::BatchRunner(figureBatchOptions(opts)).run(plan, sink);
+    runFigurePlan(opts, plan, sink);
     reportCacheStats(opts);
 
     table.print();
@@ -350,7 +423,7 @@ runErrorSpeedupFigure(const std::string &title,
             speedups.addRow(srow);
         }
     });
-    harness::BatchRunner(figureBatchOptions(opts)).run(plan, sink);
+    runFigurePlan(opts, plan, sink);
     reportCacheStats(opts);
 
     std::vector<std::string> eavg = {"average"};

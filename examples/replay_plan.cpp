@@ -4,16 +4,20 @@
  * for shipping a batch to another process or machine.
  *
  *   ./replay_plan --plan=FILE [--jobs=N|auto] [--list]
+ *                 [--workers=N|auto] [--worker-bin=PATH]
+ *                 [--csv=FILE] [--json=FILE]
  *                 [--cache-dir=DIR] [--cache=off|ro|rw]
  *
  * Any driver (or user code) can serialize a plan with
  * harness::serializePlan; this binary loads it, prints its digest,
  * and executes it with a streaming report: the standard batch
  * summary table plus an O(1) error-statistics accumulator, composed
- * through a TeeSink. Deterministic fields of the report are
+ * through a TeeSink — optionally teeing machine-readable CSV/JSON
+ * row streams to files. Deterministic fields of the report are
  * byte-identical to running the plan in the process that built it —
- * only host wall-clock columns differ. `--list` inspects the jobs
- * without simulating anything.
+ * only host wall-clock columns differ — and `--workers=N` executes
+ * the plan across spawned taskpoint_worker processes with the same
+ * guarantee. `--list` inspects the jobs without simulating anything.
  */
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/batch_runner.hh"
+#include "harness/process_pool.hh"
 #include "harness/result_cache.hh"
 
 using namespace tp;
@@ -51,8 +56,10 @@ main(int argc, char **argv)
         argc, argv,
         {{"plan", "serialized experiment plan to execute (required)"},
          {"list", "print the plan's jobs instead of running them"},
-         jobsCliOption(), cacheDirCliOption(),
-         cacheModeCliOption()});
+         {"csv", "also stream results to this file as CSV rows"},
+         {"json", "also stream results to this file as a JSON array"},
+         jobsCliOption(), workersCliOption(), workerBinCliOption(),
+         cacheDirCliOption(), cacheModeCliOption()});
     const std::string path = args.getString("plan", "");
     if (path.empty())
         fatal("--plan=FILE is required (see --help)");
@@ -83,19 +90,35 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const std::unique_ptr<harness::ResultCache> cache =
-        harness::resultCacheFromCli(args);
-    harness::BatchOptions opts;
-    opts.jobs = jobsFlag(args, 1);
-    opts.progress = true;
-    opts.cache = cache.get();
-
     harness::TableSink table("replayed plan " + path);
     harness::StatsSink stats;
-    harness::TeeSink tee({&table, &stats});
-    harness::BatchRunner(opts).run(plan, tee);
-    if (cache)
-        harness::progress(cache->statsLine());
+    std::vector<harness::ResultSink *> sinks = {&table, &stats};
+    std::unique_ptr<harness::CsvSink> csv;
+    if (const std::string f = args.getString("csv", ""); !f.empty())
+        sinks.push_back(
+            (csv = std::make_unique<harness::CsvSink>(f)).get());
+    std::unique_ptr<harness::JsonSink> json;
+    if (const std::string f = args.getString("json", ""); !f.empty())
+        sinks.push_back(
+            (json = std::make_unique<harness::JsonSink>(f)).get());
+    harness::TeeSink tee(std::move(sinks));
+
+    const harness::ProcessPoolOptions poolOpts =
+        harness::processPoolFromCli(args);
+    if (poolOpts.workers > 0) {
+        // Multi-process: workers consult the cache themselves.
+        harness::ProcessPool(poolOpts).run(plan, tee);
+    } else {
+        const std::unique_ptr<harness::ResultCache> cache =
+            harness::resultCacheFromCli(args);
+        harness::BatchOptions opts;
+        opts.jobs = jobsFlag(args, 1);
+        opts.progress = true;
+        opts.cache = cache.get();
+        harness::BatchRunner(opts).run(plan, tee);
+        if (cache)
+            harness::progress(cache->statsLine());
+    }
 
     if (stats.errorStats().count() > 0) {
         const RunningStats &err = stats.errorStats();

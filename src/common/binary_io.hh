@@ -156,6 +156,28 @@ class BinaryReader
     std::string name_;
 };
 
+/**
+ * The shared bool codec of every on-disk format: one byte, 0 or 1.
+ * Centralised here so the plan, shard and result wire formats can
+ * never drift apart.
+ */
+inline void
+writeBool(BinaryWriter &w, bool v)
+{
+    w.pod<std::uint8_t>(v ? 1 : 0);
+}
+
+/** Exact inverse of writeBool; throws IoError on any other byte. */
+inline bool
+readBool(BinaryReader &r)
+{
+    const auto b = r.pod<std::uint8_t>();
+    if (b > 1)
+        throwIoError("'%s': corrupt boolean field",
+                     r.name().c_str());
+    return b == 1;
+}
+
 } // namespace tp
 
 #endif // TP_COMMON_BINARY_IO_HH

@@ -155,6 +155,8 @@ CliArgs::getDouble(const std::string &name, double fallback) const
 }
 
 const char *const kJobsOption = "jobs";
+const char *const kWorkersOption = "workers";
+const char *const kWorkerBinOption = "worker-bin";
 const char *const kCacheDirOption = "cache-dir";
 const char *const kCacheModeOption = "cache";
 
@@ -164,6 +166,23 @@ jobsCliOption()
     return {kJobsOption,
             "simulation worker threads: N, or 'auto' for the host's "
             "hardware concurrency (default 1)"};
+}
+
+CliOption
+workersCliOption()
+{
+    return {kWorkersOption,
+            "out-of-process worker count: N spawns N "
+            "taskpoint_worker processes, 'auto' uses the host's "
+            "hardware concurrency, 0 runs in-process (default 0)"};
+}
+
+CliOption
+workerBinCliOption()
+{
+    return {kWorkerBinOption,
+            "path of the taskpoint_worker binary (default: next to "
+            "this executable)"};
 }
 
 CliOption
@@ -198,6 +217,20 @@ jobsFlag(const CliArgs &args, std::size_t fallback)
             n = 1;
     }
     return n;
+}
+
+std::size_t
+workersFlag(const CliArgs &args)
+{
+    if (!args.has(kWorkersOption))
+        return 0;
+    if (args.getString(kWorkersOption, "") == "auto") {
+        const std::size_t n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : n;
+    }
+    // --workers=0 is an explicit "in-process" request.
+    return static_cast<std::size_t>(
+        args.getUint(kWorkersOption, 0));
 }
 
 std::vector<std::string>

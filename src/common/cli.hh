@@ -91,6 +91,14 @@ std::vector<std::string> splitString(const std::string &s, char delim);
 extern const char *const kJobsOption;
 
 /**
+ * Canonical names of the multi-process options ("workers",
+ * "worker-bin"). Drivers that can hand a plan to a ProcessPool list
+ * both and build the pool with harness::processPoolFromCli().
+ */
+extern const char *const kWorkersOption;
+extern const char *const kWorkerBinOption;
+
+/**
  * Canonical names of the result-cache options ("cache-dir",
  * "cache"). Drivers that batch simulations list both among their
  * options and build the cache with harness::resultCacheFromCli().
@@ -100,6 +108,10 @@ extern const char *const kCacheModeOption;
 
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
+
+/** --workers / --worker-bin with their canonical help texts. */
+CliOption workersCliOption();
+CliOption workerBinCliOption();
 
 /** --cache-dir / --cache with their canonical help texts. */
 CliOption cacheDirCliOption();
@@ -113,6 +125,15 @@ CliOption cacheModeCliOption();
  * options.
  */
 std::size_t jobsFlag(const CliArgs &args, std::size_t fallback = 1);
+
+/**
+ * Out-of-process worker count from `--workers=N` / `--workers=auto`.
+ *
+ * `auto` selects the host's hardware concurrency; absent or
+ * `--workers=0` means run in-process. The binary must list
+ * kWorkersOption among its allowed options.
+ */
+std::size_t workersFlag(const CliArgs &args);
 
 } // namespace tp
 

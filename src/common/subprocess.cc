@@ -1,0 +1,155 @@
+#include "common/subprocess.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tp {
+
+namespace {
+
+/** Decode a waitpid status word. */
+ExitStatus
+decodeStatus(int status)
+{
+    ExitStatus e;
+    if (WIFSIGNALED(status)) {
+        e.signaled = true;
+        e.code = WTERMSIG(status);
+    } else {
+        e.code = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+    }
+    return e;
+}
+
+/**
+ * Open `path` for writing onto `fd` in the child. Only
+ * async-signal-safe calls; failure exits 126 (the shell's
+ * cannot-execute convention) so the parent sees a clean status.
+ */
+void
+redirectOrDie(const std::string &path, int fd)
+{
+    if (path.empty())
+        return;
+    const int file = ::open(path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (file < 0 || ::dup2(file, fd) < 0)
+        ::_exit(126);
+    ::close(file);
+}
+
+} // namespace
+
+std::string
+ExitStatus::describe() const
+{
+    return strprintf("%s %d", signaled ? "signal" : "exit", code);
+}
+
+Subprocess
+Subprocess::spawn(const std::vector<std::string> &argv,
+                  const SubprocessOptions &options)
+{
+    if (argv.empty())
+        panic("Subprocess::spawn with empty argv");
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("cannot fork '%s': %s", argv[0].c_str(),
+              std::strerror(errno));
+    if (pid == 0) {
+        // Child: redirect, then exec. Only async-signal-safe calls
+        // until the exec; _exit(127) mirrors the shell's
+        // command-not-found convention.
+        redirectOrDie(options.stdoutPath, STDOUT_FILENO);
+        redirectOrDie(options.stderrPath, STDERR_FILENO);
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127);
+    }
+
+    Subprocess p;
+    p.pid_ = pid;
+    return p;
+}
+
+Subprocess::Subprocess(Subprocess &&other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      status_(std::move(other.status_))
+{
+}
+
+Subprocess &
+Subprocess::operator=(Subprocess &&other) noexcept
+{
+    if (this != &other) {
+        if (pid_ >= 0 && !status_) {
+            kill();
+            wait();
+        }
+        pid_ = std::exchange(other.pid_, -1);
+        status_ = std::move(other.status_);
+    }
+    return *this;
+}
+
+Subprocess::~Subprocess()
+{
+    if (pid_ >= 0 && !status_) {
+        kill();
+        wait();
+    }
+}
+
+std::optional<ExitStatus>
+Subprocess::poll()
+{
+    if (status_ || pid_ < 0)
+        return status_;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_)
+        status_ = decodeStatus(status);
+    else if (r < 0 && errno != EINTR)
+        // The child is gone and someone else reaped it; treat as a
+        // signal death so callers retry rather than trust it.
+        status_ = ExitStatus{true, SIGKILL};
+    return status_;
+}
+
+ExitStatus
+Subprocess::wait()
+{
+    if (status_ || pid_ < 0)
+        return status_.value_or(ExitStatus{true, SIGKILL});
+    int status = 0;
+    pid_t r;
+    do {
+        r = ::waitpid(pid_, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    status_ = r == pid_ ? decodeStatus(status)
+                        : ExitStatus{true, SIGKILL};
+    return *status_;
+}
+
+void
+Subprocess::kill(int sig)
+{
+    if (pid_ >= 0 && !status_)
+        ::kill(pid_, sig);
+}
+
+} // namespace tp

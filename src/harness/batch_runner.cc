@@ -29,6 +29,17 @@ validateSource(const JobSpec &job, const std::string &who)
 
 } // namespace
 
+void
+validatePlanJobs(const ExperimentPlan &plan)
+{
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        validateSource(plan.jobs[i], strprintf("job %zu", i));
+        if (!plan.jobs[i].workload.empty())
+            work::workloadByName(
+                plan.jobs[i].workload); // fatal when unknown
+    }
+}
+
 /** One realized trace plus its content digest (when caching). */
 struct BatchRunner::TraceEntry
 {
@@ -138,6 +149,15 @@ BatchRunner::jobSeed(std::uint64_t baseSeed, std::size_t index)
     return z ^ (z >> 31);
 }
 
+void
+BatchRunner::applyDerivedSeed(JobSpec &job, std::uint64_t baseSeed,
+                              std::size_t index)
+{
+    const std::uint64_t seed = jobSeed(baseSeed, index);
+    job.workloadParams.seed = seed;
+    job.spec.noise.seed = seed ^ 0x5eedULL;
+}
+
 std::shared_ptr<const trace::TaskTrace>
 BatchRunner::resolveTrace(const JobSpec &job) const
 {
@@ -224,31 +244,25 @@ BatchRunner::run(const ExperimentPlan &plan, ResultSink &sink) const
 {
     // Validate every job before any simulation starts, so a
     // malformed plan fails fast instead of mid-batch.
-    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
-        validateSource(plan.jobs[i], strprintf("job %zu", i));
-        if (!plan.jobs[i].workload.empty())
-            work::workloadByName(
-                plan.jobs[i].workload); // fatal when unknown
-    }
+    validatePlanJobs(plan);
 
     // Resolve per-job seeds. Only a seed-deriving plan needs its
     // jobs copied; otherwise run straight off the caller's vector.
     std::vector<JobSpec> seeded;
     if (plan.deriveSeeds) {
         seeded = plan.jobs;
-        for (std::size_t i = 0; i < seeded.size(); ++i) {
-            const std::uint64_t seed = jobSeed(plan.baseSeed, i);
-            seeded[i].workloadParams.seed = seed;
-            seeded[i].spec.noise.seed = seed ^ 0x5eedULL;
-        }
+        for (std::size_t i = 0; i < seeded.size(); ++i)
+            applyDerivedSeed(seeded[i], plan.baseSeed, i);
     }
     const std::vector<JobSpec> &jobs =
         plan.deriveSeeds ? seeded : plan.jobs;
 
     // A derived-seed workload job realizes a trace no other job can
     // share (its generation seed is unique to its index), so only
-    // shared sources go through the memo store.
-    const bool memoizeWorkloads = !plan.deriveSeeds;
+    // shared sources go through the memo store; callers running
+    // pre-resolved derived-seed jobs opt out the same way.
+    const bool memoizeWorkloads =
+        !plan.deriveSeeds && options_.memoizeWorkloadTraces;
 
     sink.begin(jobs.size());
     {

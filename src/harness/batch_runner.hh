@@ -41,6 +41,16 @@ namespace tp::harness {
 class ResultCache;
 
 /**
+ * Fail fast on a malformed plan: every job must name exactly one
+ * trace source, and named workloads must exist in the registry.
+ * Shared by BatchRunner::run and ProcessPool::run so a bad plan
+ * never starts a simulation or spawns a worker.
+ *
+ * @throws SimError describing the first offending job
+ */
+void validatePlanJobs(const ExperimentPlan &plan);
+
+/**
  * Batch-wide *execution environment* options. Everything here may
  * legitimately differ between the process that wrote a plan and the
  * process replaying it; the deterministic simulation semantics
@@ -52,6 +62,17 @@ struct BatchOptions
     std::size_t jobs = 1;
     /** Emit one progress() line per finished job. */
     bool progress = false;
+    /**
+     * Memoize realized workload traces across the jobs of
+     * non-seed-deriving plans. Disable when the caller knows every
+     * workload trace is unique to its job anyway — a worker
+     * executing a shard of a derived-seed plan (harness/worker)
+     * receives pre-resolved unique seeds in a deriveSeeds=false
+     * plan, and retaining those single-use traces for the whole
+     * shard would be pure memory growth. Trace-file sources are
+     * always memoized.
+     */
+    bool memoizeWorkloadTraces = true;
     /**
      * Shared on-disk cache of simulation outcomes (not owned; must
      * outlive run()). When set, Reference/Both-mode jobs consult it
@@ -93,6 +114,18 @@ class BatchRunner
      * seed and the job index, independent of worker count.
      */
     static std::uint64_t jobSeed(std::uint64_t baseSeed,
+                                 std::size_t index);
+
+    /**
+     * Apply the derived-seed policy to one job exactly as run() does
+     * for a deriveSeeds plan: workload synthesis and noise injection
+     * are reseeded from jobSeed(baseSeed, index), where `index` is
+     * the job's position in the *whole* plan. Shared with
+     * harness/plan_shard so a worker executing a slice of a plan
+     * seeds each job identically to in-process execution.
+     */
+    static void applyDerivedSeed(JobSpec &job,
+                                 std::uint64_t baseSeed,
                                  std::size_t index);
 
     /**

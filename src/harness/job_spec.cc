@@ -14,22 +14,6 @@ namespace {
 constexpr std::uint64_t kPlanMagic = 0x5450504c414e3101ULL; // TPPLAN1.
 
 void
-writeBool(BinaryWriter &w, bool b)
-{
-    w.pod<std::uint8_t>(b ? 1 : 0);
-}
-
-bool
-readBool(BinaryReader &r)
-{
-    const auto b = r.pod<std::uint8_t>();
-    if (b > 1)
-        throwIoError("'%s': corrupt boolean field",
-                     r.name().c_str());
-    return b == 1;
-}
-
-void
 writeCacheConfig(BinaryWriter &w, const mem::CacheConfig &c)
 {
     w.pod(c.sizeBytes);

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Slicing ExperimentPlans into worker shards.
+ *
+ * A PlanShard is a contiguous slice of a parent plan, carrying the
+ * parent's digest, the shard's position (index/count), the parent's
+ * seed policy, and — crucially — each job's index *in the parent
+ * plan*. Seeds derive from (baseSeed, parent index), never from the
+ * shard-local position, so a worker executing shard k of n produces
+ * bit-identical results to the same jobs run in-process
+ * (see BatchRunner::applyDerivedSeed).
+ *
+ * The partition is contiguous and balanced: shard i of k over n jobs
+ * covers [i*n/k, (i+1)*n/k), sizes differing by at most one. A
+ * contiguous slice keeps the jobs of one workload — which figure
+ * drivers emit consecutively — in one shard, so per-source trace
+ * memoization keeps paying off inside each worker.
+ *
+ * Shard files use the common/binary_io layer with the same
+ * magic/version/digest discipline as plan files: a worker fed a
+ * shard from a different build or a torn file raises recoverable
+ * IoError instead of decoding garbage.
+ */
+
+#ifndef TP_HARNESS_PLAN_SHARD_HH
+#define TP_HARNESS_PLAN_SHARD_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/job_spec.hh"
+
+namespace tp::harness {
+
+/** One job of a shard, tagged with its index in the parent plan. */
+struct ShardJob
+{
+    /** The job's submission index in the parent plan. */
+    std::uint64_t planIndex = 0;
+    JobSpec job;
+};
+
+/** See file comment. */
+struct PlanShard
+{
+    /** planDigest() of the parent plan (provenance check). */
+    std::string planDigest;
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 1;
+    /** Seed policy copied from the parent plan. */
+    std::uint64_t baseSeed = 42;
+    bool deriveSeeds = true;
+    std::vector<ShardJob> jobs;
+};
+
+/** Version of the shard file encoding (see kPlanFormatVersion). */
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/**
+ * @return the half-open range [first, last) of parent-plan indices
+ *         shard `shardIndex` of `shardCount` covers over `numJobs`
+ *         jobs. Every index lands in exactly one shard; sizes differ
+ *         by at most one.
+ */
+std::pair<std::size_t, std::size_t>
+shardRange(std::size_t numJobs, std::uint32_t shardIndex,
+           std::uint32_t shardCount);
+
+/**
+ * Slice `plan` into at most `shardCount` shards, skipping empty ones
+ * (a plan smaller than the shard count yields fewer shards).
+ * shardIndex/shardCount in each returned shard still name the
+ * position in the full partition.
+ */
+std::vector<PlanShard> makeShards(const ExperimentPlan &plan,
+                                  std::uint32_t shardCount);
+
+/**
+ * @return the executable plan of one shard: the shard's jobs with
+ *         the parent's seed policy already applied per *parent*
+ *         index, and deriveSeeds disabled — so running it through
+ *         BatchRunner yields results bit-identical to the same jobs
+ *         of an in-process run of the parent plan.
+ */
+ExperimentPlan shardPlan(const PlanShard &shard);
+
+/** Write a shard (magic, version, provenance, jobs) to a stream. */
+void serializeShard(const PlanShard &shard, std::ostream &out);
+
+/** Write a shard to `path`; fatal when the file cannot be written. */
+void serializeShard(const PlanShard &shard, const std::string &path);
+
+/**
+ * Read a shard back; exact inverse of serializeShard.
+ *
+ * @param name label for error messages (the path when reading a file)
+ * @throws IoError on truncation, bad magic/version or corrupt fields
+ */
+PlanShard deserializeShard(std::istream &in, const std::string &name);
+
+/** Read a shard from `path`; throws IoError on corruption. */
+PlanShard deserializeShard(const std::string &path);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_PLAN_SHARD_HH

@@ -1,0 +1,294 @@
+#include "harness/process_pool.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/subprocess.hh"
+#include "harness/batch_runner.hh"
+#include "harness/plan_shard.hh"
+#include "harness/worker.hh"
+#include "sim/result_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::harness {
+
+namespace {
+
+/** Driver-side state of one shard across its spawn attempts. */
+struct ShardState
+{
+    PlanShard shard;
+    std::string shardPath;
+    std::size_t attempt = 0;
+    std::string outDir; //!< of the current attempt
+    Subprocess process;
+    bool done = false;
+    /**
+     * Shard-local jobs already collected (across all attempts).
+     * Workers publish in shard submission order, so the collected
+     * jobs always form a prefix — one counter suffices, and each
+     * poll tick probes only the first missing file per shard.
+     */
+    std::size_t collected = 0;
+};
+
+std::string
+attemptOutDir(const std::string &scratch, std::uint32_t shardIndex,
+              std::size_t attempt)
+{
+    return (fs::path(scratch) /
+            strprintf("out-%u.%zu", shardIndex, attempt))
+        .string();
+}
+
+/**
+ * Process-wide run counter for scratch-directory names: two runs in
+ * one process (or a run after a failed cleanup) must never resolve
+ * the same directory, or stale result files from the earlier run
+ * would be collected as current ones.
+ */
+std::atomic<std::uint64_t> g_runCounter{0};
+
+} // namespace
+
+std::string
+defaultWorkerBinary()
+{
+    std::error_code ec;
+    const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+    if (ec || !self.has_parent_path())
+        return "taskpoint_worker";
+    return (self.parent_path() / "taskpoint_worker").string();
+}
+
+ProcessPool::ProcessPool(ProcessPoolOptions options)
+    : options_(std::move(options))
+{
+    if (options_.workers == 0)
+        fatal("ProcessPool needs at least one worker");
+    if (options_.maxAttempts == 0)
+        fatal("ProcessPool needs at least one attempt per shard");
+}
+
+void
+ProcessPool::run(const ExperimentPlan &plan, ResultSink &sink) const
+{
+    // The same fail-fast validation BatchRunner applies: a malformed
+    // plan must not spawn a single worker.
+    validatePlanJobs(plan);
+
+    const std::string worker = options_.workerBinary.empty()
+                                   ? defaultWorkerBinary()
+                                   : options_.workerBinary;
+
+    // Scratch directory for shard files and result streams.
+    std::string scratch = options_.scratchDir;
+    if (scratch.empty()) {
+        scratch =
+            (fs::temp_directory_path() /
+             strprintf("tp-pool-%d-%llu",
+                       static_cast<int>(::getpid()),
+                       static_cast<unsigned long long>(
+                           g_runCounter.fetch_add(1))))
+                .string();
+    }
+    std::error_code ec;
+    fs::create_directories(scratch, ec);
+    if (ec)
+        fatal("cannot create scratch directory '%s': %s",
+              scratch.c_str(), ec.message().c_str());
+
+    sink.begin(plan.jobs.size());
+
+    std::vector<PlanShard> shards = makeShards(
+        plan, static_cast<std::uint32_t>(options_.workers));
+
+    const auto spawnShard = [&](ShardState &st) {
+        ++st.attempt;
+        st.outDir = attemptOutDir(scratch, st.shard.shardIndex,
+                                  st.attempt);
+        fs::create_directories(st.outDir, ec);
+        if (ec)
+            fatal("cannot create worker out dir '%s': %s",
+                  st.outDir.c_str(), ec.message().c_str());
+        std::vector<std::string> argv = {
+            worker, "--shard=" + st.shardPath,
+            "--out-dir=" + st.outDir,
+            strprintf("--jobs=%zu", options_.jobsPerWorker)};
+        if (!options_.cacheDir.empty()) {
+            argv.push_back("--cache-dir=" + options_.cacheDir);
+            argv.push_back("--cache=" + options_.cacheMode);
+        }
+        SubprocessOptions so;
+        so.stderrPath =
+            (fs::path(st.outDir) / "worker.err").string();
+        st.process = Subprocess::spawn(argv, so);
+        if (options_.progress)
+            progress(strprintf(
+                "pool: shard %u (%zu jobs) -> worker pid %d "
+                "(attempt %zu)",
+                st.shard.shardIndex, st.shard.jobs.size(),
+                static_cast<int>(st.process.pid()), st.attempt));
+    };
+
+    std::vector<ShardState> states(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        ShardState &st = states[i];
+        st.shard = std::move(shards[i]);
+        st.shardPath =
+            (fs::path(scratch) /
+             strprintf("shard-%u.tpshard", st.shard.shardIndex))
+                .string();
+        serializeShard(st.shard, st.shardPath);
+        spawnShard(st);
+    }
+
+    // Reassembly into submission order: results park in `pending`
+    // until their index is next. Delivery happens on this thread
+    // (the sink contract).
+    std::map<std::size_t, BatchResult> pending;
+    std::size_t nextDeliver = 0;
+    std::size_t delivered = 0;
+
+    /** Load every newly published result file of `st`'s attempt. */
+    const auto collectShard = [&](ShardState &st) -> bool {
+        while (st.collected < st.shard.jobs.size()) {
+            const ShardJob &sj = st.shard.jobs[st.collected];
+            const fs::path file =
+                fs::path(st.outDir) / resultFileName(sj.planIndex);
+            std::ifstream in(file, std::ios::binary);
+            if (!in)
+                break; // not published yet
+            // Envelope verification: rename-published files are
+            // complete, so any failure here means real corruption —
+            // handled as a shard failure by the caller.
+            const std::string payload =
+                sim::readEnvelope(in, file.string());
+            std::istringstream ps(payload, std::ios::binary);
+            BatchResult r =
+                deserializeBatchResult(ps, file.string());
+            if (r.index != sj.planIndex)
+                throwIoError("'%s': result index %zu does not "
+                             "match file name",
+                             file.string().c_str(), r.index);
+            ++st.collected;
+            pending.emplace(r.index, std::move(r));
+        }
+        return st.collected == st.shard.jobs.size();
+    };
+
+    const auto failShard = [&](ShardState &st,
+                               const std::string &why) {
+        if (st.attempt >= options_.maxAttempts) {
+            // Take every other worker down before reporting: the
+            // run is over, and orphans must not outlive it.
+            for (ShardState &other : states)
+                other.process.kill();
+            fatal("shard %u failed after %zu attempts: %s (worker "
+                  "stderr: %s/worker.err)",
+                  st.shard.shardIndex, st.attempt, why.c_str(),
+                  st.outDir.c_str());
+        }
+        warn("pool: shard %u attempt %zu failed (%s); retrying",
+             st.shard.shardIndex, st.attempt, why.c_str());
+        spawnShard(st);
+    };
+
+    const std::size_t totalJobs = plan.jobs.size();
+    while (delivered < totalJobs) {
+        bool progressed = false;
+
+        for (ShardState &st : states) {
+            if (st.done)
+                continue;
+            // Poll the exit status *before* collecting: a worker's
+            // renames happen before its exit, so whatever this
+            // collect pass does not find was genuinely never
+            // published by an exited worker — no publish/exit race
+            // can cause a spurious retry.
+            const std::optional<ExitStatus> es = st.process.poll();
+            const std::size_t before = st.collected;
+            bool complete = false;
+            try {
+                complete = collectShard(st);
+            } catch (const IoError &e) {
+                // A corrupt published result: the attempt is not
+                // trustworthy. Kill it (if still alive) and retry.
+                st.process.kill();
+                st.process.wait();
+                failShard(st, e.what());
+                continue;
+            }
+            progressed |= st.collected != before;
+
+            if (complete) {
+                st.done = true;
+                st.process.wait(); // reap; exit code is moot now
+                if (options_.progress)
+                    progress(strprintf(
+                        "pool: shard %u complete (%zu jobs)",
+                        st.shard.shardIndex, st.shard.jobs.size()));
+                continue;
+            }
+            if (es) {
+                // Worker ended without finishing its shard — died,
+                // or exited 0 having published too little.
+                failShard(st, es->ok() ? "worker exited without "
+                                         "publishing all results"
+                                       : es->describe());
+                progressed = true;
+            }
+        }
+
+        while (pending.count(nextDeliver) > 0) {
+            auto node = pending.extract(nextDeliver);
+            sink.consume(std::move(node.mapped()));
+            ++nextDeliver;
+            ++delivered;
+            progressed = true;
+        }
+
+        if (!progressed && delivered < totalJobs)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+    }
+
+    sink.end();
+
+    if (!options_.keepScratch) {
+        std::error_code rec;
+        fs::remove_all(scratch, rec); // best effort
+    }
+}
+
+ProcessPoolOptions
+processPoolFromCli(const CliArgs &args)
+{
+    ProcessPoolOptions o;
+    o.workers = workersFlag(args);
+    o.workerBinary = args.getString(kWorkerBinOption, "");
+    o.jobsPerWorker = jobsFlag(args, 1);
+    o.progress = true;
+    o.cacheDir = args.getString(kCacheDirOption, "");
+    o.cacheMode = args.getString(
+        kCacheModeOption, o.cacheDir.empty() ? "off" : "rw");
+    if (o.cacheMode == "off")
+        o.cacheDir.clear();
+    return o;
+}
+
+} // namespace tp::harness
+

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Multi-process execution of ExperimentPlans.
+ *
+ * ProcessPool is the out-of-process sibling of BatchRunner: it
+ * shards a plan across N spawned `taskpoint_worker` processes
+ * (harness/plan_shard), tails each worker's result directory for
+ * envelope-framed result files (harness/worker), and streams the
+ * reassembled BatchResults to a ResultSink in parent-plan submission
+ * order — the exact sink contract BatchRunner honours, so every
+ * figure driver produces byte-identical deterministic output whether
+ * it runs in-process (`--jobs`) or multi-process (`--workers`).
+ *
+ * Fault handling: a worker that exits nonzero, dies on a signal, or
+ * exits cleanly without publishing its whole shard has its shard
+ * re-run by a freshly spawned worker (up to maxAttempts per shard);
+ * results already published by the failed attempt are kept, and
+ * duplicates republished by the retry are ignored — executions are
+ * deterministic, so a duplicate is bit-identical by construction. A
+ * result file that fails envelope verification counts as a shard
+ * failure, never a crash.
+ *
+ * Scratch layout (under a unique temp directory, removed on
+ * success): `shard-<i>.tpshard` per shard, plus per-attempt
+ * `out-<i>.<attempt>/` result directories; each worker's stderr goes
+ * to `out-<i>.<attempt>/worker.err` for post-mortems.
+ */
+
+#ifndef TP_HARNESS_PROCESS_POOL_HH
+#define TP_HARNESS_PROCESS_POOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/job_spec.hh"
+#include "harness/result_sink.hh"
+
+namespace tp {
+class CliArgs;
+}
+
+namespace tp::harness {
+
+/** Execution-environment options of a multi-process run. */
+struct ProcessPoolOptions
+{
+    /**
+     * Worker processes (= shards). ProcessPool itself requires
+     * >= 1; the default 0 is the dispatch convention for "run
+     * in-process instead" (see workersFlag).
+     */
+    std::size_t workers = 0;
+    /**
+     * Path of the taskpoint_worker binary; empty resolves to
+     * defaultWorkerBinary() at run() time.
+     */
+    std::string workerBinary;
+    /**
+     * Scratch directory for shard and result files; empty creates a
+     * unique directory under the system temp dir. Removed after a
+     * successful run unless keepScratch is set.
+     */
+    std::string scratchDir;
+    bool keepScratch = false;
+    /** --jobs forwarded to each worker (threads per worker). */
+    std::size_t jobsPerWorker = 1;
+    /** Spawn attempts per shard before the run fails. */
+    std::size_t maxAttempts = 3;
+    /** Emit one progress() line per shard event. */
+    bool progress = false;
+    /**
+     * Result-cache CLI forwarded to workers (--cache-dir/--cache);
+     * empty dir = workers run uncached. The on-disk cache is
+     * multi-process safe, so all workers may share one directory.
+     */
+    std::string cacheDir;
+    std::string cacheMode = "rw";
+};
+
+/**
+ * @return the expected path of the worker binary shipped next to the
+ *         currently running executable (via /proc/self/exe), or
+ *         plain "taskpoint_worker" (PATH lookup) when the running
+ *         binary's directory cannot be determined.
+ */
+std::string defaultWorkerBinary();
+
+/** See file comment. */
+class ProcessPool
+{
+  public:
+    explicit ProcessPool(ProcessPoolOptions options);
+
+    /**
+     * Execute `plan` across the worker fleet, streaming each
+     * BatchResult to `sink` in submission order; blocks until the
+     * whole plan finished. Same sink contract as BatchRunner::run:
+     * begin, one consume per job and end on this thread, and a
+     * failed run (a shard
+     * exhausting its attempts, an unusable worker binary) raises
+     * SimError after killing every remaining worker, without
+     * sink.end() being called.
+     */
+    void run(const ExperimentPlan &plan, ResultSink &sink) const;
+
+    const ProcessPoolOptions &options() const { return options_; }
+
+  private:
+    ProcessPoolOptions options_;
+};
+
+/**
+ * Assemble ProcessPoolOptions from the canonical CLI surface:
+ * `--workers=N|auto` (kWorkersOption), `--worker-bin=PATH`,
+ * `--jobs` (threads per worker) and the result-cache options, which
+ * are forwarded to every worker. The caller decides whether to go
+ * multi-process at all (workersFlag(args) > 0) before using this.
+ */
+ProcessPoolOptions processPoolFromCli(const CliArgs &args);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_PROCESS_POOL_HH

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -157,6 +159,67 @@ class StatsSink final : public ResultSink
   private:
     RunningStats errorStats_;
     std::size_t jobs_ = 0;
+};
+
+/**
+ * Streams results as CSV rows — the machine-readable batch report.
+ *
+ * One header row, then one row per result in submission order:
+ *
+ *   index,label,sampled_cycles,reference_cycles,error_pct,
+ *   detail_fraction,ref_cached,sam_cached,wall_speedup,host_seconds
+ *
+ * Cells of absent optionals are empty. Every column left of
+ * wall_speedup is deterministic (identical for any worker/process
+ * count over one plan); the host-timing columns come last so
+ * scripts diffing runs can strip them with a single cut(1). Labels
+ * are RFC-4180-quoted when they contain a comma, quote or newline.
+ */
+class CsvSink final : public ResultSink
+{
+  public:
+    /** Stream variant; `out` must outlive the sink. */
+    explicit CsvSink(std::ostream &out);
+
+    /** File variant; fatal when the file cannot be created. */
+    explicit CsvSink(const std::string &path);
+
+    ~CsvSink() override;
+
+    void begin(std::size_t totalJobs) override;
+    void consume(BatchResult &&result) override;
+
+  private:
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream &out_;
+};
+
+/**
+ * Streams results as one JSON array of row objects (keys as in the
+ * CsvSink columns; absent optionals are null). Written
+ * incrementally — begin() opens the array, each consume() appends
+ * one object, end() closes it — so arbitrarily long batches stream
+ * in O(1) sink memory.
+ */
+class JsonSink final : public ResultSink
+{
+  public:
+    /** Stream variant; `out` must outlive the sink. */
+    explicit JsonSink(std::ostream &out);
+
+    /** File variant; fatal when the file cannot be created. */
+    explicit JsonSink(const std::string &path);
+
+    ~JsonSink() override;
+
+    void begin(std::size_t totalJobs) override;
+    void consume(BatchResult &&result) override;
+    void end() override;
+
+  private:
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream &out_;
+    bool first_ = true;
 };
 
 /**

@@ -1,0 +1,181 @@
+#include "harness/worker.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.hh"
+#include "common/logging.hh"
+#include "sim/result_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::harness {
+
+namespace {
+
+/**
+ * Honour kKillOnceEnvVar: after a successful publish, the first
+ * worker to claim the marker file dies by SIGKILL, simulating a
+ * crashed machine mid-shard. O_EXCL makes the claim atomic across
+ * concurrently publishing workers.
+ */
+void
+maybeKillSelfForTest()
+{
+    const char *marker = std::getenv(kKillOnceEnvVar);
+    if (marker == nullptr || *marker == '\0')
+        return;
+    const int fd =
+        ::open(marker, O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return; // someone else claimed it (or the path is bad)
+    ::close(fd);
+    ::raise(SIGKILL);
+}
+
+/**
+ * Publishes each finished result as an envelope-framed file under
+ * outDir, remapping shard-local indices to parent-plan indices.
+ */
+class PublishingSink final : public ResultSink
+{
+  public:
+    PublishingSink(const PlanShard &shard, std::string outDir)
+        : shard_(shard), outDir_(std::move(outDir))
+    {}
+
+    void
+    consume(BatchResult &&r) override
+    {
+        // BatchRunner numbered the shard's jobs 0..n-1; reports and
+        // ordering downstream need the parent-plan index.
+        tp_assert(r.index < shard_.jobs.size());
+        r.index = static_cast<std::size_t>(
+            shard_.jobs[r.index].planIndex);
+
+        std::ostringstream payload(std::ios::binary);
+        serializeBatchResult(r, payload);
+
+        const fs::path tmp =
+            fs::path(outDir_) /
+            strprintf(".tmp.%d.%zu", static_cast<int>(::getpid()),
+                      published_);
+        {
+            std::ofstream out(tmp, std::ios::binary);
+            if (!out)
+                fatal("worker: cannot write '%s'",
+                      tmp.string().c_str());
+            sim::writeEnvelope(out, payload.str());
+            if (!out.good())
+                fatal("worker: error writing '%s'",
+                      tmp.string().c_str());
+        }
+        const fs::path dest =
+            fs::path(outDir_) /
+            resultFileName(static_cast<std::uint64_t>(r.index));
+        std::error_code ec;
+        fs::rename(tmp, dest, ec); // atomic publish
+        if (ec)
+            fatal("worker: cannot publish '%s': %s",
+                  dest.string().c_str(), ec.message().c_str());
+        ++published_;
+        maybeKillSelfForTest();
+    }
+
+    std::size_t published() const { return published_; }
+
+  private:
+    const PlanShard &shard_;
+    std::string outDir_;
+    std::size_t published_ = 0;
+};
+
+} // namespace
+
+void
+serializeBatchResult(const BatchResult &r, std::ostream &out)
+{
+    BinaryWriter w(out);
+    w.pod<std::uint64_t>(r.index);
+    w.str(r.label);
+    writeBool(w, r.sampled.has_value());
+    if (r.sampled)
+        sim::serializeSampledOutcome(*r.sampled, out);
+    writeBool(w, r.reference.has_value());
+    if (r.reference)
+        sim::serializeResult(*r.reference, out);
+    writeBool(w, r.comparison.has_value());
+    if (r.comparison) {
+        w.pod(r.comparison->errorPct);
+        w.pod(r.comparison->wallSpeedup);
+        w.pod(r.comparison->detailFraction);
+    }
+    writeBool(w, r.referenceFromCache);
+    writeBool(w, r.sampledFromCache);
+    w.pod(r.hostSeconds);
+}
+
+BatchResult
+deserializeBatchResult(std::istream &in, const std::string &name)
+{
+    BinaryReader r(in, name);
+    BatchResult res;
+    res.index = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    res.label = r.str();
+    if (readBool(r))
+        res.sampled = sim::deserializeSampledOutcome(in, name);
+    if (readBool(r))
+        res.reference = sim::deserializeResult(in, name);
+    if (readBool(r)) {
+        ErrorSpeedup es;
+        es.errorPct = r.pod<double>();
+        es.wallSpeedup = r.pod<double>();
+        es.detailFraction = r.pod<double>();
+        res.comparison = es;
+    }
+    res.referenceFromCache = readBool(r);
+    res.sampledFromCache = readBool(r);
+    res.hostSeconds = r.pod<double>();
+    return res;
+}
+
+std::string
+resultFileName(std::uint64_t planIndex)
+{
+    return strprintf("job-%llu.tpr",
+                     static_cast<unsigned long long>(planIndex));
+}
+
+std::size_t
+runWorkerShard(const WorkerOptions &options)
+{
+    const PlanShard shard = deserializeShard(options.shardPath);
+    std::error_code ec;
+    fs::create_directories(options.outDir, ec);
+    if (ec)
+        fatal("worker: cannot create out dir '%s': %s",
+              options.outDir.c_str(), ec.message().c_str());
+
+    if (options.batch.progress)
+        progress(strprintf(
+            "worker: shard %u/%u of plan %s: %zu jobs",
+            shard.shardIndex, shard.shardCount,
+            shard.planDigest.c_str(), shard.jobs.size()));
+
+    const ExperimentPlan plan = shardPlan(shard);
+    PublishingSink sink(shard, options.outDir);
+    BatchOptions batch = options.batch;
+    // shardPlan() pre-resolved the parent's derived seeds, so each
+    // workload trace is unique to its job: don't retain them.
+    batch.memoizeWorkloadTraces = !shard.deriveSeeds;
+    BatchRunner(batch).run(plan, sink);
+    return sink.published();
+}
+
+} // namespace tp::harness

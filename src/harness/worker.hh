@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Worker-side execution of plan shards, and the BatchResult wire
+ * format shared with the driver-side ProcessPool.
+ *
+ * The transport is a directory of result files: the worker runs its
+ * shard through the ordinary BatchRunner and publishes each finished
+ * BatchResult as `<outDir>/job-<planIndex>.tpr` — the serialized
+ * result wrapped in sim/result_io's checksummed envelope, written to
+ * a process-unique temp file and published with an atomic rename
+ * (the result_cache crash-safety discipline). A tailing driver
+ * therefore only ever observes complete, checksum-verified results;
+ * a worker that dies mid-job leaves at most an unpublished temp
+ * file behind.
+ *
+ * Result indices are parent-plan indices (ShardJob::planIndex), so
+ * the driver reassembles global submission order without knowing the
+ * shard geometry.
+ */
+
+#ifndef TP_HARNESS_WORKER_HH
+#define TP_HARNESS_WORKER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "harness/batch_runner.hh"
+#include "harness/plan_shard.hh"
+#include "harness/result_sink.hh"
+
+namespace tp::harness {
+
+/**
+ * Write one BatchResult (payload only, no framing). Every field —
+ * including the optional reference, sampled outcome and comparison —
+ * round-trips bit-identically, so a result shipped from a worker is
+ * indistinguishable from one computed in-process.
+ */
+void serializeBatchResult(const BatchResult &r, std::ostream &out);
+
+/**
+ * Read a BatchResult back; exact inverse of serializeBatchResult.
+ *
+ * @param name label for error messages
+ * @throws IoError on truncation or corrupt fields
+ */
+BatchResult deserializeBatchResult(std::istream &in,
+                                   const std::string &name);
+
+/** @return the published file name of plan index `i` ("job-i.tpr"). */
+std::string resultFileName(std::uint64_t planIndex);
+
+/**
+ * Name of a test-only environment variable: when set to a path, the
+ * first worker process that publishes a result then manages to
+ * create that file (O_EXCL, so exactly one across a fleet) kills
+ * itself with SIGKILL. Lets the worker smoke test provoke a
+ * deterministic mid-run worker death; unset in normal operation.
+ */
+inline constexpr const char *kKillOnceEnvVar =
+    "TASKPOINT_WORKER_KILL_ONCE";
+
+/** Execution options of one worker process. */
+struct WorkerOptions
+{
+    /** Serialized PlanShard to execute. */
+    std::string shardPath;
+    /** Directory result files are published into (created). */
+    std::string outDir;
+    /** Execution environment (threads, progress, cache). */
+    BatchOptions batch;
+};
+
+/**
+ * The taskpoint_worker main loop: load the shard, resolve its seeds
+ * (see shardPlan), run it, and publish one result file per job.
+ *
+ * @return the number of results published
+ * @throws IoError when the shard file is damaged; SimError on
+ *         invalid jobs (both exit the worker nonzero, which the
+ *         driver treats as a shard failure and retries)
+ */
+std::size_t runWorkerShard(const WorkerOptions &options);
+
+} // namespace tp::harness
+
+#endif // TP_HARNESS_WORKER_HH

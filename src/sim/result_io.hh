@@ -57,6 +57,34 @@ SimResult deserializeResult(std::istream &in, const std::string &name);
  */
 inline constexpr std::uint32_t kSampledFormatVersion = 1;
 
+/**
+ * Version of the checksummed result envelope (see writeEnvelope).
+ * Bump when the framing itself changes shape.
+ */
+inline constexpr std::uint32_t kEnvelopeFormatVersion = 1;
+
+/**
+ * Wrap `payload` in the shared result envelope: magic, envelope
+ * version, 64-bit payload length, the payload bytes, and an FNV-1a
+ * checksum of the payload. This is the framing of every result file
+ * shipped between processes (harness/worker result files); combined
+ * with write-to-temp + atomic-rename publish, a reader either sees a
+ * complete, checksum-verified payload or a recoverable IoError —
+ * never silently truncated data.
+ */
+void writeEnvelope(std::ostream &out, const std::string &payload);
+
+/**
+ * Read one envelope back and verify it.
+ *
+ * @param name label for error messages (usually the file path)
+ * @return the verified payload bytes
+ * @throws IoError on bad magic/version, truncation, a payload length
+ *         beyond the remaining stream, trailing bytes, or a checksum
+ *         mismatch
+ */
+std::string readEnvelope(std::istream &in, const std::string &name);
+
 /** Write a whole sampled outcome (payload only, no framing). */
 void serializeSampledOutcome(const harness::SampledOutcome &o,
                              std::ostream &out);

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the machine-readable result sinks: exact CSV/JSON text
+ * for synthetic results, RFC-4180 and JSON escaping of hostile
+ * labels, null/empty handling of absent optionals, and the
+ * stability property the worker smoke diff relies on — identical
+ * results render identical bytes, with host-timing columns last.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/result_sink.hh"
+
+namespace tp::harness {
+namespace {
+
+/** A fully populated Both-mode result with deterministic fields. */
+BatchResult
+bothResult()
+{
+    BatchResult r;
+    r.index = 3;
+    r.label = "histogram @8t";
+    SampledOutcome so;
+    so.result.totalCycles = 12345;
+    so.result.detailedInsts = 250;
+    so.result.fastInsts = 750;
+    r.sampled = so;
+    sim::SimResult ref;
+    ref.totalCycles = 12000;
+    r.reference = ref;
+    ErrorSpeedup es;
+    es.errorPct = 2.875;
+    es.wallSpeedup = 4.5;
+    es.detailFraction = 0.25;
+    r.comparison = es;
+    r.referenceFromCache = true;
+    r.hostSeconds = 1.5;
+    return r;
+}
+
+/** A sampled-only result. */
+BatchResult
+sampledResult()
+{
+    BatchResult r;
+    r.index = 0;
+    r.label = "plain";
+    SampledOutcome so;
+    so.result.totalCycles = 777;
+    so.result.detailedInsts = 1;
+    so.result.fastInsts = 0;
+    r.sampled = so;
+    r.hostSeconds = 0.5;
+    return r;
+}
+
+std::string
+renderCsv(const std::vector<BatchResult> &results)
+{
+    std::ostringstream out;
+    CsvSink sink(out);
+    sink.begin(results.size());
+    for (BatchResult r : results)
+        sink.consume(std::move(r));
+    sink.end();
+    return out.str();
+}
+
+std::string
+renderJson(const std::vector<BatchResult> &results)
+{
+    std::ostringstream out;
+    JsonSink sink(out);
+    sink.begin(results.size());
+    for (BatchResult r : results)
+        sink.consume(std::move(r));
+    sink.end();
+    return out.str();
+}
+
+TEST(CsvSink, RendersExactRows)
+{
+    const std::string csv = renderCsv({sampledResult(), bothResult()});
+    EXPECT_EQ(csv,
+              "index,label,sampled_cycles,reference_cycles,"
+              "error_pct,detail_fraction,ref_cached,sam_cached,"
+              "wall_speedup,host_seconds\n"
+              "0,plain,777,,,1,0,0,,0.5\n"
+              "3,histogram @8t,12345,12000,2.875,0.25,1,0,4.5,1.5\n");
+}
+
+TEST(CsvSink, TimingColumnsComeLastForStripping)
+{
+    // The worker smoke strips nondeterministic columns with
+    // `cut -d, -f1-8`; everything left of wall_speedup must be
+    // deterministic, so the header order is load-bearing.
+    const std::string csv = renderCsv({bothResult()});
+    const std::string header = csv.substr(0, csv.find('\n'));
+    EXPECT_EQ(header.find("wall_speedup,host_seconds"),
+              header.size() -
+                  std::string("wall_speedup,host_seconds").size());
+}
+
+TEST(CsvSink, QuotesHostileLabels)
+{
+    BatchResult r = sampledResult();
+    r.label = "a,b \"c\"\nd";
+    const std::string csv = renderCsv({r});
+    EXPECT_NE(csv.find("\"a,b \"\"c\"\"\nd\""), std::string::npos)
+        << csv;
+}
+
+TEST(CsvSink, ReferenceOnlyRowUsesReferenceDetailFraction)
+{
+    BatchResult r;
+    r.index = 1;
+    r.label = "ref";
+    sim::SimResult ref;
+    ref.totalCycles = 99;
+    ref.detailedInsts = 10;
+    ref.fastInsts = 0;
+    r.reference = ref;
+    r.hostSeconds = 0.25;
+    const std::string csv = renderCsv({r});
+    EXPECT_NE(csv.find("1,ref,,99,,1,0,0,,0.25"),
+              std::string::npos)
+        << csv;
+}
+
+TEST(JsonSink, RendersValidArrayWithNulls)
+{
+    const std::string json =
+        renderJson({sampledResult(), bothResult()});
+    EXPECT_EQ(json,
+              "[\n"
+              "  {\"index\": 0, \"label\": \"plain\", "
+              "\"sampled_cycles\": 777, \"reference_cycles\": null, "
+              "\"error_pct\": null, \"detail_fraction\": 1, "
+              "\"ref_cached\": false, \"sam_cached\": false, "
+              "\"wall_speedup\": null, \"host_seconds\": 0.5},\n"
+              "  {\"index\": 3, \"label\": \"histogram @8t\", "
+              "\"sampled_cycles\": 12345, "
+              "\"reference_cycles\": 12000, "
+              "\"error_pct\": 2.875, \"detail_fraction\": 0.25, "
+              "\"ref_cached\": true, \"sam_cached\": false, "
+              "\"wall_speedup\": 4.5, \"host_seconds\": 1.5}\n"
+              "]\n");
+}
+
+TEST(JsonSink, EscapesHostileLabels)
+{
+    BatchResult r = sampledResult();
+    r.label = "quote \" slash \\ tab\t nl\n ctl\x01";
+    const std::string json = renderJson({r});
+    EXPECT_NE(json.find("\"quote \\\" slash \\\\ tab\\t nl\\n "
+                        "ctl\\u0001\""),
+              std::string::npos)
+        << json;
+}
+
+TEST(JsonSink, EmptyBatchIsAnEmptyArray)
+{
+    EXPECT_EQ(renderJson({}), "[\n]\n");
+}
+
+TEST(Sinks, IdenticalResultsRenderIdenticalBytes)
+{
+    // The property multi-process diffing rests on: rendering is a
+    // pure function of the results.
+    const std::vector<BatchResult> batch = {sampledResult(),
+                                            bothResult()};
+    EXPECT_EQ(renderCsv(batch), renderCsv(batch));
+    EXPECT_EQ(renderJson(batch), renderJson(batch));
+}
+
+} // namespace
+} // namespace tp::harness

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Out-of-process shard executor — the child end of the ProcessPool
+ * transport (see harness/process_pool).
+ *
+ *   taskpoint_worker --shard=FILE --out-dir=DIR [--jobs=N|auto]
+ *                    [--cache-dir=DIR] [--cache=off|ro|rw] [--quiet]
+ *
+ * Reads a serialized plan shard (harness/plan_shard), executes it
+ * through the ordinary BatchRunner, and publishes one checksummed
+ * result file per job into --out-dir (atomic rename; see
+ * harness/worker). Exit code 0 means every job of the shard was
+ * published; any error — corrupt shard, invalid job, I/O failure —
+ * exits nonzero, which the coordinating driver treats as a shard
+ * failure and retries.
+ *
+ * Drivers normally spawn this binary themselves (--workers=N), but
+ * it also works by hand for debugging a single shard.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "harness/result_cache.hh"
+#include "harness/worker.hh"
+
+using namespace tp;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const CliArgs args(
+            argc, argv,
+            {{"shard",
+              "serialized plan shard to execute (required)"},
+             {"out-dir",
+              "directory result files are published into "
+              "(required)"},
+             {"quiet", "suppress per-job progress lines"},
+             jobsCliOption(), cacheDirCliOption(),
+             cacheModeCliOption()});
+        harness::WorkerOptions wo;
+        wo.shardPath = args.getString("shard", "");
+        wo.outDir = args.getString("out-dir", "");
+        if (wo.shardPath.empty() || wo.outDir.empty())
+            fatal("--shard=FILE and --out-dir=DIR are required "
+                  "(see --help)");
+
+        const std::unique_ptr<harness::ResultCache> cache =
+            harness::resultCacheFromCli(args);
+        wo.batch.jobs = jobsFlag(args, 1);
+        wo.batch.progress = !args.has("quiet");
+        wo.batch.cache = cache.get();
+
+        const std::size_t published = harness::runWorkerShard(wo);
+        if (wo.batch.progress)
+            harness::progress(strprintf(
+                "worker: published %zu results to %s", published,
+                wo.outDir.c_str()));
+        if (cache && wo.batch.progress)
+            harness::progress(cache->statsLine());
+        return 0;
+    } catch (const std::exception &e) {
+        // The coordinator reads exit codes, not exceptions; report
+        // and exit nonzero so the shard is retried.
+        std::fprintf(stderr, "taskpoint_worker: %s\n", e.what());
+        return 1;
+    }
+}
