@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/flat_map.hh"
+#include "common/rng.hh"
 #include "cpu/rob_core.hh"
 #include "harness/experiment.hh"
 #include "memory/cache.hh"
 #include "memory/hierarchy.hh"
+#include "sim/event_queue.hh"
 #include "trace/instr_stream.hh"
 #include "trace/trace_builder.hh"
 #include "workloads/workloads.hh"
@@ -70,6 +73,89 @@ BM_InstrStreamGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_InstrStreamGeneration);
+
+void
+BM_InstrStreamFillBlock(benchmark::State &state)
+{
+    trace::TraceBuilder b("bm", 1);
+    const auto ty = b.addTaskType("t", trace::KernelProfile{});
+    b.createTask(ty, 1u << 30);
+    const trace::TaskTrace t = b.build();
+    trace::InstrStream s(t.type(0), t.instance(0));
+    trace::Instr buf[256];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.fillBlock(buf, 256));
+        benchmark::DoNotOptimize(buf[0].addr);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_InstrStreamFillBlock);
+
+void
+BM_RngZipf(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.zipf(16384, 0.8));
+}
+BENCHMARK(BM_RngZipf);
+
+void
+BM_ZipfSampler(benchmark::State &state)
+{
+    Rng rng(7);
+    const Rng::ZipfSampler zipf(16384, 0.8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSampler);
+
+void
+BM_BernoulliSampler(benchmark::State &state)
+{
+    Rng rng(7);
+    const Rng::BernoulliSampler coin(0.35);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coin.sample(rng));
+}
+BENCHMARK(BM_BernoulliSampler);
+
+/** The sharers-directory access pattern of Hierarchy::access. */
+void
+BM_FlatMapCoherenceLookup(benchmark::State &state)
+{
+    FlatMap64<std::uint64_t> sharers;
+    Rng rng(11);
+    // Populate like a shared region: 16k hot lines above 2^34.
+    constexpr std::uint64_t kBase = 1ULL << 34;
+    for (std::uint64_t i = 0; i < 16384; ++i)
+        sharers[kBase + i] = 1;
+    for (auto _ : state) {
+        std::uint64_t &mask =
+            sharers[kBase + rng.nextBounded(16384)];
+        mask |= 2;
+        benchmark::DoNotOptimize(mask);
+    }
+}
+BENCHMARK(BM_FlatMapCoherenceLookup);
+
+/** The engine's pick-lagging-core pattern at 64 cores. */
+void
+BM_EngineEventQueue(benchmark::State &state)
+{
+    sim::CoreEventQueue q(64);
+    Rng rng(13);
+    for (ThreadId c = 0; c < 64; ++c)
+        q.update(c, rng.nextBounded(1000));
+    Cycles now = 1000;
+    for (auto _ : state) {
+        const ThreadId c = q.top();
+        q.update(c, now + rng.nextBounded(256));
+        ++now;
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_EngineEventQueue);
 
 void
 BM_DetailedCoreThroughput(benchmark::State &state)

@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -39,34 +33,6 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    tp_assert(bound > 0);
-    // Lemire's nearly-divisionless method would be overkill; simple
-    // rejection keeps the distribution exactly uniform.
-    const std::uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
@@ -76,12 +42,6 @@ Rng::uniformInt(std::int64_t lo, std::int64_t hi)
     if (span == 0) // full 64-bit range
         return static_cast<std::int64_t>(next());
     return lo + static_cast<std::int64_t>(nextBounded(span));
-}
-
-double
-Rng::uniform01()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double
@@ -133,12 +93,6 @@ Rng::exponential(double mean)
     return -mean * std::log(u);
 }
 
-bool
-Rng::bernoulli(double p)
-{
-    return uniform01() < p;
-}
-
 double
 Rng::pareto(double x_m, double alpha)
 {
@@ -169,6 +123,31 @@ Rng
 Rng::fork()
 {
     return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+std::uint64_t
+Rng::bernoulliThreshold(double p)
+{
+    constexpr double two53 = 9007199254740992.0; // 2^53
+    if (!(p > 0.0))
+        return 0; // p <= 0 or NaN: never
+    if (p >= 1.0)
+        return static_cast<std::uint64_t>(two53); // always
+    // p * 2^53 only shifts p's exponent, so the product is exact and
+    // ceil() yields the mathematically exact threshold.
+    return static_cast<std::uint64_t>(std::ceil(p * two53));
+}
+
+Rng::ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n)
+{
+    tp_assert(n > 0);
+    // Mirror Rng::zipf exactly, including its harmonic-singularity
+    // guard, so precomputed constants equal the per-draw ones.
+    if (s == 1.0)
+        s = 1.0 + 1e-9;
+    const double h = std::pow(static_cast<double>(n), 1.0 - s);
+    hMinus1_ = h - 1.0;
+    invOneMinusS_ = 1.0 / (1.0 - s);
 }
 
 } // namespace tp

@@ -41,7 +41,9 @@ RobCore::commitHead()
     const Cycles complete = rob_[robHead_];
     const Cycles at = commit_.reserve(std::max(complete, lastCommit_));
     lastCommit_ = at;
-    robHead_ = (robHead_ + 1) % rob_.size();
+    // Conditional wrap instead of a modulo: the ROB size is not a
+    // power of two, so `%` would be an integer division per commit.
+    robHead_ = robHead_ + 1 == rob_.size() ? 0 : robHead_ + 1;
     --robCount_;
     return at;
 }
@@ -52,65 +54,126 @@ RobCore::step(InstCount quantum)
     tp_assert(stream_.has_value());
     trace::InstrStream &stream = *stream_;
 
-    trace::Instr in;
-    for (InstCount n = 0; n < quantum && stream.next(in); ++n) {
-        // Free a ROB slot first if the window is full: dispatch of
-        // this instruction cannot precede the head's commit.
-        Cycles slot_free = 0;
-        if (robCount_ == rob_.size())
-            slot_free = commitHead();
+    // The per-instruction loop below works on local copies of every
+    // hot member: the memory hierarchy (and the block buffer) are
+    // written through references the compiler cannot prove distinct
+    // from `this`, so member state would otherwise be reloaded and
+    // spilled around every cache access. Locals pin it in registers;
+    // everything is written back after the loop (and before the
+    // drain below). The arithmetic is unchanged — results are
+    // bit-identical to the per-member formulation.
+    const std::size_t rob_size = rob_.size();
+    Cycles *const rob = rob_.data();
+    Cycles *const hist = hist_.data();
+    std::size_t rob_head = robHead_;
+    std::size_t rob_count = robCount_;
+    Cycles last_commit = lastCommit_;
+    WidthLimiter dispatch = dispatch_;
+    WidthLimiter commit = commit_;
+    std::uint64_t inst_index = instIndex_;
+    std::uint64_t loads = 0, stores = 0, l1_misses = 0;
+    // dispatch_.reserve returns nondecreasing cycles, so the max
+    // over the block is the last dispatch cycle (applied once at
+    // write-back instead of per instruction).
+    Cycles last_disp = lastEventCycle_;
 
-        const Cycles disp =
-            dispatch_.reserve(std::max(slot_free, Cycles{0}));
+    InstCount executed = 0;
+    InstCount remaining = quantum;
+    while (remaining > 0) {
+        const InstCount want =
+            std::min<InstCount>(kBlockSize, remaining);
+        const InstCount got = stream.fillBlock(block_.data(), want);
+        for (InstCount i = 0; i < got; ++i) {
+            const trace::Instr &in = block_[i];
 
-        // Register-dependency ready time from the completion history.
-        Cycles ready = disp;
-        if (in.depDist != 0 && in.depDist <= instIndex_) {
-            const std::uint64_t dep = instIndex_ - in.depDist;
-            ready = std::max(ready, hist_[dep % kHistSize]);
+            // Free a ROB slot first if the window is full: dispatch
+            // of this instruction cannot precede the head's commit.
+            Cycles slot_free = 0;
+            if (rob_count == rob_size) {
+                const Cycles complete = rob[rob_head];
+                slot_free = commit.reserve(
+                    std::max(complete, last_commit));
+                last_commit = slot_free;
+                rob_head =
+                    rob_head + 1 == rob_size ? 0 : rob_head + 1;
+                --rob_count;
+            }
+
+            const Cycles disp =
+                dispatch.reserve(std::max(slot_free, Cycles{0}));
+
+            // Register-dependency ready time from the completion
+            // history. Unconditional load + select: the index wraps
+            // harmlessly when depDist exceeds inst_index, and the
+            // select replaces a badly-predicted branch.
+            const std::uint64_t dep = inst_index - in.depDist;
+            const Cycles dep_ready = hist[dep % kHistSize];
+            const bool use_dep =
+                in.depDist != 0 && in.depDist <= inst_index;
+            const Cycles ready =
+                use_dep && dep_ready > disp ? dep_ready : disp;
+
+            // Resolve execution latency. One branch separates the
+            // memory classes from the rest (the class value is
+            // random, so fewer tests mean fewer mispredicts);
+            // selects do the load/store split.
+            static_assert(
+                static_cast<unsigned>(trace::InstrClass::Store) ==
+                static_cast<unsigned>(trace::InstrClass::Load) + 1);
+            Cycles complete;
+            const unsigned mem_cls =
+                static_cast<unsigned>(in.cls) -
+                static_cast<unsigned>(trace::InstrClass::Load);
+            if (mem_cls <= 1) {
+                const bool is_store = mem_cls != 0;
+                const mem::AccessResult r =
+                    mem_.access(id_, in.addr, is_store, ready);
+                // Stores retire through the store buffer: the cache
+                // state and bandwidth are affected, but commit is
+                // not delayed by the write latency.
+                complete = is_store ? ready + 1
+                                    : ready + in.execLat + r.latency;
+                loads += is_store ? 0 : 1;
+                stores += is_store ? 1 : 0;
+                l1_misses +=
+                    !is_store && r.level != mem::HitLevel::L1 ? 1
+                                                              : 0;
+            } else {
+                complete = ready + in.execLat;
+            }
+            if (complete <= disp)
+                complete = disp + 1;
+
+            // Insert into ROB and history (conditional wrap: both
+            // operands are < rob_size here, the commit above freed
+            // a slot).
+            std::size_t tail = rob_head + rob_count;
+            if (tail >= rob_size)
+                tail -= rob_size;
+            rob[tail] = complete;
+            ++rob_count;
+            hist[inst_index % kHistSize] = complete;
+            ++inst_index;
+
+            last_disp = std::max(last_disp, disp);
         }
-
-        // Resolve execution latency.
-        Cycles complete;
-        switch (in.cls) {
-          case trace::InstrClass::Load: {
-            const mem::AccessResult r =
-                mem_.access(id_, in.addr, false, ready);
-            complete = ready + in.execLat + r.latency;
-            ++stats_.loads;
-            if (r.level != mem::HitLevel::L1)
-                ++stats_.l1Misses;
-            break;
-          }
-          case trace::InstrClass::Store: {
-            // Stores retire through the store buffer: the cache state
-            // and bandwidth are affected, but commit is not delayed
-            // by the write latency.
-            const mem::AccessResult r =
-                mem_.access(id_, in.addr, true, ready);
-            (void)r;
-            complete = ready + 1;
-            ++stats_.stores;
-            break;
-          }
-          default:
-            complete = ready + in.execLat;
-            break;
-        }
-        if (complete <= disp)
-            complete = disp + 1;
-
-        // Insert into ROB and history.
-        const std::size_t tail =
-            (robHead_ + robCount_) % rob_.size();
-        rob_[tail] = complete;
-        ++robCount_;
-        hist_[instIndex_ % kHistSize] = complete;
-        ++instIndex_;
-
-        lastEventCycle_ = std::max(lastEventCycle_, disp);
-        ++stats_.instructions;
+        executed += got;
+        remaining -= got;
+        if (got < want)
+            break; // stream exhausted
     }
+
+    robHead_ = rob_head;
+    robCount_ = rob_count;
+    lastCommit_ = last_commit;
+    dispatch_ = dispatch;
+    commit_ = commit;
+    instIndex_ = inst_index;
+    stats_.instructions += executed;
+    stats_.loads += loads;
+    stats_.stores += stores;
+    stats_.l1Misses += l1_misses;
+    lastEventCycle_ = last_disp;
 
     if (!stream.done())
         return false;

@@ -19,6 +19,7 @@
 #ifndef TP_CPU_ROB_CORE_HH
 #define TP_CPU_ROB_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -99,18 +100,21 @@ class RobCore
         std::uint32_t used = 0;
         std::uint32_t width = 1;
 
-        /** Reserve one slot at or after `at`; @return slot cycle. */
+        /**
+         * Reserve one slot at or after `at`; @return slot cycle.
+         * Written with selects instead of branches: whether `at`
+         * overtakes the current cycle is data-dependent and
+         * mispredicts badly in the per-instruction loop.
+         */
         Cycles
         reserve(Cycles at)
         {
-            if (at > cycle) {
-                cycle = at;
-                used = 0;
-            }
-            if (used >= width) {
-                ++cycle;
-                used = 0;
-            }
+            const bool adv = at > cycle;
+            cycle = adv ? at : cycle;
+            used = adv ? 0 : used;
+            const bool full = used >= width;
+            cycle = full ? cycle + 1 : cycle;
+            used = full ? 0 : used;
             ++used;
             return cycle;
         }
@@ -132,6 +136,17 @@ class RobCore
     ThreadId id_;
 
     std::optional<trace::InstrStream> stream_;
+
+    /**
+     * Staging buffer for batched instruction generation: step()
+     * consumes the stream through InstrStream::fillBlock in chunks
+     * of up to kBlockSize, which keeps the generator state in
+     * registers instead of paying a per-instruction call and member
+     * round-trip.
+     */
+    static constexpr InstCount kBlockSize = 256;
+    std::array<trace::Instr, kBlockSize> block_;
+
     Cycles taskStart_ = 0;
     Cycles lastEventCycle_ = 0;
     Cycles lastCommit_ = 0;

@@ -1,5 +1,6 @@
 #include "memory/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -31,7 +32,8 @@ Cache::Cache(std::string name, const CacheConfig &config)
               name_.c_str());
     lineShift_ =
         static_cast<std::uint32_t>(std::countr_zero(config_.lineBytes));
-    ways_.assign(numSets_ * config_.assoc, Way{});
+    tags_.assign(numSets_ * config_.assoc, 0);
+    lru_.assign(numSets_ * config_.assoc, 0);
 }
 
 std::uint64_t
@@ -46,109 +48,75 @@ Cache::tagOf(Addr addr) const
     return addr >> lineShift_;
 }
 
-CacheAccessOutcome
-Cache::access(Addr addr, bool is_write)
+std::uint32_t
+Cache::victimWay(const std::uint64_t *set_tags,
+                 const std::uint64_t *set_lru) const
 {
-    ++stats_.accesses;
-    const Addr tag = tagOf(addr);
-    Way *set = &ways_[setIndex(addr) * config_.assoc];
-
-    Way *victim = &set[0];
+    // Order matters for replay equivalence: the first invalid way
+    // wins; otherwise the first way carrying the strictly smallest
+    // LRU tick (ties keep the earlier way).
+    std::uint32_t victim = 0;
     for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Way &way = set[w];
-        if (way.valid && way.tag == tag) {
-            ++stats_.hits;
-            way.lru = ++lruTick_;
-            way.dirty |= is_write;
-            return {true, false};
-        }
-        // Prefer an invalid way as victim; otherwise the LRU one.
-        if (!way.valid) {
-            if (victim->valid)
-                victim = &way;
-        } else if (victim->valid && way.lru < victim->lru) {
-            victim = &way;
+        if (!validWord(set_tags[w])) {
+            if (validWord(set_tags[victim]))
+                victim = w;
+        } else if (validWord(set_tags[victim]) &&
+                   set_lru[w] < set_lru[victim]) {
+            victim = w;
         }
     }
-
-    ++stats_.misses;
-    CacheAccessOutcome out{false, false};
-    if (victim->valid) {
-        ++stats_.evictions;
-        if (victim->dirty) {
-            ++stats_.writebacks;
-            out.writebackVictim = true;
-        }
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = is_write;
-    victim->lru = config_.scanResistantInsert ? 0 : ++lruTick_;
-    return out;
+    return victim;
 }
 
 void
 Cache::fill(Addr addr)
 {
-    const Addr tag = tagOf(addr);
-    Way *set = &ways_[setIndex(addr) * config_.assoc];
-    Way *victim = &set[0];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        Way &way = set[w];
-        if (way.valid && way.tag == tag)
-            return; // already resident; leave LRU untouched
-        if (!way.valid) {
-            if (victim->valid)
-                victim = &way;
-        } else if (victim->valid && way.lru < victim->lru) {
-            victim = &way;
-        }
-    }
-    if (victim->valid) {
+    const std::uint64_t want = packTag(tagOf(addr));
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    std::uint64_t *const set_tags = &tags_[base];
+    if (findWay(set_tags, want) != kNoWay)
+        return; // already resident; leave LRU untouched
+
+    std::uint64_t *const set_lru = &lru_[base];
+    const std::uint32_t victim = victimWay(set_tags, set_lru);
+    const std::uint64_t victim_tag = set_tags[victim];
+    if (validWord(victim_tag)) {
         ++stats_.evictions;
-        if (victim->dirty)
+        if (dirtyWord(victim_tag))
             ++stats_.writebacks;
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = false;
-    victim->lru = config_.scanResistantInsert ? 0 : ++lruTick_;
+    set_tags[victim] = want;
+    set_lru[victim] = config_.scanResistantInsert ? 0 : ++lruTick_;
     ++stats_.prefetchFills;
 }
 
 bool
 Cache::contains(Addr addr) const
 {
-    const Addr tag = tagOf(addr);
-    const Way *set = &ways_[setIndex(addr) * config_.assoc];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (set[w].valid && set[w].tag == tag)
-            return true;
-    }
-    return false;
+    const std::uint64_t want = packTag(tagOf(addr));
+    return findWay(&tags_[setIndex(addr) * config_.assoc], want) !=
+           kNoWay;
 }
 
 bool
 Cache::invalidate(Addr addr)
 {
-    const Addr tag = tagOf(addr);
-    Way *set = &ways_[setIndex(addr) * config_.assoc];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (set[w].valid && set[w].tag == tag) {
-            set[w].valid = false;
-            set[w].dirty = false;
-            ++stats_.invalidations;
-            return true;
-        }
-    }
-    return false;
+    const std::uint64_t want = packTag(tagOf(addr));
+    std::uint64_t *const set_tags =
+        &tags_[setIndex(addr) * config_.assoc];
+    const std::uint32_t w = findWay(set_tags, want);
+    if (w == kNoWay)
+        return false;
+    set_tags[w] = 0;
+    ++stats_.invalidations;
+    return true;
 }
 
 void
 Cache::reset()
 {
-    for (Way &w : ways_)
-        w = Way{};
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(lru_.begin(), lru_.end(), 0);
     lruTick_ = 0;
 }
 
@@ -157,34 +125,35 @@ Cache::prepollute()
 {
     // Tags above 2^50 lie far outside every region the trace
     // generators use, so junk lines can never be hit.
-    for (Way &w : ways_) {
-        w.valid = true;
-        w.dirty = false;
-        w.tag = nextJunkTag_++;
-        w.lru = 0; // evicted before anything the program touches
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        tags_[i] = packTag(nextJunkTag_++);
+        lru_[i] = 0; // evicted before anything the program touches
     }
 }
 
 void
 Cache::ageLines(std::uint64_t lines)
 {
-    lines = std::min<std::uint64_t>(lines, ways_.size());
+    lines = std::min<std::uint64_t>(lines, tags_.size());
     for (std::uint64_t i = 0; i < lines; ++i) {
         const std::uint64_t set = ageCursor_++ % numSets_;
-        Way *ways = &ways_[set * config_.assoc];
-        Way *victim = &ways[0];
+        const std::size_t base = set * config_.assoc;
+        std::uint64_t *const set_tags = &tags_[base];
+        std::uint64_t *const set_lru = &lru_[base];
+        // First invalid way, else first strict-minimum LRU (the
+        // original scan's break-on-invalid order).
+        std::uint32_t victim = 0;
         for (std::uint32_t w = 1; w < config_.assoc; ++w) {
-            if (!ways[w].valid) {
-                victim = &ways[w];
+            if (!validWord(set_tags[w])) {
+                victim = w;
                 break;
             }
-            if (victim->valid && ways[w].lru < victim->lru)
-                victim = &ways[w];
+            if (validWord(set_tags[victim]) &&
+                set_lru[w] < set_lru[victim])
+                victim = w;
         }
-        victim->valid = true;
-        victim->dirty = false;
-        victim->tag = nextJunkTag_++;
-        victim->lru = ++lruTick_;
+        set_tags[victim] = packTag(nextJunkTag_++);
+        set_lru[victim] = ++lruTick_;
     }
 }
 
@@ -192,10 +161,10 @@ double
 Cache::occupancy() const
 {
     std::uint64_t valid = 0;
-    for (const Way &w : ways_)
-        valid += w.valid ? 1 : 0;
-    return ways_.empty() ? 0.0
-                         : double(valid) / double(ways_.size());
+    for (const std::uint64_t t : tags_)
+        valid += validWord(t) ? 1 : 0;
+    return tags_.empty() ? 0.0
+                         : double(valid) / double(tags_.size());
 }
 
 } // namespace tp::mem

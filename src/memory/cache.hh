@@ -81,6 +81,10 @@ class Cache
     /**
      * Look up `addr`; on miss, allocate the line and evict LRU.
      *
+     * Defined inline (below) so Hierarchy::access — one call per
+     * level per memory instruction — folds the set scan into its
+     * caller instead of paying a cross-TU call.
+     *
      * @param addr     byte address
      * @param is_write marks the (resident) line dirty
      * @return hit/miss and whether a dirty victim was evicted
@@ -89,6 +93,22 @@ class Cache
 
     /** Look up without allocating or touching LRU state. */
     bool contains(Addr addr) const;
+
+    /**
+     * Prefetch the *host* cache lines holding this set's tag and
+     * LRU words. No simulated effect whatsoever — purely a
+     * performance hint so the hierarchy can overlap the host-memory
+     * latency of several upcoming set scans (the tag stores of big
+     * simulated caches dwarf the host's own caches, so every scan
+     * is otherwise a serialized host miss).
+     */
+    void
+    hostPrefetch(Addr addr) const
+    {
+        const std::size_t base = setIndex(addr) * config_.assoc;
+        __builtin_prefetch(&tags_[base]);
+        __builtin_prefetch(&lru_[base]);
+    }
 
     /**
      * Allocate the line holding `addr` if absent (prefetch fill).
@@ -149,13 +169,55 @@ class Cache
     std::uint64_t numSets() const { return numSets_; }
 
   private:
-    struct Way
+    /**
+     * Tag-store layout: one packed 8-byte word per way holding
+     * `tag << 2 | dirty | valid` (synthetic addresses stay below
+     * 2^58 — regions at 2^40 / 2^44, junk tags from 2^50 — so a
+     * line tag fits 62 bits), and a parallel array of LRU ticks.
+     *
+     * Splitting tags from ticks keeps the hit scan — the single
+     * hottest loop of detailed simulation — inside one host cache
+     * line per set for 8-way caches, and lets it run branchlessly:
+     * all ways are compared with conditional moves and at most one
+     * can match (tags are unique per set), so the scan has no
+     * data-dependent early exit to mispredict.
+     */
+    static constexpr std::uint64_t kValidBit = 1;
+    static constexpr std::uint64_t kDirtyBit = 2;
+    static constexpr std::uint32_t kNoWay = ~0u;
+
+    /** @return the packed tag word of a valid, clean line. */
+    static std::uint64_t
+    packTag(Addr tag)
     {
-        Addr tag = 0;
-        std::uint64_t lru = 0; //!< higher = more recently used
-        bool valid = false;
-        bool dirty = false;
-    };
+        return (tag << 2) | kValidBit;
+    }
+
+    static bool validWord(std::uint64_t w) { return w & kValidBit; }
+    static bool dirtyWord(std::uint64_t w) { return w & kDirtyBit; }
+
+    /**
+     * @return index of the way holding `want` in `set_tags`, or
+     * kNoWay. Branchless full scan (see layout comment).
+     */
+    std::uint32_t
+    findWay(const std::uint64_t *set_tags, std::uint64_t want) const
+    {
+        std::uint32_t hit_way = kNoWay;
+        for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+            hit_way =
+                (set_tags[w] & ~kDirtyBit) == want ? w : hit_way;
+        }
+        return hit_way;
+    }
+
+    /**
+     * @return way index to evict: the first invalid way, else the
+     * way with the (first) smallest LRU tick — the order the
+     * original combined scan produced.
+     */
+    std::uint32_t victimWay(const std::uint64_t *set_tags,
+                            const std::uint64_t *set_lru) const;
 
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
@@ -164,12 +226,51 @@ class Cache
     CacheConfig config_;
     std::uint64_t numSets_;
     std::uint32_t lineShift_;
-    std::vector<Way> ways_; //!< numSets_ * assoc, set-major
+    std::vector<std::uint64_t> tags_; //!< numSets_*assoc, set-major
+    std::vector<std::uint64_t> lru_;  //!< higher = more recent
     std::uint64_t lruTick_ = 0;
     std::uint64_t ageCursor_ = 0;
     Addr nextJunkTag_ = Addr{1} << 50;
     CacheStats stats_;
 };
+
+inline CacheAccessOutcome
+Cache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    std::uint64_t *const set_tags = &tags_[base];
+
+    // A valid line with this tag matches `want` in one compare once
+    // the dirty bit is masked out.
+    const std::uint64_t want = packTag(tagOf(addr));
+
+    const std::uint32_t hit_way = findWay(set_tags, want);
+    if (hit_way != kNoWay) {
+        ++stats_.hits;
+        lru_[base + hit_way] = ++lruTick_;
+        if (is_write)
+            set_tags[hit_way] |= kDirtyBit;
+        return {true, false};
+    }
+
+    ++stats_.misses;
+    std::uint64_t *const set_lru = &lru_[base];
+    const std::uint32_t victim = victimWay(set_tags, set_lru);
+    const std::uint64_t victim_tag = set_tags[victim];
+
+    CacheAccessOutcome out{false, false};
+    if (validWord(victim_tag)) {
+        ++stats_.evictions;
+        if (dirtyWord(victim_tag)) {
+            ++stats_.writebacks;
+            out.writebackVictim = true;
+        }
+    }
+    set_tags[victim] = want | (is_write ? kDirtyBit : 0);
+    set_lru[victim] = config_.scanResistantInsert ? 0 : ++lruTick_;
+    return out;
+}
 
 } // namespace tp::mem
 

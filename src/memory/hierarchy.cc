@@ -34,6 +34,12 @@ Hierarchy::Hierarchy(const MemoryConfig &config,
     if (config_.hasL3)
         l3_ = std::make_unique<Cache>("l3", config_.l3);
 
+    // Resolve the per-core L2 slice once; l2s_ never reallocates
+    // after this point.
+    l2Of_.reserve(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c)
+        l2Of_.push_back(config_.l2Shared ? &l2s_[0] : &l2s_[c]);
+
     prefetchers_.resize(num_cores);
 
     // Start from steady-state occupancy (see Cache::prepollute).
@@ -62,6 +68,20 @@ Hierarchy::notifyMiss(ThreadId core, Addr addr)
     const std::int64_t delta = line - pf.lastLine;
     if (pf.lastLine >= 0 && delta == pf.lastDelta && delta != 0 &&
         delta >= -8 && delta <= 8) {
+        // Hint the host lines of every set the fills below will
+        // scan before performing any of them, so their host-memory
+        // latencies overlap instead of serializing (no simulated
+        // effect; see Cache::hostPrefetch).
+        for (std::uint32_t d = 1; d <= config_.prefetchDegree; ++d) {
+            const std::int64_t target = line + delta * d;
+            if (target > 0) {
+                const Addr a = static_cast<Addr>(target) << 6;
+                l1s_[core].hostPrefetch(a);
+                l2Of_[core]->hostPrefetch(a);
+                if (l3_)
+                    l3_->hostPrefetch(a);
+            }
+        }
         for (std::uint32_t d = 1; d <= config_.prefetchDegree; ++d) {
             const std::int64_t target = line + delta * d;
             if (target > 0)
@@ -76,25 +96,7 @@ Hierarchy::notifyMiss(ThreadId core, Addr addr)
 Cache &
 Hierarchy::l2For(ThreadId core)
 {
-    return config_.l2Shared ? l2s_[0] : l2s_[core];
-}
-
-void
-Hierarchy::invalidateRemote(ThreadId core, Addr line_addr)
-{
-    auto it = sharers_.find(line_addr >> 6);
-    if (it == sharers_.end())
-        return;
-    std::uint64_t others = it->second & ~(1ULL << core);
-    while (others) {
-        const int c = std::countr_zero(others);
-        others &= others - 1;
-        l1s_[static_cast<std::size_t>(c)].invalidate(line_addr);
-        if (!config_.l2Shared)
-            l2s_[static_cast<std::size_t>(c)].invalidate(line_addr);
-        ++coherenceInvalidations_;
-    }
-    it->second = 1ULL << core;
+    return *l2Of_[core];
 }
 
 AccessResult
@@ -115,12 +117,18 @@ Hierarchy::access(ThreadId core, Addr addr, bool is_write, Cycles now)
     // large relative to cache capacity.
     const CacheAccessOutcome l1_out = l1s_[core].access(addr, is_write);
     if (!l1_out.hit) {
+        // Overlap the host-memory latency of the L2/L3 set scans
+        // below with the prefetcher/bus bookkeeping (host-only
+        // hint, no simulated effect).
+        l2Of_[core]->hostPrefetch(addr);
+        if (l3_)
+            l3_->hostPrefetch(addr);
         if (config_.streamPrefetch)
             notifyMiss(core, addr);
         // Below-L1 traffic crosses the interconnect.
         lat += bus_.request(now + lat);
 
-        Cache &l2 = l2For(core);
+        Cache &l2 = *l2Of_[core];
         if (config_.l2Shared)
             lat += l2Port_.request(now + lat);
         lat += config_.l2.latency;
@@ -164,6 +172,24 @@ Hierarchy::access(ThreadId core, Addr addr, bool is_write, Cycles now)
 }
 
 void
+Hierarchy::invalidateRemote(ThreadId core, Addr line_addr)
+{
+    std::uint64_t *mask = sharers_.find(line_addr >> 6);
+    if (mask == nullptr)
+        return;
+    std::uint64_t others = *mask & ~(1ULL << core);
+    while (others) {
+        const int c = std::countr_zero(others);
+        others &= others - 1;
+        l1s_[static_cast<std::size_t>(c)].invalidate(line_addr);
+        if (!config_.l2Shared)
+            l2s_[static_cast<std::size_t>(c)].invalidate(line_addr);
+        ++coherenceInvalidations_;
+    }
+    *mask = 1ULL << core;
+}
+
+void
 Hierarchy::applyFastForwardAging(std::uint64_t skipped_insts,
                                  double bytes_per_inst)
 {
@@ -199,6 +225,8 @@ Hierarchy::reset()
     l2Port_.reset();
     l3Port_.reset();
     sharers_.clear();
+    // (FlatMap64::clear keeps its capacity — reset() between runs
+    // does not shrink the directory.)
     coherenceInvalidations_ = 0;
     for (Prefetcher &pf : prefetchers_)
         pf = Prefetcher{};

@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "memory/cache.hh"
 #include "memory/dram.hh"
@@ -88,7 +88,10 @@ class Hierarchy
      *
      * Handles lookup/fill at every level, write-invalidate coherence
      * for stores to lines cached remotely, and queueing at shared
-     * resources.
+     * resources. Deliberately *not* inlined into callers: the
+     * detailed core's per-instruction loop keeps its state in
+     * registers, and folding this whole multi-level path into it
+     * spills them (measured slower than the call).
      */
     AccessResult access(ThreadId core, Addr addr, bool is_write,
                         Cycles now);
@@ -162,12 +165,21 @@ class Hierarchy
     ServicePort l3Port_;           //!< bandwidth of the L3
 
     /**
+     * The L2 slice serving each core, resolved once at construction
+     * so the access hot path is one indexed load instead of a
+     * shared/private branch plus bounds-checked vector indexing.
+     */
+    std::vector<Cache *> l2Of_;
+
+    /**
      * Sharers bitmask per line for coherence. Only lines that were
      * ever touched by more than zero cores appear; private-region
      * lines are touched by exactly one task and carry no coherence
      * traffic, so the map stays small (bounded by shared footprints).
+     * A FlatMap64 keeps the per-access lookup to one probe of a
+     * contiguous array (see common/flat_map.hh).
      */
-    std::unordered_map<Addr, std::uint64_t> sharers_;
+    FlatMap64<std::uint64_t> sharers_;
     std::uint64_t coherenceInvalidations_ = 0;
     std::vector<Prefetcher> prefetchers_;
 };

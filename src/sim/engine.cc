@@ -12,7 +12,7 @@ Engine::Engine(const SimConfig &config, const trace::TaskTrace &trace)
     : config_(config), trace_(trace),
       mem_(config.arch.memory, config.numThreads),
       runtime_(trace, config.runtime, config.numThreads),
-      noise_(config.noise)
+      noise_(config.noise), events_(config.numThreads)
 {
     if (config_.numThreads == 0)
         fatal("simulation needs at least one thread");
@@ -25,21 +25,12 @@ Engine::Engine(const SimConfig &config, const trace::TaskTrace &trace)
     states_.resize(config_.numThreads);
 }
 
-std::uint32_t
-Engine::countActive() const
-{
-    std::uint32_t n = 0;
-    for (const CoreState &s : states_)
-        n += s.st != CoreState::St::Idle ? 1 : 0;
-    return n;
-}
-
 EngineStatus
 Engine::status(Cycles now, bool counting_new_task) const
 {
     EngineStatus st;
     st.now = now;
-    st.activeCores = countActive() + (counting_new_task ? 1 : 0);
+    st.activeCores = activeCores_ + (counting_new_task ? 1 : 0);
     const std::uint64_t could_run =
         st.activeCores + runtime_.readyCount();
     st.effectiveConcurrency = static_cast<std::uint32_t>(
@@ -73,9 +64,12 @@ Engine::startTask(ThreadId core, TaskInstanceId id, Cycles now)
     CoreState &s = states_[core];
     s.task = id;
     s.start = start;
+    ++activeCores_;
     if (decision.mode == SimMode::Detailed) {
         s.st = CoreState::St::Detailed;
         cores_[core].beginTask(type, inst, start);
+        // localNow() == start right after beginTask.
+        events_.update(core, start);
     } else {
         if (!(decision.fastIpc > 0.0))
             panic("fast-mode decision without a positive IPC");
@@ -85,6 +79,7 @@ Engine::startTask(ThreadId core, TaskInstanceId id, Cycles now)
         s.finish = start + std::max<Cycles>(
             static_cast<Cycles>(cycles), 1);
         fastInstsSinceAging_ += inst.instCount;
+        events_.update(core, s.finish);
     }
 }
 
@@ -125,6 +120,9 @@ Engine::completeTask(ThreadId core, Cycles finish)
 
     s.st = CoreState::St::Idle;
     s.task = kNoTaskInstance;
+    events_.remove(core);
+    tp_assert(activeCores_ > 0);
+    --activeCores_;
 
     runtime_.taskCompleted(inst.id, core);
 
@@ -163,34 +161,29 @@ Engine::run(ModeController *controller)
     while (!runtime_.allDone()) {
         // Pick the lagging core: fast cores are keyed by their known
         // completion time, detailed cores by their local progress.
-        ThreadId best = kNoThread;
-        Cycles best_time = kNoCycle;
-        for (ThreadId c = 0; c < config_.numThreads; ++c) {
-            const CoreState &s = states_[c];
-            Cycles t = kNoCycle;
-            if (s.st == CoreState::St::Fast)
-                t = s.finish;
-            else if (s.st == CoreState::St::Detailed)
-                t = std::max(cores_[c].localNow(), s.start);
-            if (t < best_time) {
-                best_time = t;
-                best = c;
-            }
-        }
-        if (best == kNoThread) {
+        // The queue orders by (time, core id) — identical to the
+        // linear scan it replaced — and is maintained by startTask /
+        // completeTask and the post-step update below.
+        if (events_.empty()) {
             panic("deadlock: %llu of %llu tasks completed but no core "
                   "is runnable",
                   static_cast<unsigned long long>(
                       runtime_.numCompleted()),
                   static_cast<unsigned long long>(trace_.size()));
         }
+        const ThreadId best = events_.top();
 
         CoreState &s = states_[best];
         if (s.st == CoreState::St::Fast) {
             completeTask(best, s.finish);
         } else {
-            if (cores_[best].step(config_.quantum))
+            if (cores_[best].step(config_.quantum)) {
                 completeTask(best, cores_[best].finishTime());
+            } else {
+                events_.update(
+                    best,
+                    std::max(cores_[best].localNow(), s.start));
+            }
         }
     }
 

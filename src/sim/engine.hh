@@ -26,6 +26,7 @@
 #include "cpu/rob_core.hh"
 #include "memory/hierarchy.hh"
 #include "runtime/runtime.hh"
+#include "sim/event_queue.hh"
 #include "sim/mode_controller.hh"
 #include "sim/noise.hh"
 #include "sim/sim_result.hh"
@@ -93,8 +94,6 @@ class Engine
     /** @return snapshot for controller callbacks. */
     EngineStatus status(Cycles now, bool counting_new_task) const;
 
-    std::uint32_t countActive() const;
-
     SimConfig config_;
     const trace::TaskTrace &trace_;
     mem::Hierarchy mem_;
@@ -104,6 +103,15 @@ class Engine
 
     std::vector<cpu::RobCore> cores_;
     std::vector<CoreState> states_;
+    /**
+     * Next-event time per busy core (fast cores by their known
+     * completion time, detailed cores by local progress), replacing
+     * a per-event scan over all cores. Maintained by startTask /
+     * completeTask / the run loop; idle cores are absent.
+     */
+    CoreEventQueue events_;
+    /** Busy cores, maintained incrementally (= events_.size()). */
+    std::uint32_t activeCores_ = 0;
     Rng jitterRng_{0x7a5c0ffee};
 
     SimResult result_;

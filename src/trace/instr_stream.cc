@@ -29,117 +29,161 @@ InstrStream::InstrStream(const TaskType &type, const TaskInstance &inst)
       privSize_(std::max<Addr>(inst.privFootprint, kLine)),
       sharedBase_(sharedRegionBase(inst.type)),
       sharedLines_(std::max<Addr>(prof_.pattern.sharedFootprint, kLine)
-                   / kLine)
+                   / kLine),
+      // Class thresholds mirror the cumulative comparisons
+      // `u < loadFrac`, `u < loadFrac + storeFrac`,
+      // `u < (loadFrac + storeFrac) + branchFrac` on one draw.
+      loadThreshold_(
+          Rng::BernoulliSampler(prof_.loadFrac).threshold()),
+      memThreshold_(Rng::BernoulliSampler(prof_.loadFrac +
+                                          prof_.storeFrac)
+                        .threshold()),
+      branchThreshold_(
+          Rng::BernoulliSampler((prof_.loadFrac + prof_.storeFrac) +
+                                prof_.branchFrac)
+              .threshold()),
+      sharedSampler_(prof_.pattern.sharedFrac),
+      indepSampler_(prof_.indepFrac),
+      fpSampler_(prof_.fpFrac),
+      mulSampler_(prof_.mulFrac),
+      // Loads are often address-independent array accesses
+      // (induction-variable indexing) — extra MLP.
+      mlpSampler_(0.35),
+      privZipf_(prof_.pattern.kind == MemPatternKind::Zipf
+                    ? std::max<Addr>(privSize_ / kLine, 1)
+                    : 1,
+                prof_.pattern.zipfS),
+      sharedZipf_(sharedLines_, prof_.pattern.zipfS),
+      // Uniform on [1, 2*ilpMean]: same mean as a geometric with
+      // mean ilpMean at a fraction of the per-instruction cost.
+      depBounded_(std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(2.0 * prof_.ilpMean), 1)),
+      lineOffset_(kLine),
+      sharedWord_(kLine / 8),
+      privOffset_(privSize_),
+      chaseSlot_(privSize_ / 8),
+      privSizeMask_(std::has_single_bit(privSize_) ? privSize_ - 1
+                                                   : 0)
 {
     tp_assert(total_ > 0);
 }
 
 Addr
-InstrStream::privateAddress()
+InstrStream::privateAddress(Rng &rng, Addr &cursor)
 {
     const MemPattern &p = prof_.pattern;
     switch (p.kind) {
       case MemPatternKind::Sequential:
-        cursor_ = (cursor_ + 8) % privSize_;
-        return privBase_ + cursor_;
+        cursor = wrapPriv(cursor + 8);
+        return privBase_ + cursor;
       case MemPatternKind::Strided:
-        cursor_ = (cursor_ + p.strideBytes) % privSize_;
-        return privBase_ + cursor_;
+        cursor = wrapPriv(cursor + p.strideBytes);
+        return privBase_ + cursor;
       case MemPatternKind::RandomUniform:
-        return privBase_ + rng_.nextBounded(privSize_);
+        return privBase_ + privOffset_.sample(rng);
       case MemPatternKind::Zipf: {
-        const Addr lines = std::max<Addr>(privSize_ / kLine, 1);
-        return privBase_ + rng_.zipf(lines, p.zipfS) * kLine +
-               rng_.nextBounded(kLine);
+        // Draw order (line before offset) preserves the evaluation
+        // order the pre-sampler formulation compiled to.
+        const Addr line = privZipf_.sample(rng);
+        return privBase_ + line * kLine + lineOffset_.sample(rng);
       }
       case MemPatternKind::PointerChase:
-        return privBase_ + rng_.nextBounded(privSize_ / 8) * 8;
+        return privBase_ + chaseSlot_.sample(rng) * 8;
     }
     panic("unreachable memory pattern kind");
 }
 
 Addr
-InstrStream::sharedAddress()
+InstrStream::sharedAddress(Rng &rng)
 {
     // Shared accesses model cross-task data reuse: hot lines are
     // selected with Zipf skew so a few lines (reduction variables,
     // histogram bins, hot tiles) dominate.
-    const Addr line = rng_.zipf(sharedLines_, prof_.pattern.zipfS);
-    return sharedBase_ + line * kLine + rng_.nextBounded(kLine / 8) * 8;
+    const Addr line = sharedZipf_.sample(rng);
+    return sharedBase_ + line * kLine + sharedWord_.sample(rng) * 8;
 }
 
 std::uint32_t
-InstrStream::drawDepDist()
+InstrStream::drawDepDist(Rng &rng)
 {
-    if (rng_.bernoulli(prof_.indepFrac))
+    if (indepSampler_.sample(rng))
         return 0;
-    // Uniform on [1, 2*ilpMean]: same mean as a geometric with mean
-    // ilpMean at a fraction of the per-instruction cost.
-    const auto span =
-        std::max<std::uint64_t>(
-            static_cast<std::uint64_t>(2.0 * prof_.ilpMean), 1);
     const auto d =
-        static_cast<std::uint32_t>(1 + rng_.nextBounded(span));
+        static_cast<std::uint32_t>(1 + depBounded_.sample(rng));
     return std::min<std::uint32_t>(d, 64);
 }
 
-bool
-InstrStream::next(Instr &out)
+InstCount
+InstrStream::fillBlock(Instr *__restrict out, InstCount max)
 {
-    if (produced_ >= total_)
-        return false;
-    ++produced_;
-    ++sinceLastMem_;
+    const InstCount n = std::min(max, total_ - produced_);
+    // Work on local copies of the mutable generator state: writes
+    // through `out` could alias the members as far as the compiler
+    // knows, so locals keep the xoshiro words, the walk cursor and
+    // the memory-distance counter in registers across the block
+    // (`__restrict` backs the same promise for the buffer itself).
+    Rng rng = rng_;
+    Addr cursor = cursor_;
+    std::uint64_t since_last_mem = sinceLastMem_;
+    const bool chase =
+        prof_.pattern.kind == MemPatternKind::PointerChase;
 
-    const double u = rng_.uniform01();
-    const double mem_frac = prof_.loadFrac + prof_.storeFrac;
+    for (InstCount i = 0; i < n; ++i) {
+        Instr &o = out[i];
+        ++since_last_mem;
 
-    if (u < mem_frac) {
-        const bool is_load = u < prof_.loadFrac;
-        out.cls = is_load ? InstrClass::Load : InstrClass::Store;
-        out.execLat = kMemBaseLat;
-        const bool shared =
-            rng_.bernoulli(prof_.pattern.sharedFrac);
-        out.addr = shared ? sharedAddress() : privateAddress();
-        if (is_load &&
-            prof_.pattern.kind == MemPatternKind::PointerChase &&
-            !shared) {
-            // Serialized dependent loads: depend on the previous
-            // memory operation, capped to the dependence window.
-            out.depDist = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(sinceLastMem_, 64));
-        } else if (is_load && rng_.bernoulli(0.35)) {
-            // Loads are often address-independent array accesses
-            // (induction-variable indexing) — extra MLP.
-            out.depDist = 0;
-        } else {
-            out.depDist = drawDepDist();
+        const std::uint64_t k = rng.next53();
+
+        // Test the (most likely) arithmetic remainder first; the
+        // three tests partition the draw space exactly as the
+        // cumulative comparisons they replace.
+        if (k >= branchThreshold_) {
+            const bool fp = fpSampler_.sample(rng);
+            const bool mul = mulSampler_.sample(rng);
+            const unsigned idx = (fp ? 2u : 0u) | (mul ? 1u : 0u);
+            static constexpr InstrClass kArithCls[4] = {
+                InstrClass::IntAlu, InstrClass::IntMul,
+                InstrClass::FpAlu, InstrClass::FpMul};
+            static constexpr std::uint8_t kArithLat[4] = {
+                kIntAluLat, kIntMulLat, kFpAluLat, kFpMulLat};
+            o.cls = kArithCls[idx];
+            o.execLat = kArithLat[idx];
+            o.depDist = drawDepDist(rng);
+            o.addr = 0;
+            continue;
         }
-        sinceLastMem_ = 0;
-        return true;
-    }
 
-    if (u < mem_frac + prof_.branchFrac) {
-        out.cls = InstrClass::Branch;
-        out.execLat = kBranchLat;
-        out.depDist = drawDepDist();
-        out.addr = 0;
-        return true;
-    }
+        if (k < memThreshold_) {
+            const bool is_load = k < loadThreshold_;
+            o.cls = is_load ? InstrClass::Load : InstrClass::Store;
+            o.execLat = kMemBaseLat;
+            const bool shared = sharedSampler_.sample(rng);
+            o.addr = shared ? sharedAddress(rng)
+                            : privateAddress(rng, cursor);
+            if (is_load && chase && !shared) {
+                // Serialized dependent loads: depend on the previous
+                // memory operation, capped to the dependence window.
+                o.depDist = static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(since_last_mem, 64));
+            } else if (is_load && mlpSampler_.sample(rng)) {
+                o.depDist = 0;
+            } else {
+                o.depDist = drawDepDist(rng);
+            }
+            since_last_mem = 0;
+            continue;
+        }
 
-    // Arithmetic remainder.
-    const bool fp = rng_.bernoulli(prof_.fpFrac);
-    const bool mul = rng_.bernoulli(prof_.mulFrac);
-    if (fp) {
-        out.cls = mul ? InstrClass::FpMul : InstrClass::FpAlu;
-        out.execLat = mul ? kFpMulLat : kFpAluLat;
-    } else {
-        out.cls = mul ? InstrClass::IntMul : InstrClass::IntAlu;
-        out.execLat = mul ? kIntMulLat : kIntAluLat;
+        o.cls = InstrClass::Branch;
+        o.execLat = kBranchLat;
+        o.depDist = drawDepDist(rng);
+        o.addr = 0;
     }
-    out.depDist = drawDepDist();
-    out.addr = 0;
-    return true;
+    rng_ = rng;
+    cursor_ = cursor;
+    sinceLastMem_ = since_last_mem;
+    produced_ += n;
+    return n;
 }
 
 } // namespace tp::trace

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Golden-report determinism guard (`ctest -L golden`).
+#
+# The plans under tests/golden/ were saved by figure drivers at the
+# commit *before* the hot-path optimizations (PR 5) and are replayed
+# here through the generic replay_plan executor. The deterministic
+# prefix of the CSV report — every column except the two host-timing
+# ones — must match the checked-in golden byte for byte. Any change
+# to RNG draw order, instruction synthesis, cache/coherence
+# behaviour or engine event scheduling trips this test; timing-only
+# work (the point of perf PRs) does not.
+#
+# Regenerating a golden (after an *intentional* behaviour change):
+#   fig07_periodic_highperf --benchmarks=histogram,sparse-matrix-vector-multiplication \
+#       --scale=0.02 --save-plan=tests/golden/fig07_histogram_spmv.tpplan
+#   replay_plan --plan=tests/golden/fig07_histogram_spmv.tpplan --csv=/tmp/fig07.csv
+#   sed -E 's/(,[^,]*){2}$//' /tmp/fig07.csv > tests/golden/fig07_histogram_spmv.golden.csv
+# (fig10_lazy_lowpower for the second fixture), and say why in the PR.
+#
+# Usage: golden_digest_smoke.sh <replay-plan-binary> <golden-dir>
+set -euo pipefail
+
+replay="$1"
+golden_dir="$2"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+status=0
+for plan in "$golden_dir"/*.tpplan; do
+    name="$(basename "$plan" .tpplan)"
+    golden="$golden_dir/$name.golden.csv"
+    test -f "$golden"
+
+    "$replay" --plan="$plan" --csv="$work/$name.csv" \
+        >"$work/$name.out" 2>&1
+
+    # Strip the two host-timing columns (they are last by design —
+    # see CsvSink) and compare with the checked-in golden.
+    sed -E 's/(,[^,]*){2}$//' "$work/$name.csv" \
+        >"$work/$name.stripped.csv"
+    if ! diff -u "$golden" "$work/$name.stripped.csv"; then
+        echo "golden mismatch: $name (see diff above)" >&2
+        status=1
+    else
+        digest="$(sha256sum <"$work/$name.stripped.csv" | cut -d' ' -f1)"
+        echo "golden ok: $name digest=$digest"
+    fi
+done
+
+exit $status

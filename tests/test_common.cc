@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/statistics.hh"
@@ -414,6 +417,71 @@ TEST(Logging, AssertMacroFires)
 {
     EXPECT_THROW([] { tp_assert(1 == 2); }(), SimError);
     EXPECT_NO_THROW([] { tp_assert(1 == 1); }());
+}
+
+TEST(FlatMap64, InsertFindUpdateClear)
+{
+    FlatMap64<std::uint64_t> m(16);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(42), nullptr);
+
+    m[42] = 7;
+    EXPECT_EQ(m.size(), 1u);
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 7u);
+
+    // operator[] on an existing key returns the same slot.
+    m[42] |= 8;
+    EXPECT_EQ(*m.find(42), 15u);
+    EXPECT_EQ(m.size(), 1u);
+
+    // Absent key default-constructs.
+    EXPECT_EQ(m[99], 0u);
+    EXPECT_EQ(m.size(), 2u);
+
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(42), nullptr);
+}
+
+TEST(FlatMap64, GrowsPastInitialCapacityAndKeepsEntries)
+{
+    FlatMap64<std::uint64_t> m(16);
+    // Dense and colliding keys, far above the initial capacity.
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        m[i * 64] = i;
+    EXPECT_EQ(m.size(), 10000u);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        ASSERT_NE(m.find(i * 64), nullptr) << i;
+        EXPECT_EQ(*m.find(i * 64), i);
+    }
+    EXPECT_EQ(m.find(63), nullptr);
+    EXPECT_GE(m.capacity(), 10000u);
+}
+
+TEST(FlatMap64, MatchesReferenceMapUnderRandomMix)
+{
+    FlatMap64<std::uint64_t> m;
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t key = rng.nextBounded(4096) * 977;
+        if (rng.bernoulli(0.7)) {
+            const std::uint64_t val = rng.next();
+            m[key] = val;
+            ref[key] = val;
+        } else {
+            const auto it = ref.find(key);
+            std::uint64_t *p = m.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(p, nullptr);
+            } else {
+                ASSERT_NE(p, nullptr);
+                EXPECT_EQ(*p, it->second);
+            }
+        }
+    }
+    EXPECT_EQ(m.size(), ref.size());
 }
 
 } // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Draw-equivalence battery for the precomputed Rng samplers.
+ *
+ * The hot-path overhaul (PR 5) replaced per-draw distribution math
+ * with precomputed samplers that must be *draw-for-draw identical*
+ * to the naive formulations — same values, same number of next()
+ * consumptions — or replayed experiments silently diverge. Each
+ * test runs two generators with the same seed in lockstep, one
+ * through the original Rng call, one through the sampler, over
+ * millions of draws including the edge values (p ∈ {0, 1} and
+ * beyond, s ≈ 1.0, n = 1, bounds with high rejection probability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tp {
+namespace {
+
+/** Lockstep comparison of bernoulli(p) against its sampler. */
+void
+expectBernoulliEquivalent(double p, int draws)
+{
+    Rng naive(0x5eed + 17);
+    Rng fast(0x5eed + 17);
+    const Rng::BernoulliSampler sampler(p);
+    for (int i = 0; i < draws; ++i) {
+        ASSERT_EQ(naive.bernoulli(p), sampler.sample(fast))
+            << "p=" << p << " draw " << i;
+    }
+    // Same consumption: the generators must still agree.
+    ASSERT_EQ(naive.next(), fast.next()) << "p=" << p;
+}
+
+TEST(BernoulliSampler, MatchesUniformComparisonOverMillions)
+{
+    expectBernoulliEquivalent(0.35, 2'000'000);
+    expectBernoulliEquivalent(0.5, 2'000'000);
+}
+
+TEST(BernoulliSampler, EdgeProbabilities)
+{
+    // p = 0 and p = 1 (and out-of-range values) must behave like
+    // `uniform01() < p`: never / always / never.
+    for (double p : {0.0, 1.0, -0.25, 2.0, -0.0})
+        expectBernoulliEquivalent(p, 100'000);
+    // NaN: `u < NaN` is false.
+    expectBernoulliEquivalent(
+        std::numeric_limits<double>::quiet_NaN(), 10'000);
+}
+
+TEST(BernoulliSampler, ExtremeAndDenormalProbabilities)
+{
+    for (double p :
+         {1e-12, 1.0 - 1e-12, 5e-324 /* min denormal */,
+          std::nextafter(1.0, 0.0), std::nextafter(0.0, 1.0),
+          0x1.0p-53, std::nextafter(0x1.0p-53, 0.0), 0.9999999,
+          1.0000000000000002 /* nextafter(1, 2) */})
+        expectBernoulliEquivalent(p, 200'000);
+}
+
+TEST(BernoulliSampler, ThresholdIsExactCeiling)
+{
+    // T must be the smallest integer with T * 2^-53 >= p — i.e.
+    // (T-1) * 2^-53 < p <= T * 2^-53 — for every in-range p.
+    constexpr double kTwoM53 = 0x1.0p-53;
+    for (double p :
+         {0.35, 0.5, 0.2, 0.28, 1e-12, 1.0 - 1e-12, 0x1.0p-53,
+          0x1.8p-53, 5e-324, 0.9999999, std::nextafter(1.0, 0.0)}) {
+        const std::uint64_t t =
+            Rng::BernoulliSampler(p).threshold();
+        if (t > 0) {
+            EXPECT_LT(static_cast<double>(t - 1) * kTwoM53, p)
+                << "p=" << p;
+        }
+        if (t < (1ULL << 53)) {
+            EXPECT_GE(static_cast<double>(t) * kTwoM53, p)
+                << "p=" << p;
+        }
+    }
+}
+
+/** Lockstep comparison of zipf(n, s) against its sampler. */
+void
+expectZipfEquivalent(std::uint64_t n, double s, int draws)
+{
+    Rng naive(0xabba + n);
+    Rng fast(0xabba + n);
+    const Rng::ZipfSampler sampler(n, s);
+    for (int i = 0; i < draws; ++i) {
+        ASSERT_EQ(naive.zipf(n, s), sampler.sample(fast))
+            << "n=" << n << " s=" << s << " draw " << i;
+    }
+    ASSERT_EQ(naive.next(), fast.next()) << "n=" << n << " s=" << s;
+}
+
+TEST(ZipfSampler, MatchesRngZipfOverMillions)
+{
+    expectZipfEquivalent(16384, 0.8, 1'000'000);
+    expectZipfEquivalent(1000, 0.9, 1'000'000);
+}
+
+TEST(ZipfSampler, EdgeParameters)
+{
+    expectZipfEquivalent(1, 0.8, 100'000);   // n = 1: always rank 0
+    expectZipfEquivalent(1, 1.0, 100'000);
+    expectZipfEquivalent(64, 1.0, 300'000);  // singularity guard
+    expectZipfEquivalent(64, std::nextafter(1.0, 2.0), 100'000);
+    expectZipfEquivalent(64, std::nextafter(1.0, 0.0), 100'000);
+    expectZipfEquivalent(1000, 1.0 + 1e-9, 100'000);
+    expectZipfEquivalent(2, 1e-9, 100'000);  // s -> 0: ~uniform
+    expectZipfEquivalent(100, 0.5, 100'000);
+    expectZipfEquivalent(7, 1.2, 100'000);   // s > 1
+    expectZipfEquivalent(1ULL << 20, 0.99, 100'000);
+}
+
+/** Lockstep comparison of nextBounded against BoundedSampler. */
+void
+expectBoundedEquivalent(std::uint64_t bound, int draws)
+{
+    Rng naive(0xb0b + bound);
+    Rng fast(0xb0b + bound);
+    const Rng::BoundedSampler sampler(bound);
+    for (int i = 0; i < draws; ++i) {
+        ASSERT_EQ(naive.nextBounded(bound), sampler.sample(fast))
+            << "bound=" << bound << " draw " << i;
+    }
+    ASSERT_EQ(naive.next(), fast.next()) << "bound=" << bound;
+}
+
+TEST(BoundedSampler, MatchesNextBounded)
+{
+    for (std::uint64_t bound :
+         {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+          std::uint64_t{7}, std::uint64_t{8}, std::uint64_t{12},
+          std::uint64_t{64}, std::uint64_t{100},
+          std::uint64_t{4096}, std::uint64_t{1} << 16,
+          (std::uint64_t{1} << 16) + 1})
+        expectBoundedEquivalent(bound, 300'000);
+}
+
+TEST(BoundedSampler, HighRejectionBoundsStayInLockstep)
+{
+    // Bounds just above 2^63 reject ~half of all raw draws, so this
+    // exercises the rejection loop's consumption equivalence hard.
+    expectBoundedEquivalent((1ULL << 63) + 5, 50'000);
+    expectBoundedEquivalent(std::numeric_limits<std::uint64_t>::max(),
+                            50'000);
+}
+
+TEST(BoundedSampler, PowerOfTwoMaskMatchesModulo)
+{
+    for (std::uint64_t bound = 1; bound <= (1ULL << 20);
+         bound <<= 1)
+        expectBoundedEquivalent(bound, 20'000);
+}
+
+} // namespace
+} // namespace tp

@@ -11,9 +11,11 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/statistics.hh"
 #include "cpu/arch_config.hh"
 #include "sim/engine.hh"
+#include "sim/event_queue.hh"
 #include "sim/noise.hh"
 #include "trace/trace_builder.hh"
 
@@ -277,6 +279,97 @@ TEST(Noise, NeverReturnsZero)
     NoiseModel n(cfg);
     for (int i = 0; i < 1000; ++i)
         EXPECT_GE(n.perturb(1), 1u);
+}
+
+/**
+ * Reference model for CoreEventQueue: the linear scan the queue
+ * replaced in Engine::run, including its lowest-id tie-break.
+ */
+ThreadId
+scanMin(const std::vector<std::pair<bool, Cycles>> &cores)
+{
+    ThreadId best = kNoThread;
+    Cycles best_time = kNoCycle;
+    for (ThreadId c = 0; c < cores.size(); ++c) {
+        if (!cores[c].first)
+            continue;
+        if (cores[c].second < best_time) {
+            best_time = cores[c].second;
+            best = c;
+        }
+    }
+    return best;
+}
+
+TEST(CoreEventQueue, MatchesLinearScanUnderRandomOperations)
+{
+    constexpr std::uint32_t kCores = 23;
+    CoreEventQueue q(kCores);
+    // (queued?, key) per core — the naive model.
+    std::vector<std::pair<bool, Cycles>> model(kCores, {false, 0});
+    Rng rng(99);
+
+    for (int step = 0; step < 200000; ++step) {
+        const auto core =
+            static_cast<ThreadId>(rng.nextBounded(kCores));
+        switch (rng.nextBounded(4)) {
+          case 0:
+          case 1: {
+            // Small key range on purpose: exercises ties, which
+            // must resolve to the lowest core id like the scan.
+            const Cycles key = rng.nextBounded(50);
+            q.update(core, key);
+            model[core] = {true, key};
+            break;
+          }
+          case 2:
+            q.remove(core);
+            model[core] = {false, 0};
+            break;
+          default:
+            break;
+        }
+        const ThreadId expect = scanMin(model);
+        ASSERT_EQ(q.empty(), expect == kNoThread) << "step " << step;
+        if (expect != kNoThread) {
+            ASSERT_EQ(q.top(), expect) << "step " << step;
+            ASSERT_EQ(q.topKey(), model[expect].second);
+        }
+    }
+}
+
+TEST(CoreEventQueue, RemoveIsIdempotentAndUpdateReinserts)
+{
+    CoreEventQueue q(4);
+    EXPECT_TRUE(q.empty());
+    q.remove(2); // not queued: no-op
+    EXPECT_TRUE(q.empty());
+    q.update(1, 10);
+    q.update(3, 5);
+    EXPECT_EQ(q.top(), 3u);
+    q.update(3, 50); // move up
+    EXPECT_EQ(q.top(), 1u);
+    q.remove(1);
+    EXPECT_EQ(q.top(), 3u);
+    q.remove(3);
+    EXPECT_TRUE(q.empty());
+    q.update(0, 7); // reinsert after removal
+    EXPECT_EQ(q.top(), 0u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.contains(0));
+    EXPECT_FALSE(q.contains(1));
+}
+
+TEST(CoreEventQueue, TieBreaksOnLowestCoreId)
+{
+    CoreEventQueue q(8);
+    for (ThreadId c = 8; c-- > 0;)
+        q.update(c, 42);
+    EXPECT_EQ(q.top(), 0u);
+    q.remove(0);
+    EXPECT_EQ(q.top(), 1u);
+    q.update(5, 41);
+    EXPECT_EQ(q.top(), 5u);
 }
 
 } // namespace

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "trace/instr_stream.hh"
@@ -223,6 +225,56 @@ TEST(InstrStream, DeterministicReplay)
         EXPECT_EQ(a.addr, b.addr);
         EXPECT_EQ(a.depDist, b.depDist);
         EXPECT_EQ(a.execLat, b.execLat);
+    }
+}
+
+TEST(InstrStream, FillBlockMatchesNextForEveryPattern)
+{
+    // The batch API must emit exactly the sequence per-instruction
+    // next() calls produce, for every memory pattern and for chunk
+    // sizes that do and do not divide the stream length.
+    const InstCount chunks[] = {1, 2, 3, 7, 64, 256, 1000};
+    for (int kind = 0; kind < 5; ++kind) {
+        for (double shared_frac : {0.0, 0.4}) {
+            TraceBuilder b("fb", 1);
+            KernelProfile k = basicProfile();
+            k.pattern.kind = static_cast<MemPatternKind>(kind);
+            k.pattern.sharedFrac = shared_frac;
+            k.loadFrac = 0.3;
+            k.storeFrac = 0.1;
+            const auto ty = b.addTaskType("t", k);
+            b.createTask(ty, 12345);
+            const TaskTrace t = b.build();
+
+            InstrStream ref(t.type(0), t.instance(0));
+            InstrStream blk(t.type(0), t.instance(0));
+            std::vector<Instr> buf(1000);
+            std::size_t chunk_i = 0;
+            InstCount total = 0;
+            while (!blk.done()) {
+                const InstCount want =
+                    chunks[chunk_i++ % std::size(chunks)];
+                const InstCount got =
+                    blk.fillBlock(buf.data(), want);
+                ASSERT_GT(got, 0u);
+                for (InstCount i = 0; i < got; ++i) {
+                    Instr expect;
+                    ASSERT_TRUE(ref.next(expect));
+                    ASSERT_EQ(static_cast<int>(expect.cls),
+                              static_cast<int>(buf[i].cls))
+                        << "kind=" << kind << " instr " << total + i;
+                    ASSERT_EQ(expect.addr, buf[i].addr);
+                    ASSERT_EQ(expect.depDist, buf[i].depDist);
+                    ASSERT_EQ(expect.execLat, buf[i].execLat);
+                }
+                total += got;
+                ASSERT_EQ(blk.produced(), total);
+            }
+            Instr leftover;
+            EXPECT_FALSE(ref.next(leftover));
+            EXPECT_EQ(blk.fillBlock(buf.data(), 16), 0u);
+            EXPECT_EQ(total, t.instance(0).instCount);
+        }
     }
 }
 

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Fixed-scenario performance smoke: the simulator's speed trajectory.
+ *
+ *   ./perf_smoke [--out=BENCH_5.json] [--repeat=N] [--scale=S]
+ *
+ * Times a small fixed suite — three workloads, each in full-detailed
+ * and lazy-sampled mode, at fixed scale/seed/threads — and emits a
+ * JSON report with host wall seconds and detailed-mode simulation
+ * throughput (instructions per second) per scenario, plus suite
+ * totals. The simulated metrics (total cycles, instruction counts)
+ * are deterministic, so the report doubles as a coarse regression
+ * check; the timing fields are what the BENCH_*.json trajectory
+ * tracks across PRs. Each scenario runs `--repeat` times (default 3)
+ * and reports the fastest run, damping scheduler noise.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "sampling/taskpoint.hh"
+#include "workloads/workloads.hh"
+
+using namespace tp;
+
+namespace {
+
+struct Scenario
+{
+    const char *workload;
+    bool sampled;
+};
+
+/**
+ * The fixed suite: a coherence-heavy kernel (histogram), an
+ * irregular memory-bound one (spmv) and a pointer-chasing one
+ * (n-body), detailed and sampled each. Fixed seeds, threads and
+ * scale make runs comparable across PRs on one machine.
+ */
+constexpr Scenario kScenarios[] = {
+    {"histogram", false},
+    {"histogram", true},
+    {"sparse-matrix-vector-multiplication", false},
+    {"sparse-matrix-vector-multiplication", true},
+    {"n-body", false},
+    {"n-body", true},
+};
+
+struct Measured
+{
+    std::string name;
+    std::string mode;
+    double wallSeconds = 0.0;
+    InstCount detailedInsts = 0;
+    InstCount fastInsts = 0;
+    Cycles totalCycles = 0;
+    double detailedInstsPerSec = 0.0;
+};
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(
+        argc, argv,
+        {{"out", "JSON report path (default BENCH_5.json)"},
+         {"repeat",
+          "timed repetitions per scenario, fastest wins (default 3)"},
+         {"scale", "workload scale override (default 0.02)"}});
+    const std::string out_path =
+        args.getString("out", "BENCH_5.json");
+    const std::uint64_t repeat =
+        std::max<std::uint64_t>(args.getUint("repeat", 3), 1);
+    const double scale = args.getDouble("scale", 0.02);
+
+    work::WorkloadParams wp;
+    wp.scale = scale;
+    wp.seed = 42;
+
+    harness::RunSpec spec;
+    spec.arch = cpu::highPerformanceConfig();
+    spec.threads = 8;
+
+    std::vector<Measured> rows;
+    for (const Scenario &sc : kScenarios) {
+        const trace::TaskTrace trace =
+            work::generateWorkload(sc.workload, wp);
+        Measured m;
+        m.name = sc.workload;
+        m.mode = sc.sampled ? "sampled" : "detailed";
+        m.wallSeconds = -1.0;
+        for (std::uint64_t r = 0; r < repeat; ++r) {
+            const double t0 = nowSeconds();
+            sim::SimResult res =
+                sc.sampled
+                    ? harness::runSampled(
+                          trace, spec,
+                          sampling::SamplingParams::lazy())
+                          .result
+                    : harness::runDetailed(trace, spec);
+            const double wall = nowSeconds() - t0;
+            if (m.wallSeconds < 0.0 || wall < m.wallSeconds)
+                m.wallSeconds = wall;
+            // Deterministic across repetitions by construction.
+            m.detailedInsts = res.detailedInsts;
+            m.fastInsts = res.fastInsts;
+            m.totalCycles = res.totalCycles;
+        }
+        m.detailedInstsPerSec =
+            m.wallSeconds > 0.0
+                ? double(m.detailedInsts) / m.wallSeconds
+                : 0.0;
+        rows.push_back(m);
+        harness::progress(strprintf(
+            "%s/%s: %.3fs, %.2fM detailed insts/s", m.name.c_str(),
+            m.mode.c_str(), m.wallSeconds,
+            m.detailedInstsPerSec / 1e6));
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write %s", out_path.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n");
+    std::fprintf(f, "  \"pr\": 5,\n");
+    std::fprintf(f, "  \"threads\": %u,\n", spec.threads);
+    std::fprintf(f, "  \"scale\": %g,\n", scale);
+    std::fprintf(f, "  \"repeat\": %llu,\n",
+                 static_cast<unsigned long long>(repeat));
+    std::fprintf(f, "  \"scenarios\": [\n");
+    double total_wall = 0.0;
+    double detailed_wall = 0.0;
+    InstCount detailed_insts = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Measured &m = rows[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"wall_seconds\": %.6f, \"total_cycles\": %llu, "
+            "\"detailed_insts\": %llu, \"fast_insts\": %llu, "
+            "\"detailed_insts_per_sec\": %.0f}%s\n",
+            m.name.c_str(), m.mode.c_str(), m.wallSeconds,
+            static_cast<unsigned long long>(m.totalCycles),
+            static_cast<unsigned long long>(m.detailedInsts),
+            static_cast<unsigned long long>(m.fastInsts),
+            m.detailedInstsPerSec,
+            i + 1 < rows.size() ? "," : "");
+        total_wall += m.wallSeconds;
+        if (m.mode == "detailed") {
+            detailed_wall += m.wallSeconds;
+            detailed_insts += m.detailedInsts;
+        }
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
+    std::fprintf(f, "  \"detailed_wall_seconds\": %.6f,\n",
+                 detailed_wall);
+    std::fprintf(
+        f, "  \"detailed_insts_per_sec\": %.0f\n",
+        detailed_wall > 0.0 ? double(detailed_insts) / detailed_wall
+                            : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    harness::progress(strprintf(
+        "suite: %.3fs total, %.2fM detailed insts/s -> %s",
+        total_wall, detailed_wall > 0.0
+                        ? double(detailed_insts) / detailed_wall / 1e6
+                        : 0.0,
+        out_path.c_str()));
+    return 0;
+}
