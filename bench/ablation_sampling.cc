@@ -6,6 +6,10 @@
  *  - concurrency-trigger hysteresis K and dead-band tolerance
  *  - rare-type sampling cutoff R
  *  - runtime scheduler policy (FIFO / work stealing / locality)
+ *  - sampling-policy frontier: lazy / periodic vs. the adaptive
+ *    policy at 2%, 1% and 0.5% confidence targets, reporting each
+ *    run's measured error, its own reported CI half-width and the
+ *    detail fraction (cost)
  *
  * Evaluated with lazy sampling at 16 threads on four benchmarks
  * covering the main behaviour classes (regular kernel, decreasing
@@ -131,6 +135,25 @@ main(int argc, char **argv)
         rows.push_back({3, schedName(sched),
                         sampling::SamplingParams::lazy(), sched});
     }
+    // The adaptive frontier: fixed policies vs. the variance-aware
+    // adaptive policy at three confidence targets. Cells add the
+    // reported CI half-width and the detail fraction, so an adaptive
+    // point can be checked against its own target and against the
+    // cost of the fixed policies.
+    rows.push_back({4, "lazy", sampling::SamplingParams::lazy(),
+                    rt::SchedulerKind::Fifo});
+    for (std::uint64_t p : {50, 250}) {
+        rows.push_back({4, "periodic P=" + std::to_string(p),
+                        sampling::SamplingParams::periodic(p),
+                        rt::SchedulerKind::Fifo});
+    }
+    for (double target : {0.02, 0.01, 0.005}) {
+        rows.push_back({4,
+                        "adaptive " + fmtDouble(100.0 * target, 1) +
+                            "%",
+                        sampling::SamplingParams::adaptive(target),
+                        rt::SchedulerKind::Fifo});
+    }
 
     // All sampled runs of all rows in one plan.
     harness::ExperimentPlan samPlan;
@@ -160,8 +183,28 @@ main(int argc, char **argv)
             kBenchmarks[r.index % kBenchmarks.size()];
         const harness::ErrorSpeedup es = harness::compare(
             *refs.at({name, rows[row].sched}), r.sampled->result);
-        cells[row].push_back(fmtDouble(es.errorPct, 2) + "% / " +
-                             fmtDouble(es.wallSpeedup, 1) + "x");
+        if (rows[row].table == 4) {
+            // Frontier cells: measured error, the run's own reported
+            // CI half-width (adaptive only), and the detail fraction
+            // as the machine-independent cost.
+            const sampling::AdaptiveDiagnostics &d =
+                r.sampled->adaptive;
+            // cutoffStopped with a zero half-width means the CI was
+            // never computable (a stratum stayed under 2 samples).
+            std::string ci = "-";
+            if (d.enabled) {
+                ci = d.cutoffStopped && d.finalRelHalfWidth == 0.0
+                         ? "n/a"
+                         : fmtDouble(100.0 * d.finalRelHalfWidth, 2) +
+                               "%";
+            }
+            cells[row].push_back(fmtDouble(es.errorPct, 2) + "% / " +
+                                 ci + " / " +
+                                 fmtDouble(es.detailFraction, 3));
+        } else {
+            cells[row].push_back(fmtDouble(es.errorPct, 2) + "% / " +
+                                 fmtDouble(es.wallSpeedup, 1) + "x");
+        }
     });
     runner.run(samPlan, sink);
     bench::reportCacheStats(opts);
@@ -170,16 +213,22 @@ main(int argc, char **argv)
     for (const auto &n : kBenchmarks)
         header.push_back(n + " (err/speedup)");
 
-    const char *titles[4] = {
+    std::vector<std::string> frontierHeader = {"configuration"};
+    for (const auto &n : kBenchmarks)
+        frontierHeader.push_back(n + " (err/CI/detail)");
+
+    const char *titles[5] = {
         "Ablation: concurrency-trigger hysteresis K "
         "(lazy, 16 threads)",
         "Ablation: concurrency dead-band tolerance",
         "Ablation: rare-type sampling cutoff R",
-        "Ablation: runtime scheduler policy (lazy defaults)"};
+        "Ablation: runtime scheduler policy (lazy defaults)",
+        "Ablation: adaptive sampling frontier (measured error / "
+        "reported CI half-width / detail fraction)"};
 
-    for (std::size_t table = 0; table < 4; ++table) {
+    for (std::size_t table = 0; table < 5; ++table) {
         TextTable t(titles[table]);
-        t.setHeader(header);
+        t.setHeader(table == 4 ? frontierHeader : header);
         for (std::size_t row = 0; row < rows.size(); ++row) {
             if (rows[row].table != table)
                 continue;
@@ -189,7 +238,7 @@ main(int argc, char **argv)
             t.addRow(line);
         }
         t.print();
-        if (table != 3)
+        if (table != 4)
             std::printf("\n");
     }
     return 0;

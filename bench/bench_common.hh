@@ -53,6 +53,13 @@ struct FigureOptions
     std::string planFile;
     /** Serialize the plan about to run to this path. */
     std::string savePlanFile;
+    /**
+     * Adaptive sampling (--target-error): when > 0, error/speedup
+     * figures replace their figure-default sampling policy with
+     * SamplingParams::adaptive(targetError) and append a
+     * per-run sampling-diagnostics table. 0 = figure default.
+     */
+    double targetError = 0.0;
 };
 
 /** Whether a figure driver supports --plan/--save-plan. */
@@ -104,6 +111,7 @@ parseFigureOptions(int argc, char **argv,
         workerBinCliOption(),
         cacheDirCliOption(),
         cacheModeCliOption(),
+        targetErrorCliOption(),
     };
     if (plan == PlanCli::Supported) {
         options.push_back(
@@ -132,6 +140,7 @@ parseFigureOptions(int argc, char **argv,
         o.planFile = args.getString("plan", "");
         o.savePlanFile = args.getString("save-plan", "");
     }
+    o.targetError = targetErrorFlag(args);
     return o;
 }
 
@@ -363,15 +372,32 @@ runIpcVariationFigure(const std::string &title,
                 total, summarySuffix.c_str());
 }
 
+/**
+ * The sampling policy an error/speedup figure actually runs:
+ * `--target-error` overrides the figure default with the adaptive
+ * policy at that target.
+ */
+inline sampling::SamplingParams
+figureSamplingParams(const FigureOptions &opts,
+                     const sampling::SamplingParams &figure_default)
+{
+    return opts.targetError > 0.0
+               ? sampling::SamplingParams::adaptive(opts.targetError)
+               : figure_default;
+}
+
 /** One error/speedup figure (Figs. 7-10 of the paper). */
 inline void
 runErrorSpeedupFigure(const std::string &title,
                       const cpu::ArchConfig &arch,
                       const std::vector<std::uint32_t> &thread_counts,
-                      const sampling::SamplingParams &params,
+                      const sampling::SamplingParams &figure_params,
                       const FigureOptions &opts)
 {
     const work::WorkloadParams wp = figureWorkloadParams(opts);
+    const sampling::SamplingParams params =
+        figureSamplingParams(opts, figure_params);
+    const bool adaptive = params.adaptiveEnabled();
 
     TextTable errors(title + " — absolute execution-time error [%]");
     TextTable speedups(title + " — simulation speedup (wall clock)");
@@ -407,6 +433,10 @@ runErrorSpeedupFigure(const std::string &title,
     // benchmark's row completes after thread_counts.size() results.
     std::map<std::uint32_t, std::vector<double>> all_err, all_spd;
     std::vector<std::string> erow, srow;
+    TextTable diag(title + " — adaptive sampling diagnostics");
+    diag.setHeader({"run", "target", "reported CI", "meas. err",
+                    "stop cycle", "realloc", "det. samples",
+                    "detail frac", "stopped by"});
     harness::FunctionSink sink([&](harness::BatchResult &&r) {
         const std::size_t col = r.index % thread_counts.size();
         if (col == 0) {
@@ -421,6 +451,27 @@ runErrorSpeedupFigure(const std::string &title,
         if (col + 1 == thread_counts.size()) {
             errors.addRow(erow);
             speedups.addRow(srow);
+        }
+        if (adaptive && r.sampled) {
+            const sampling::AdaptiveDiagnostics &d =
+                r.sampled->adaptive;
+            std::uint64_t samples = 0;
+            for (std::uint64_t n : d.strataSamples)
+                samples += n;
+            // cutoffStopped with a zero half-width means the CI was
+            // never computable (a stratum stayed under 2 samples).
+            const std::string ci =
+                d.cutoffStopped && d.finalRelHalfWidth == 0.0
+                    ? "n/a"
+                    : fmtDouble(100.0 * d.finalRelHalfWidth, 2) + "%";
+            diag.addRow(
+                {r.label, fmtDouble(100.0 * d.targetError, 2) + "%",
+                 ci, fmtDouble(es.errorPct, 2) + "%",
+                 std::to_string(d.stopCycle),
+                 std::to_string(d.allocationRounds),
+                 std::to_string(samples),
+                 fmtDouble(es.detailFraction, 3),
+                 d.cutoffStopped ? "rare cutoff" : "CI target"});
         }
     });
     runFigurePlan(opts, plan, sink);
@@ -443,6 +494,10 @@ runErrorSpeedupFigure(const std::string &title,
     errors.print();
     std::printf("\n");
     speedups.print();
+    if (adaptive) {
+        std::printf("\n");
+        diag.print();
+    }
     if (opts.jobs > 1) {
         std::printf("note: speedups are host wall-clock ratios; with "
                     "--jobs=%zu concurrent simulations contend for "

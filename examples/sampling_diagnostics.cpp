@@ -41,7 +41,8 @@ main(int argc, char **argv)
           "task-instance count multiplier (default 0.125)"},
          {"dump",
           "also dump the first N sampled-run task records "
-          "(default 48)"}});
+          "(default 48)"},
+         targetErrorCliOption()});
     const std::string name = args.getString("workload", "canneal");
     const auto threads =
         static_cast<std::uint32_t>(args.getUint("threads", 8));
@@ -56,9 +57,15 @@ main(int argc, char **argv)
     spec.threads = threads;
     spec.recordTasks = true;
 
+    const double targetError = targetErrorFlag(args);
+    const sampling::SamplingParams params =
+        targetError > 0.0
+            ? sampling::SamplingParams::adaptive(targetError)
+            : sampling::SamplingParams::lazy();
+
     const sim::SimResult ref = harness::runDetailed(t, spec);
     const harness::SampledOutcome sam =
-        harness::runSampled(t, spec, sampling::SamplingParams::lazy());
+        harness::runSampled(t, spec, params);
     const harness::ErrorSpeedup es = harness::compare(ref, sam.result);
 
     // Reference IPC per type: overall and "early" (first 8 detailed
@@ -136,6 +143,24 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         sam.phaseLog[i].at));
     }
+    if (sam.adaptive.enabled) {
+        const sampling::AdaptiveDiagnostics &d = sam.adaptive;
+        std::printf("adaptive: target %.2f%%, reported CI %.2f%%, "
+                    "stop cycle %llu, realloc rounds %llu, stopped "
+                    "by %s\nper-stratum detailed samples:",
+                    100.0 * d.targetError,
+                    100.0 * d.finalRelHalfWidth,
+                    static_cast<unsigned long long>(d.stopCycle),
+                    static_cast<unsigned long long>(
+                        d.allocationRounds),
+                    d.cutoffStopped ? "rare cutoff" : "CI target");
+        for (std::size_t ty = 0; ty < d.strataSamples.size(); ++ty) {
+            std::printf(" %s=%llu", t.type(ty).name.c_str(),
+                        static_cast<unsigned long long>(
+                            d.strataSamples[ty]));
+        }
+        std::printf("\n");
+    }
     std::printf("\nvalid-history fill at end:");
     for (std::size_t ty = 0; ty < sam.validHistSizes.size(); ++ty) {
         std::printf(" %s=%zu", t.type(ty).name.c_str(),
@@ -204,13 +229,17 @@ main(int argc, char **argv)
                      "sampled meas", "applied fast", "#fast"});
     for (const auto &[type, ipcs] : ref_all) {
         const auto &tt = t.type(type);
-        const double early = mean(ref_early[type]);
-        const double meas = mean(sam_detailed[type]);
-        const double fast = mean(sam_fast[type]);
+        const auto &early_v = ref_early[type];
+        const auto &meas_v = sam_detailed[type];
+        const auto &fast_v = sam_fast[type];
+        const auto cell = [](const std::vector<double> &xs) {
+            return xs.empty() ? std::string("-")
+                              : fmtDouble(mean(xs), 3);
+        };
         table.addRow({tt.name, std::to_string(ipcs.size()),
-                      fmtDouble(mean(ipcs), 3), fmtDouble(early, 3),
-                      fmtDouble(meas, 3), fmtDouble(fast, 3),
-                      std::to_string(sam_fast[type].size())});
+                      cell(ipcs), cell(early_v), cell(meas_v),
+                      cell(fast_v),
+                      std::to_string(fast_v.size())});
     }
     table.print();
     return 0;

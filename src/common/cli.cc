@@ -159,6 +159,7 @@ const char *const kWorkersOption = "workers";
 const char *const kWorkerBinOption = "worker-bin";
 const char *const kCacheDirOption = "cache-dir";
 const char *const kCacheModeOption = "cache";
+const char *const kTargetErrorOption = "target-error";
 
 CliOption
 jobsCliOption()
@@ -217,6 +218,41 @@ jobsFlag(const CliArgs &args, std::size_t fallback)
             n = 1;
     }
     return n;
+}
+
+CliOption
+targetErrorCliOption()
+{
+    return {kTargetErrorOption,
+            "adaptive sampling: target relative CI half-width, as a "
+            "percentage ('1%') or fraction ('0.01'); absent = "
+            "adaptive sampling off"};
+}
+
+double
+targetErrorFlag(const CliArgs &args, double fallback)
+{
+    if (!args.has(kTargetErrorOption))
+        return fallback;
+    std::string v = args.getString(kTargetErrorOption, "");
+    bool percent = false;
+    if (!v.empty() && v.back() == '%') {
+        percent = true;
+        v.pop_back();
+    }
+    char *end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0')
+        fatal("option --%s expects a percentage like '1%%' or a "
+              "fraction like '0.01', got '%s'",
+              kTargetErrorOption,
+              args.getString(kTargetErrorOption, "").c_str());
+    const double frac = percent ? parsed / 100.0 : parsed;
+    if (!(frac > 0.0) || frac >= 1.0)
+        fatal("option --%s must be in (0%%, 100%%), got '%s'",
+              kTargetErrorOption,
+              args.getString(kTargetErrorOption, "").c_str());
+    return frac;
 }
 
 std::size_t

@@ -106,6 +106,9 @@ extern const char *const kWorkerBinOption;
 extern const char *const kCacheDirOption;
 extern const char *const kCacheModeOption;
 
+/** Canonical name of the adaptive-target option ("target-error"). */
+extern const char *const kTargetErrorOption;
+
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
 
@@ -116,6 +119,9 @@ CliOption workerBinCliOption();
 /** --cache-dir / --cache with their canonical help texts. */
 CliOption cacheDirCliOption();
 CliOption cacheModeCliOption();
+
+/** --target-error with its canonical help text. */
+CliOption targetErrorCliOption();
 
 /**
  * Worker count from `--jobs=N` / `--jobs=auto`.
@@ -134,6 +140,17 @@ std::size_t jobsFlag(const CliArgs &args, std::size_t fallback = 1);
  * kWorkersOption among its allowed options.
  */
 std::size_t workersFlag(const CliArgs &args);
+
+/**
+ * Adaptive sampling target from `--target-error=1%` / `=0.01`.
+ *
+ * Accepts a percentage (trailing '%') or a bare fraction; the result
+ * is always the fraction (0.01 for both spellings above) and must
+ * land in (0, 1). Absent means `fallback` (default 0 = adaptive
+ * sampling off). The binary must list kTargetErrorOption among its
+ * allowed options.
+ */
+double targetErrorFlag(const CliArgs &args, double fallback = 0.0);
 
 } // namespace tp
 

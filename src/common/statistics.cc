@@ -10,24 +10,47 @@ namespace tp {
 double
 mean(const std::vector<double> &xs)
 {
-    if (xs.empty())
-        return 0.0;
+    tp_assert(!xs.empty());
     double s = 0.0;
     for (double x : xs)
         s += x;
     return s / static_cast<double>(xs.size());
 }
 
+namespace {
+
+/** Centered sum of squares sum((x - mean)^2), cancellation-free. */
 double
-stddev(const std::vector<double> &xs)
+centeredSumSq(const std::vector<double> &xs)
 {
-    if (xs.size() < 2)
-        return 0.0;
     const double m = mean(xs);
     double s = 0.0;
     for (double x : xs)
         s += (x - m) * (x - m);
-    return std::sqrt(s / static_cast<double>(xs.size()));
+    return s;
+}
+
+} // namespace
+
+double
+stddev(const std::vector<double> &xs)
+{
+    tp_assert(!xs.empty());
+    return std::sqrt(centeredSumSq(xs) /
+                     static_cast<double>(xs.size()));
+}
+
+double
+sampleVariance(const std::vector<double> &xs)
+{
+    tp_assert(xs.size() >= 2);
+    return centeredSumSq(xs) / static_cast<double>(xs.size() - 1);
+}
+
+double
+sampleStddev(const std::vector<double> &xs)
+{
+    return std::sqrt(sampleVariance(xs));
 }
 
 double
@@ -119,24 +142,42 @@ RunningStats::add(double x)
         max_ = std::max(max_, x);
     }
     ++n_;
-    sum_ += x;
-    sumSq_ += x * x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
 }
 
 double
-RunningStats::variance() const
+RunningStats::mean() const
 {
-    if (n_ < 2)
-        return 0.0;
-    const double m = mean();
-    double v = sumSq_ / static_cast<double>(n_) - m * m;
-    return v < 0.0 ? 0.0 : v;
+    tp_assert(n_ > 0);
+    return mean_;
 }
 
 double
-RunningStats::stddev() const
+RunningStats::populationVariance() const
 {
-    return std::sqrt(variance());
+    tp_assert(n_ > 0);
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::populationStddev() const
+{
+    return std::sqrt(populationVariance());
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    tp_assert(n_ >= 2);
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
 }
 
 double
@@ -164,9 +205,12 @@ RunningStats::merge(const RunningStats &other)
     }
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
     n_ += other.n_;
-    sum_ += other.sum_;
-    sumSq_ += other.sumSq_;
 }
 
 } // namespace tp

@@ -5,6 +5,33 @@
  * The paper reports boxplot statistics (quartiles, 5th/95th percentile
  * whiskers, outliers) for IPC variation (Figs. 1 and 5) and
  * mean/absolute errors for the sampling evaluation (Figs. 6-10).
+ *
+ * Variance convention
+ * -------------------
+ * Two divisors exist and both are offered explicitly:
+ *
+ *  - *population* variance divides by `n` and describes the spread of
+ *    exactly the observations at hand. Use it for descriptive output
+ *    (error tables, deviation spreads).
+ *  - *sample* variance divides by `n - 1` (Bessel's correction) and is
+ *    the unbiased estimator of the variance of the distribution the
+ *    observations were drawn from. Use it for inferential math —
+ *    confidence intervals, Neyman allocation, stopping rules. With the
+ *    default history size H=4 the two differ by a factor 4/3 (~13% in
+ *    stddev terms), which is far from negligible.
+ *
+ * The legacy `variance()`/`stddev()` accessors on RunningStats were
+ * removed in favour of `populationVariance()`/`sampleVariance()` (and
+ * the matching stddevs) precisely so every caller states which one it
+ * wants. The free `stddev(vector)` stays population (descriptive use),
+ * and `sampleVariance(vector)`/`sampleStddev(vector)` cover the
+ * inferential case.
+ *
+ * Empty-input contract: every estimator here panics (throws SimError
+ * via tp_assert) when given fewer observations than it needs — mean
+ * and population stddev need one, sample variance needs two. Nothing
+ * silently returns 0.0: a fake zero variance would read as "converged"
+ * to the adaptive stopping rule.
  */
 
 #ifndef TP_COMMON_STATISTICS_HH
@@ -15,11 +42,17 @@
 
 namespace tp {
 
-/** Arithmetic mean; 0 for an empty sample. */
+/** Arithmetic mean; panics on an empty sample. */
 double mean(const std::vector<double> &xs);
 
-/** Population standard deviation; 0 for fewer than two samples. */
+/** Population standard deviation (divisor n); panics when empty. */
 double stddev(const std::vector<double> &xs);
+
+/** Unbiased sample variance (divisor n-1); panics for n < 2. */
+double sampleVariance(const std::vector<double> &xs);
+
+/** Unbiased-variance standard deviation; panics for n < 2. */
+double sampleStddev(const std::vector<double> &xs);
 
 /** Geometric mean; requires strictly positive samples. */
 double geomean(const std::vector<double> &xs);
@@ -72,7 +105,17 @@ normalizeToMeanPct(const std::vector<double> &xs, double group_mean);
 /** Relative error in percent: 100 * |value - reference| / reference. */
 double absPctError(double value, double reference);
 
-/** Online mean/min/max accumulator for streaming statistics. */
+/**
+ * Online mean/variance/min/max accumulator for streaming statistics.
+ *
+ * Internally uses Welford's algorithm: the running mean and the
+ * centered sum of squares M2 = sum((x - mean)^2) are updated per
+ * observation, so the variance never suffers the catastrophic
+ * cancellation of the naive sumSq/n - mean^2 formula (which loses all
+ * precision exactly in the IPC regime: large mean, tight spread).
+ * merge() uses Chan's pairwise-combination formula and is exact in
+ * the same sense, so per-shard accumulators can be combined.
+ */
 class RunningStats
 {
   public:
@@ -82,14 +125,20 @@ class RunningStats
     /** @return number of observations. */
     std::size_t count() const { return n_; }
 
-    /** @return running arithmetic mean (0 if empty). */
-    double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+    /** @return running arithmetic mean (panics if empty). */
+    double mean() const;
 
-    /** @return running population variance (0 if fewer than 2). */
-    double variance() const;
+    /** @return population variance, divisor n (panics if empty). */
+    double populationVariance() const;
 
-    /** @return running population standard deviation. */
-    double stddev() const;
+    /** @return population standard deviation (panics if empty). */
+    double populationStddev() const;
+
+    /** @return unbiased sample variance, divisor n-1 (panics n<2). */
+    double sampleVariance() const;
+
+    /** @return unbiased-variance standard deviation (panics n<2). */
+    double sampleStddev() const;
 
     /** @return smallest observation (panics if empty). */
     double min() const;
@@ -97,13 +146,13 @@ class RunningStats
     /** @return largest observation (panics if empty). */
     double max() const;
 
-    /** Merge another accumulator into this one. */
+    /** Merge another accumulator into this one (Chan's formula). */
     void merge(const RunningStats &other);
 
   private:
     std::size_t n_ = 0;
-    double sum_ = 0.0;
-    double sumSq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; //!< centered sum of squares sum((x - mean)^2)
     double min_ = 0.0;
     double max_ = 0.0;
 };

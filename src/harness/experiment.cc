@@ -42,6 +42,7 @@ runSampled(const trace::TaskTrace &trace, const RunSpec &spec,
     out.phaseLog = controller.phaseLog();
     for (const sampling::TypeProfile &p : controller.profiles())
         out.validHistSizes.push_back(p.valid().size());
+    out.adaptive = controller.adaptiveDiagnostics();
     return out;
 }
 

@@ -54,6 +54,8 @@ struct SampledOutcome
     std::vector<sampling::PhaseChange> phaseLog;
     /** Valid-history fill level per type at simulation end. */
     std::vector<std::size_t> validHistSizes;
+    /** Adaptive-policy diagnostics (defaults when disabled). */
+    sampling::AdaptiveDiagnostics adaptive;
 };
 
 /** Run a TaskPoint-sampled simulation. */

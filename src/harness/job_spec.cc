@@ -147,10 +147,14 @@ writeSamplingParams(BinaryWriter &w, const sampling::SamplingParams &p)
     w.pod(p.rareCutoff);
     w.pod(p.concurrencyHysteresis);
     w.pod(p.concurrencyTolerance);
+    // v2 fields: the adaptive policy.
+    w.pod(p.targetError);
+    w.pod(p.pilotSamples);
+    w.pod(p.confidenceZ);
 }
 
 sampling::SamplingParams
-readSamplingParams(BinaryReader &r)
+readSamplingParams(BinaryReader &r, std::uint32_t version)
 {
     sampling::SamplingParams p;
     p.warmup = r.pod<std::uint64_t>();
@@ -160,6 +164,11 @@ readSamplingParams(BinaryReader &r)
     p.rareCutoff = r.pod<std::uint64_t>();
     p.concurrencyHysteresis = r.pod<std::uint32_t>();
     p.concurrencyTolerance = r.pod<double>();
+    if (version >= 2) {
+        p.targetError = r.pod<double>();
+        p.pilotSamples = r.pod<std::uint64_t>();
+        p.confidenceZ = r.pod<double>();
+    }
     return p;
 }
 
@@ -176,7 +185,7 @@ serializeJobSpec(BinaryWriter &w, const JobSpec &job)
 }
 
 JobSpec
-deserializeJobSpec(BinaryReader &r)
+deserializeJobSpec(BinaryReader &r, std::uint32_t version)
 {
     JobSpec job;
     job.label = r.str();
@@ -184,7 +193,7 @@ deserializeJobSpec(BinaryReader &r)
     job.workloadParams = readWorkloadParams(r);
     job.traceFile = r.str();
     job.spec = readRunSpec(r);
-    job.sampling = readSamplingParams(r);
+    job.sampling = readSamplingParams(r, version);
     const auto mode = r.pod<std::uint8_t>();
     if (mode > static_cast<std::uint8_t>(BatchMode::Both))
         throwIoError("'%s': corrupt batch mode", r.name().c_str());
@@ -223,9 +232,13 @@ deserializePlan(std::istream &in, const std::string &name)
     if (r.pod<std::uint64_t>() != kPlanMagic)
         throwIoError("'%s': not a taskpoint plan file",
                      name.c_str());
-    if (r.pod<std::uint32_t>() != kPlanFormatVersion)
-        throwIoError("'%s': unsupported plan format version",
-                     name.c_str());
+    const auto version = r.pod<std::uint32_t>();
+    if (version < kMinPlanFormatVersion ||
+        version > kPlanFormatVersion)
+        throwIoError("'%s': unsupported plan format version %u "
+                     "(this build reads %u..%u)",
+                     name.c_str(), version, kMinPlanFormatVersion,
+                     kPlanFormatVersion);
     ExperimentPlan plan;
     plan.baseSeed = r.pod<std::uint64_t>();
     plan.deriveSeeds = readBool(r);
@@ -237,7 +250,7 @@ deserializePlan(std::istream &in, const std::string &name)
         throwIoError("'%s': corrupt job count", name.c_str());
     plan.jobs.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i)
-        plan.jobs.push_back(deserializeJobSpec(r));
+        plan.jobs.push_back(deserializeJobSpec(r, version));
     r.expectEof();
     return plan;
 }

@@ -96,8 +96,17 @@ struct ExperimentPlan
  * RunSpec, SamplingParams or any nested config changes shape; it is
  * embedded in plan files and digest material, so stale files fail
  * loudly instead of decoding garbage.
+ *
+ * v2: SamplingParams gained the adaptive-policy fields (targetError,
+ * pilotSamples, confidenceZ). Plans are always *written* at the
+ * current version; v1 files (e.g. the golden fixtures under
+ * tests/golden/) still load — the reader defaults the new fields,
+ * which exactly reproduces v1 semantics (adaptive off).
  */
-inline constexpr std::uint32_t kPlanFormatVersion = 1;
+inline constexpr std::uint32_t kPlanFormatVersion = 2;
+
+/** Oldest plan format deserializePlan still accepts. */
+inline constexpr std::uint32_t kMinPlanFormatVersion = 1;
 
 // Building blocks, shared with harness/result_cache key material.
 void writeWorkloadParams(BinaryWriter &w,
@@ -107,13 +116,24 @@ void writeRunSpec(BinaryWriter &w, const RunSpec &spec);
 RunSpec readRunSpec(BinaryReader &r);
 void writeSamplingParams(BinaryWriter &w,
                          const sampling::SamplingParams &p);
-sampling::SamplingParams readSamplingParams(BinaryReader &r);
+/**
+ * Read SamplingParams written at `version` (defaults to current).
+ * Fields a version predates keep their in-struct defaults.
+ */
+sampling::SamplingParams
+readSamplingParams(BinaryReader &r,
+                   std::uint32_t version = kPlanFormatVersion);
 
 /** Write one JobSpec (payload only, no framing). */
 void serializeJobSpec(BinaryWriter &w, const JobSpec &job);
 
-/** Exact inverse of serializeJobSpec; throws IoError on corruption. */
-JobSpec deserializeJobSpec(BinaryReader &r);
+/**
+ * Exact inverse of serializeJobSpec for bytes written at `version`
+ * (defaults to current); throws IoError on corruption.
+ */
+JobSpec
+deserializeJobSpec(BinaryReader &r,
+                   std::uint32_t version = kPlanFormatVersion);
 
 /** Write a plan (magic, version, jobs) to a stream. */
 void serializePlan(const ExperimentPlan &plan, std::ostream &out);

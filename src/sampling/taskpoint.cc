@@ -32,6 +32,22 @@ TaskPointController::TaskPointController(const trace::TaskTrace &trace,
     if (params_.period == 0)
         fatal("sampling period P must be positive (use "
               "kInfinitePeriod for lazy sampling)");
+    if (params_.adaptiveEnabled()) {
+        // Strata are task types; weights are each type's share of
+        // dynamic instructions (known statically from the trace),
+        // capacities its instance count.
+        std::vector<StratumSpec> strata(trace.types().size());
+        for (const trace::TaskInstance &inst : trace.instances()) {
+            strata[inst.type].weight +=
+                static_cast<double>(inst.instCount);
+            ++strata[inst.type].capacity;
+        }
+        AdaptiveConfig cfg;
+        cfg.targetError = params_.targetError;
+        cfg.pilotSamples = params_.pilotSamples;
+        cfg.confidenceZ = params_.confidenceZ;
+        estimator_.emplace(std::move(strata), cfg);
+    }
 
     profiles_.reserve(trace.types().size());
     for (std::size_t t = 0; t < trace.types().size(); ++t)
@@ -71,6 +87,10 @@ TaskPointController::resample(ResampleReason reason, Cycles at)
     // valid samples are discarded." (Section III-C)
     for (TypeProfile &p : profiles_)
         p.clearValid();
+    // The estimator tracks exactly the valid samples, so it restarts
+    // with them (pilot targets apply afresh to the new regime).
+    if (estimator_)
+        estimator_->reset();
     // Re-warmup needs one detailed instance per participating
     // thread, on state aged past the fast-forwarded phase.
     pendingStateAging_ = true;
@@ -150,15 +170,32 @@ TaskPointController::decideTask(const trace::TaskInstance &inst,
     TypeProfile &prof = profiles_[inst.type];
     prof.markSeen();
     prof.countObserved();
+    if (estimator_)
+        estimator_->markSeen(inst.type);
 
     // Phase transitions are evaluated here — the task-instance
     // boundary is the only legal mode-switch point (Section III-B).
     if (phase_ == Phase::Warmup && warmupComplete())
         enterPhase(Phase::Sampling, status.now);
-    if (phase_ == Phase::Sampling &&
-        (allSeenTypesSampled() || rareCutoffReached())) {
-        sampledConcurrency_ = status.effectiveConcurrency;
-        enterPhase(Phase::Fast, status.now);
+    if (phase_ == Phase::Sampling) {
+        // Adaptive: stop when the CI target is met; the rare-type
+        // cutoff stays as the escape for strata that stop arriving.
+        const bool converged = estimator_ && estimator_->converged();
+        const bool done = estimator_
+                              ? converged || rareCutoffReached()
+                              : allSeenTypesSampled() ||
+                                    rareCutoffReached();
+        if (done) {
+            if (estimator_) {
+                // Last stop wins: the diagnostics describe the final
+                // sampling regime, matching the estimator state they
+                // are reported with.
+                adaptiveStopCycle_ = status.now;
+                adaptiveCutoffStopped_ = !converged;
+            }
+            sampledConcurrency_ = status.effectiveConcurrency;
+            enterPhase(Phase::Fast, status.now);
+        }
     }
 
     ThreadState &ts_pre = threads_[thread];
@@ -187,6 +224,18 @@ TaskPointController::decideTask(const trace::TaskInstance &inst,
         return decide_detailed(Phase::Warmup);
 
       case Phase::Sampling:
+        if (estimator_) {
+            // The whole phase runs detailed — fast-forwarding some
+            // threads here would let the remaining samples execute
+            // on a contention-free machine (see adaptive.hh). The
+            // estimator only steers sinceUnsampled (the cutoff
+            // escape) and, via needMore(), the Neyman reallocation.
+            if (estimator_->needMore(inst.type))
+                ts_pre.sinceUnsampled = 0;
+            else
+                ++ts_pre.sinceUnsampled;
+            return decide_detailed(Phase::Sampling);
+        }
         if (prof.valid().full())
             ++ts_pre.sinceUnsampled;
         else
@@ -274,10 +323,33 @@ TaskPointController::taskFinished(const trace::TaskInstance &inst,
         break;
       case Phase::Sampling:
         prof.addValidSample(ipc);
+        // The estimator consumes exactly the valid samples, as CPI:
+        // execution time is linear in CPI, not IPC.
+        if (estimator_)
+            estimator_->addSample(inst.type, 1.0 / ipc);
         break;
       case Phase::Fast:
         panic("detailed completion attributed to the fast phase");
     }
+}
+
+AdaptiveDiagnostics
+TaskPointController::adaptiveDiagnostics() const
+{
+    AdaptiveDiagnostics d;
+    if (!estimator_)
+        return d;
+    d.enabled = true;
+    d.targetError = params_.targetError;
+    const double rhw = estimator_->relHalfWidth();
+    d.finalRelHalfWidth = std::isfinite(rhw) ? rhw : 0.0;
+    d.stopCycle = adaptiveStopCycle_;
+    d.allocationRounds = estimator_->allocationRounds();
+    d.cutoffStopped = adaptiveCutoffStopped_;
+    d.strataSamples.reserve(estimator_->size());
+    for (std::size_t h = 0; h < estimator_->size(); ++h)
+        d.strataSamples.push_back(estimator_->samples(h));
+    return d;
 }
 
 } // namespace tp::sampling

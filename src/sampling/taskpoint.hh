@@ -28,16 +28,28 @@
  * that started before a phase change finish in their original mode,
  * and detailed instances finishing after the transition to fast mode
  * contribute to the all-samples history only (paper Section III-B).
+ *
+ * A third, variance-aware policy sits on top of the same mechanism:
+ * with SamplingParams::adaptive(targetError) the sampling phase
+ * stratifies instances by task type, runs a pilot per stratum,
+ * allocates further detailed samples by Neyman allocation and ends
+ * when the combined confidence interval is tighter than the target
+ * (falling back to the rare-type cutoff when strata stop arriving).
+ * The phase itself stays fully detailed, like the other policies —
+ * only its length adapts. See sampling/adaptive.hh for the
+ * estimator and the contention-bias rationale.
  */
 
 #ifndef TP_SAMPLING_TASKPOINT_HH
 #define TP_SAMPLING_TASKPOINT_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "sampling/adaptive.hh"
 #include "sampling/type_profile.hh"
 #include "sim/mode_controller.hh"
 #include "trace/trace.hh"
@@ -69,6 +81,23 @@ struct SamplingParams
      * counted. Filters the dips every dependency stall produces.
      */
     double concurrencyTolerance = 0.25;
+    /**
+     * Target relative CI half-width of the adaptive policy, e.g.
+     * 0.01 for 1%. 0 disables adaptive sampling (lazy/periodic
+     * behaviour is then untouched). When enabled the sampling phase
+     * stratifies instances by task type, pilots each stratum, spends
+     * further detailed samples by Neyman allocation and stops once
+     * the combined CI half-width is below this target (see
+     * sampling/adaptive.hh).
+     */
+    double targetError = 0.0;
+    /** Pilot samples per stratum before variance is trusted (>= 2). */
+    std::uint64_t pilotSamples = 4;
+    /** Normal quantile of the CI (1.96 = 95% confidence). */
+    double confidenceZ = 1.96;
+
+    /** @return true when the adaptive policy is active. */
+    bool adaptiveEnabled() const { return targetError > 0.0; }
 
     /** @return params for the lazy policy (P = ∞). */
     static SamplingParams
@@ -83,6 +112,19 @@ struct SamplingParams
     {
         SamplingParams s;
         s.period = p;
+        return s;
+    }
+
+    /**
+     * @return params for the adaptive policy with the given target
+     *         relative error (periodic resampling off; the
+     *         new-type and concurrency triggers stay active).
+     */
+    static SamplingParams
+    adaptive(double target_error)
+    {
+        SamplingParams s;
+        s.targetError = target_error;
         return s;
     }
 };
@@ -161,6 +203,12 @@ class TaskPointController : public sim::ModeController
     /** @return model parameters. */
     const SamplingParams &params() const { return params_; }
 
+    /**
+     * @return adaptive-policy diagnostics (all-defaults when the
+     *         adaptive policy is disabled).
+     */
+    AdaptiveDiagnostics adaptiveDiagnostics() const;
+
   private:
     /** Per-thread bookkeeping, reset at each phase change. */
     struct ThreadState
@@ -209,6 +257,12 @@ class TaskPointController : public sim::ModeController
     std::uint32_t concurrencyDivergence_ = 0;
     /** Ask the engine to age caches on the next detailed decision. */
     bool pendingStateAging_ = false;
+
+    /** Stratified CI estimator; engaged iff adaptiveEnabled(). */
+    std::optional<StratifiedEstimator> estimator_;
+    /** Last sampling-complete transition (adaptive diagnostics). */
+    Cycles adaptiveStopCycle_ = 0;
+    bool adaptiveCutoffStopped_ = false;
 
     SamplingStats stats_;
     std::vector<PhaseChange> phaseLog_;

@@ -179,6 +179,17 @@ serializeSampledOutcome(const harness::SampledOutcome &o,
     w.pod<std::uint64_t>(o.validHistSizes.size());
     for (std::size_t n : o.validHistSizes)
         w.pod<std::uint64_t>(n);
+
+    const sampling::AdaptiveDiagnostics &a = o.adaptive;
+    w.pod<std::uint8_t>(a.enabled ? 1 : 0);
+    w.pod(a.targetError);
+    w.pod(a.finalRelHalfWidth);
+    w.pod(a.stopCycle);
+    w.pod(a.allocationRounds);
+    w.pod<std::uint8_t>(a.cutoffStopped ? 1 : 0);
+    w.pod<std::uint64_t>(a.strataSamples.size());
+    for (std::uint64_t n : a.strataSamples)
+        w.pod(n);
 }
 
 harness::SampledOutcome
@@ -223,6 +234,22 @@ deserializeSampledOutcome(std::istream &in, const std::string &name)
     for (std::uint64_t i = 0; i < ntypes; ++i)
         o.validHistSizes.push_back(
             static_cast<std::size_t>(r.pod<std::uint64_t>()));
+
+    sampling::AdaptiveDiagnostics &a = o.adaptive;
+    a.enabled = r.pod<std::uint8_t>() != 0;
+    a.targetError = r.pod<double>();
+    a.finalRelHalfWidth = r.pod<double>();
+    a.stopCycle = r.pod<Cycles>();
+    a.allocationRounds = r.pod<std::uint64_t>();
+    a.cutoffStopped = r.pod<std::uint8_t>() != 0;
+    const auto nstrata = r.pod<std::uint64_t>();
+    if (nstrata > (1ULL << 32))
+        throwIoError("'%s': corrupt strata-sample count",
+                     name.c_str());
+    a.strataSamples.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(nstrata, 1ULL << 16)));
+    for (std::uint64_t i = 0; i < nstrata; ++i)
+        a.strataSamples.push_back(r.pod<std::uint64_t>());
     return o;
 }
 

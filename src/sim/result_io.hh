@@ -54,8 +54,10 @@ SimResult deserializeResult(std::istream &in, const std::string &name);
  * SampledOutcome, SamplingStats or PhaseChange changes shape; it
  * participates in sampled-result cache keys (see
  * harness::sampledCacheKey).
+ *
+ * v2: appended the adaptive-sampling diagnostics block.
  */
-inline constexpr std::uint32_t kSampledFormatVersion = 1;
+inline constexpr std::uint32_t kSampledFormatVersion = 2;
 
 /**
  * Version of the checksummed result envelope (see writeEnvelope).

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test of the adaptive sampling policy end to end
+# (`ctest -L smoke`):
+#
+#  1. A figure driver runs with --target-error=2%, which swaps its
+#     figure-default policy for the adaptive one; the report must
+#     carry the adaptive-diagnostics table, and the plan it saves
+#     must replay byte-identically in a fresh driver process.
+#  2. replay_plan executes the adaptive plan in-process (--jobs=1,
+#     --jobs=2) and across spawned workers (--workers=2); the
+#     timing-stripped CSV columns must be identical in all three.
+#
+# Usage: adaptive_roundtrip_smoke.sh <fig-driver> <replay-plan>
+set -euo pipefail
+
+fig="$1"
+replay="$2"
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+common=(--benchmarks=histogram,vector-operation,reduction
+        --scale=0.02 --target-error=2%)
+
+# The deterministic prefix of a figure report: everything up to the
+# first blank line (the error table; speedups are wall-clock).
+det_prefix() { awk '/^$/{exit} {print}' "$1"; }
+
+# 1. Adaptive figure run: diagnostics present, plan replays.
+"$fig" "${common[@]}" --jobs=2 --save-plan="$work/adaptive.tpplan" \
+    >"$work/run1.txt" 2>"$work/run1.err"
+grep -q "plan written to" "$work/run1.err"
+grep -q "adaptive sampling diagnostics" "$work/run1.txt"
+grep -q "CI target\|rare cutoff" "$work/run1.txt"
+
+"$fig" "${common[@]}" --jobs=2 --plan="$work/adaptive.tpplan" \
+    >"$work/run2.txt" 2>"$work/run2.err"
+grep -q "replaying plan" "$work/run2.err"
+det_prefix "$work/run1.txt" >"$work/run1.det"
+det_prefix "$work/run2.txt" >"$work/run2.det"
+test -s "$work/run1.det"
+diff -u "$work/run1.det" "$work/run2.det"
+
+# 2. The same plan through replay_plan, serial vs. threaded vs.
+# multi-process: columns 1-8 are deterministic, the trailing
+# wall_speedup/host_seconds columns are host timing.
+"$replay" --plan="$work/adaptive.tpplan" --jobs=1 \
+    --csv="$work/serial.csv" >"$work/replay1.txt"
+"$replay" --plan="$work/adaptive.tpplan" --jobs=2 \
+    --csv="$work/jobs.csv" >"$work/replay2.txt"
+"$replay" --plan="$work/adaptive.tpplan" --workers=2 \
+    --csv="$work/workers.csv" >"$work/replay3.txt"
+
+for mode in serial jobs workers; do
+    cut -d, -f1-8 "$work/$mode.csv" >"$work/$mode.csv.det"
+done
+test "$(wc -l <"$work/serial.csv.det")" -gt 1
+diff -u "$work/serial.csv.det" "$work/jobs.csv.det"
+diff -u "$work/serial.csv.det" "$work/workers.csv.det"
+
+echo "adaptive roundtrip smoke: OK"

@@ -195,7 +195,6 @@ TEST(Rng, ForkProducesIndependentStream)
 
 TEST(Statistics, MeanBasics)
 {
-    EXPECT_DOUBLE_EQ(mean({}), 0.0);
     EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
 }
@@ -205,6 +204,45 @@ TEST(Statistics, StddevBasics)
     EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
     EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
                 2.0, 1e-12);
+}
+
+TEST(Statistics, SampleVarianceUsesBesselDivisor)
+{
+    // Population variance of {2,4,4,4,5,5,7,9} is 4 (divisor 8);
+    // the unbiased sample variance divides by 7.
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0,
+                                    5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(sampleVariance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(sampleStddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+    // With n=4 (the default IPC history size H) the two divisors
+    // differ by a factor 4/3 -- the bias the CI math must avoid.
+    const std::vector<double> h4 = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(sampleVariance(h4),
+                stddev(h4) * stddev(h4) * 4.0 / 3.0, 1e-12);
+}
+
+TEST(Statistics, EmptyAndShortInputsPanicUniformly)
+{
+    // The whole module shares one contract: too few observations is
+    // a caller bug, never a silent 0.0 (a fake zero variance would
+    // read as "converged" to the adaptive stopping rule).
+    EXPECT_THROW(mean({}), SimError);
+    EXPECT_THROW(stddev({}), SimError);
+    EXPECT_THROW(sampleVariance({}), SimError);
+    EXPECT_THROW(sampleVariance({1.0}), SimError);
+    EXPECT_THROW(sampleStddev({1.0}), SimError);
+    EXPECT_THROW(geomean({}), SimError);
+    EXPECT_THROW(minOf({}), SimError);
+
+    RunningStats rs;
+    EXPECT_THROW(rs.mean(), SimError);
+    EXPECT_THROW(rs.populationVariance(), SimError);
+    EXPECT_THROW(rs.sampleVariance(), SimError);
+    EXPECT_THROW(rs.min(), SimError);
+    rs.add(1.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.populationVariance(), 0.0);
+    EXPECT_THROW(rs.sampleVariance(), SimError); // needs n >= 2
 }
 
 TEST(Statistics, GeomeanBasics)
@@ -271,7 +309,8 @@ TEST(Statistics, RunningStatsMatchesBatch)
         rs.add(x);
     EXPECT_EQ(rs.count(), xs.size());
     EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
-    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+    EXPECT_NEAR(rs.populationStddev(), stddev(xs), 1e-12);
+    EXPECT_NEAR(rs.sampleVariance(), sampleVariance(xs), 1e-12);
     EXPECT_DOUBLE_EQ(rs.min(), 1.0);
     EXPECT_DOUBLE_EQ(rs.max(), 9.0);
 }
@@ -290,8 +329,64 @@ TEST(Statistics, RunningStatsMerge)
     a.merge(b);
     EXPECT_EQ(a.count(), all.count());
     EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
-    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(a.populationVariance(), all.populationVariance(),
+                1e-9);
     EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+/**
+ * Regression for the naive sumSq/n - mean^2 formula: with a large
+ * mean and a tight spread (exactly the per-type IPC-history regime,
+ * scaled) the two accumulated terms agree in all but their last few
+ * bits, the subtraction cancels catastrophically and the clamp that
+ * used to hide negative results returned 0 -- i.e. "no variance".
+ * Welford's update keeps full precision.
+ */
+TEST(Statistics, WelfordSurvivesCatastrophicCancellation)
+{
+    const double base = 1e9;
+    const std::vector<double> xs = {base + 4.0, base + 7.0,
+                                    base + 13.0, base + 16.0};
+    // What the old implementation computed.
+    double sum = 0.0, sum_sq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double naive_mean = sum / double(xs.size());
+    double naive_var =
+        sum_sq / double(xs.size()) - naive_mean * naive_mean;
+    naive_var = naive_var < 0.0 ? 0.0 : naive_var;
+    // True population variance is 22.5; the naive formula loses it
+    // entirely (|x|^2 ~ 1e18 swallows a spread of ~1e1 in doubles).
+    EXPECT_GT(std::abs(naive_var - 22.5), 1.0)
+        << "naive formula unexpectedly survived; regression test "
+           "needs a harsher dataset";
+
+    RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_NEAR(rs.populationVariance(), 22.5, 1e-6);
+    EXPECT_NEAR(rs.sampleVariance(), 30.0, 1e-6);
+}
+
+TEST(Statistics, MergeSurvivesCatastrophicCancellation)
+{
+    const double base = 1e9;
+    RunningStats a, b, all;
+    for (double x : {base + 4.0, base + 7.0}) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : {base + 13.0, base + 16.0}) {
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-3);
+    EXPECT_NEAR(a.populationVariance(), 22.5, 1e-6);
+    EXPECT_NEAR(a.sampleVariance(), 30.0, 1e-6);
 }
 
 TEST(Cli, ParsesKeyValueAndFlags)

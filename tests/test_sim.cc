@@ -253,8 +253,8 @@ TEST(Noise, EnabledPerturbsMultiplicatively)
         rel.add(p / 1000000.0);
     }
     EXPECT_NEAR(rel.mean(), 1.0, 0.01);
-    EXPECT_GT(rel.stddev(), 0.02);
-    EXPECT_LT(rel.stddev(), 0.10);
+    EXPECT_GT(rel.populationStddev(), 0.02);
+    EXPECT_LT(rel.populationStddev(), 0.10);
 }
 
 TEST(Noise, PreemptionsAddHeavyTail)

@@ -2,10 +2,11 @@
  * @file
  * Fixed-scenario performance smoke: the simulator's speed trajectory.
  *
- *   ./perf_smoke [--out=BENCH_5.json] [--repeat=N] [--scale=S]
+ *   ./perf_smoke [--out=BENCH_6.json] [--repeat=N] [--scale=S]
  *
- * Times a small fixed suite — three workloads, each in full-detailed
- * and lazy-sampled mode, at fixed scale/seed/threads — and emits a
+ * Times a small fixed suite — three workloads, each in full-detailed,
+ * lazy-sampled and adaptive-sampled mode, at fixed
+ * scale/seed/threads — and emits a
  * JSON report with host wall seconds and detailed-mode simulation
  * throughput (instructions per second) per scenario, plus suite
  * totals. The simulated metrics (total cycles, instruction counts)
@@ -31,25 +32,45 @@ using namespace tp;
 
 namespace {
 
+enum class Mode { Detailed, Sampled, Adaptive };
+
 struct Scenario
 {
     const char *workload;
-    bool sampled;
+    Mode mode;
 };
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Detailed:
+        return "detailed";
+      case Mode::Sampled:
+        return "sampled";
+      case Mode::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
 
 /**
  * The fixed suite: a coherence-heavy kernel (histogram), an
  * irregular memory-bound one (spmv) and a pointer-chasing one
- * (n-body), detailed and sampled each. Fixed seeds, threads and
- * scale make runs comparable across PRs on one machine.
+ * (n-body) — each detailed, lazy-sampled and adaptive-sampled
+ * (1% CI target). Fixed seeds, threads and scale make runs
+ * comparable across PRs on one machine.
  */
 constexpr Scenario kScenarios[] = {
-    {"histogram", false},
-    {"histogram", true},
-    {"sparse-matrix-vector-multiplication", false},
-    {"sparse-matrix-vector-multiplication", true},
-    {"n-body", false},
-    {"n-body", true},
+    {"histogram", Mode::Detailed},
+    {"histogram", Mode::Sampled},
+    {"histogram", Mode::Adaptive},
+    {"sparse-matrix-vector-multiplication", Mode::Detailed},
+    {"sparse-matrix-vector-multiplication", Mode::Sampled},
+    {"sparse-matrix-vector-multiplication", Mode::Adaptive},
+    {"n-body", Mode::Detailed},
+    {"n-body", Mode::Sampled},
+    {"n-body", Mode::Adaptive},
 };
 
 struct Measured
@@ -79,12 +100,12 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        {{"out", "JSON report path (default BENCH_5.json)"},
+        {{"out", "JSON report path (default BENCH_6.json)"},
          {"repeat",
           "timed repetitions per scenario, fastest wins (default 3)"},
          {"scale", "workload scale override (default 0.02)"}});
     const std::string out_path =
-        args.getString("out", "BENCH_5.json");
+        args.getString("out", "BENCH_6.json");
     const std::uint64_t repeat =
         std::max<std::uint64_t>(args.getUint("repeat", 3), 1);
     const double scale = args.getDouble("scale", 0.02);
@@ -103,17 +124,20 @@ main(int argc, char **argv)
             work::generateWorkload(sc.workload, wp);
         Measured m;
         m.name = sc.workload;
-        m.mode = sc.sampled ? "sampled" : "detailed";
+        m.mode = modeName(sc.mode);
         m.wallSeconds = -1.0;
         for (std::uint64_t r = 0; r < repeat; ++r) {
             const double t0 = nowSeconds();
             sim::SimResult res =
-                sc.sampled
-                    ? harness::runSampled(
+                sc.mode == Mode::Detailed
+                    ? harness::runDetailed(trace, spec)
+                    : harness::runSampled(
                           trace, spec,
-                          sampling::SamplingParams::lazy())
-                          .result
-                    : harness::runDetailed(trace, spec);
+                          sc.mode == Mode::Adaptive
+                              ? sampling::SamplingParams::adaptive(
+                                    0.01)
+                              : sampling::SamplingParams::lazy())
+                          .result;
             const double wall = nowSeconds() - t0;
             if (m.wallSeconds < 0.0 || wall < m.wallSeconds)
                 m.wallSeconds = wall;
@@ -137,7 +161,7 @@ main(int argc, char **argv)
     if (f == nullptr)
         fatal("cannot write %s", out_path.c_str());
     std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n");
-    std::fprintf(f, "  \"pr\": 5,\n");
+    std::fprintf(f, "  \"pr\": 6,\n");
     std::fprintf(f, "  \"threads\": %u,\n", spec.threads);
     std::fprintf(f, "  \"scale\": %g,\n", scale);
     std::fprintf(f, "  \"repeat\": %llu,\n",
