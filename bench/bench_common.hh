@@ -49,6 +49,13 @@ struct FigureOptions
     harness::ProcessPoolOptions pool;
     /** Result cache (--cache-dir/--cache); may be null. */
     std::shared_ptr<harness::ResultCache> cache;
+    /**
+     * Warm-state checkpoint store (--checkpoint-dir); may be null.
+     * In-process runs record/restore through it directly; with
+     * --workers the pool forwards the directory to its workers
+     * (pool.checkpointDir) instead.
+     */
+    std::shared_ptr<harness::ResultCache> checkpoints;
     /** Replay this serialized plan instead of the built one. */
     std::string planFile;
     /** Serialize the plan about to run to this path. */
@@ -111,6 +118,7 @@ parseFigureOptions(int argc, char **argv,
         workerBinCliOption(),
         cacheDirCliOption(),
         cacheModeCliOption(),
+        checkpointDirCliOption(),
         targetErrorCliOption(),
     };
     if (plan == PlanCli::Supported) {
@@ -124,18 +132,25 @@ parseFigureOptions(int argc, char **argv,
     }
     const CliArgs args(argc, argv, options);
     FigureOptions o;
-    o.scale = args.getDouble("scale", o.scale);
-    o.instrScale = args.getDouble("instr-scale", o.instrScale);
+    // Range-checked parses: a fat-fingered scale cannot silently
+    // run a million-fold workload (or an empty one).
+    o.scale = args.getDoubleIn("scale", o.scale, 1e-6, 1e6);
+    o.instrScale =
+        args.getDoubleIn("instr-scale", o.instrScale, 1e-6, 1e6);
     o.seed = args.getUint("seed", o.seed);
     o.benchmarks = args.getList("benchmarks", {});
     validateBenchmarks(o.benchmarks);
     o.jobs = jobsFlag(args, o.jobs);
     o.pool = harness::processPoolFromCli(args);
-    // Multi-process runs consult the cache inside the workers (the
-    // pool forwards --cache-dir/--cache); a driver-side instance
-    // would only ever report zero hits.
-    if (o.pool.workers == 0)
+    // Multi-process runs consult the cache and checkpoint store
+    // inside the workers (the pool forwards --cache-dir/--cache and
+    // --checkpoint-dir); a driver-side instance would only ever
+    // report zero hits.
+    if (o.pool.workers == 0) {
         o.cache = harness::resultCacheFromCli(args);
+        o.checkpoints = harness::openCheckpointDir(
+            args.getString(kCheckpointDirOption, ""));
+    }
     if (plan == PlanCli::Supported) {
         o.planFile = args.getString("plan", "");
         o.savePlanFile = args.getString("save-plan", "");
@@ -243,6 +258,7 @@ figureBatchOptions(const FigureOptions &opts)
     bo.jobs = opts.jobs;
     bo.progress = true;
     bo.cache = opts.cache.get();
+    bo.checkpoints = opts.checkpoints.get();
     return bo;
 }
 
@@ -471,7 +487,9 @@ runErrorSpeedupFigure(const std::string &title,
                  std::to_string(d.allocationRounds),
                  std::to_string(samples),
                  fmtDouble(es.detailFraction, 3),
-                 d.cutoffStopped ? "rare cutoff" : "CI target"});
+                 d.budgetStopped  ? "budget cap"
+                 : d.cutoffStopped ? "rare cutoff"
+                                   : "CI target"});
         }
     });
     runFigurePlan(opts, plan, sink);

@@ -7,6 +7,7 @@
  *                 [--workers=N|auto] [--worker-bin=PATH]
  *                 [--csv=FILE] [--json=FILE]
  *                 [--cache-dir=DIR] [--cache=off|ro|rw]
+ *                 [--checkpoint-dir=DIR]
  *
  * Any driver (or user code) can serialize a plan with
  * harness::serializePlan; this binary loads it, prints its digest,
@@ -59,7 +60,8 @@ main(int argc, char **argv)
          {"csv", "also stream results to this file as CSV rows"},
          {"json", "also stream results to this file as a JSON array"},
          jobsCliOption(), workersCliOption(), workerBinCliOption(),
-         cacheDirCliOption(), cacheModeCliOption()});
+         cacheDirCliOption(), cacheModeCliOption(),
+         checkpointDirCliOption()});
     const std::string path = args.getString("plan", "");
     if (path.empty())
         fatal("--plan=FILE is required (see --help)");
@@ -106,15 +108,20 @@ main(int argc, char **argv)
     const harness::ProcessPoolOptions poolOpts =
         harness::processPoolFromCli(args);
     if (poolOpts.workers > 0) {
-        // Multi-process: workers consult the cache themselves.
+        // Multi-process: workers consult the cache and checkpoint
+        // store themselves (the pool forwards the directories).
         harness::ProcessPool(poolOpts).run(plan, tee);
     } else {
         const std::unique_ptr<harness::ResultCache> cache =
             harness::resultCacheFromCli(args);
+        const std::unique_ptr<harness::ResultCache> checkpoints =
+            harness::openCheckpointDir(
+                args.getString(kCheckpointDirOption, ""));
         harness::BatchOptions opts;
         opts.jobs = jobsFlag(args, 1);
         opts.progress = true;
         opts.cache = cache.get();
+        opts.checkpoints = checkpoints.get();
         harness::BatchRunner(opts).run(plan, tee);
         if (cache)
             harness::progress(cache->statsLine());

@@ -1,6 +1,8 @@
 #include "common/cli.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -121,10 +123,14 @@ CliArgs::getInt(const std::string &name, std::int64_t fallback) const
     const auto it = values_.find(name);
     if (it == values_.end())
         return fallback;
+    errno = 0;
     char *end = nullptr;
     const long long v = std::strtoll(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    if (it->second.empty() || end == nullptr || *end != '\0')
         fatal("option --%s expects an integer, got '%s'",
+              name.c_str(), it->second.c_str());
+    if (errno == ERANGE)
+        fatal("option --%s value '%s' is out of range",
               name.c_str(), it->second.c_str());
     return v;
 }
@@ -140,17 +146,51 @@ CliArgs::getUint(const std::string &name, std::uint64_t fallback) const
     return static_cast<std::uint64_t>(v);
 }
 
+std::uint64_t
+CliArgs::getUintIn(const std::string &name, std::uint64_t fallback,
+                   std::uint64_t lo, std::uint64_t hi) const
+{
+    if (!has(name))
+        return fallback;
+    const std::uint64_t v = getUint(name, fallback);
+    if (v < lo || v > hi)
+        fatal("option --%s must be in [%llu, %llu], got %llu",
+              name.c_str(), static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi),
+              static_cast<unsigned long long>(v));
+    return v;
+}
+
 double
 CliArgs::getDouble(const std::string &name, double fallback) const
 {
     const auto it = values_.find(name);
     if (it == values_.end())
         return fallback;
+    errno = 0;
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0')
+    if (it->second.empty() || end == nullptr || *end != '\0')
         fatal("option --%s expects a number, got '%s'",
               name.c_str(), it->second.c_str());
+    // strtod happily parses 'inf' and 'nan', and overflow yields
+    // +-HUGE_VAL with ERANGE; none of them is a usable knob value.
+    if (errno == ERANGE || !std::isfinite(v))
+        fatal("option --%s expects a finite number, got '%s'",
+              name.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+CliArgs::getDoubleIn(const std::string &name, double fallback,
+                     double lo, double hi) const
+{
+    if (!has(name))
+        return fallback;
+    const double v = getDouble(name, fallback);
+    if (v < lo || v > hi)
+        fatal("option --%s must be in [%g, %g], got %g",
+              name.c_str(), lo, hi, v);
     return v;
 }
 
@@ -160,6 +200,7 @@ const char *const kWorkerBinOption = "worker-bin";
 const char *const kCacheDirOption = "cache-dir";
 const char *const kCacheModeOption = "cache";
 const char *const kTargetErrorOption = "target-error";
+const char *const kCheckpointDirOption = "checkpoint-dir";
 
 CliOption
 jobsCliOption()
@@ -253,6 +294,17 @@ targetErrorFlag(const CliArgs &args, double fallback)
               kTargetErrorOption,
               args.getString(kTargetErrorOption, "").c_str());
     return frac;
+}
+
+CliOption
+checkpointDirCliOption()
+{
+    return {kCheckpointDirOption,
+            "directory of the warm-state checkpoint store (created "
+            "on first use): a first sampled run records a checkpoint "
+            "at every sample boundary; later runs split each job "
+            "into slices restoring them, in parallel, with "
+            "byte-identical results"};
 }
 
 std::size_t

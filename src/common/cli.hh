@@ -64,8 +64,30 @@ class CliArgs
     std::uint64_t getUint(const std::string &name,
                           std::uint64_t fallback) const;
 
-    /** @return double value of --name, or fallback. */
+    /**
+     * @return unsigned value of --name constrained to [lo, hi], or
+     *         fallback when absent. A present value outside the
+     *         range is a fatal user error naming the allowed range,
+     *         so a typo'd `--repeat=1e9` cannot silently run for
+     *         hours. The fallback itself is not range-checked.
+     */
+    std::uint64_t getUintIn(const std::string &name,
+                            std::uint64_t fallback, std::uint64_t lo,
+                            std::uint64_t hi) const;
+
+    /**
+     * @return double value of --name, or fallback. Non-finite
+     *         values ('inf', 'nan') and values overflowing a double
+     *         are fatal user errors.
+     */
     double getDouble(const std::string &name, double fallback) const;
+
+    /**
+     * @return double value of --name constrained to [lo, hi], or
+     *         fallback when absent (see getUintIn for rationale).
+     */
+    double getDoubleIn(const std::string &name, double fallback,
+                       double lo, double hi) const;
 
     /** @return comma-separated list value, or fallback. */
     std::vector<std::string>
@@ -109,6 +131,13 @@ extern const char *const kCacheModeOption;
 /** Canonical name of the adaptive-target option ("target-error"). */
 extern const char *const kTargetErrorOption;
 
+/**
+ * Canonical name of the warm-state checkpoint-store option
+ * ("checkpoint-dir"). Drivers that batch sampled simulations list it
+ * and open the store with harness::openCheckpointDir().
+ */
+extern const char *const kCheckpointDirOption;
+
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
 
@@ -122,6 +151,9 @@ CliOption cacheModeCliOption();
 
 /** --target-error with its canonical help text. */
 CliOption targetErrorCliOption();
+
+/** --checkpoint-dir with its canonical help text. */
+CliOption checkpointDirCliOption();
 
 /**
  * Worker count from `--jobs=N` / `--jobs=auto`.

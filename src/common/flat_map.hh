@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/logging.hh"
 
 namespace tp {
@@ -100,6 +101,43 @@ class FlatMap64
 
     /** @return slot-array capacity (for tests/benchmarks). */
     std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Serialize capacity, entry count and the raw slot array (V must
+     * be a POD value type). Saving the slots verbatim preserves the
+     * probe layout, so a restored map behaves exactly like the saved
+     * one — including when the next grow() triggers.
+     */
+    void
+    save(BinaryWriter &w) const
+    {
+        w.pod<std::uint64_t>(slots_.size());
+        w.pod<std::uint64_t>(count_);
+        for (const Slot &s : slots_) {
+            w.pod(s.key);
+            w.pod(s.value);
+        }
+    }
+
+    /** Exact inverse of save(); throws IoError on implausible data. */
+    void
+    load(BinaryReader &r)
+    {
+        const auto cap = r.pod<std::uint64_t>();
+        const auto count = r.pod<std::uint64_t>();
+        if (cap < 16 || (cap & (cap - 1)) != 0 || count > cap ||
+            cap > (1ULL << 40)) {
+            throwIoError("'%s': corrupt flat-map geometry",
+                         r.name().c_str());
+        }
+        slots_.assign(static_cast<std::size_t>(cap), Slot{});
+        mask_ = static_cast<std::size_t>(cap) - 1;
+        for (Slot &s : slots_) {
+            s.key = r.pod<std::uint64_t>();
+            s.value = r.pod<V>();
+        }
+        count_ = static_cast<std::size_t>(count);
+    }
 
   private:
     struct Slot

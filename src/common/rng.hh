@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "common/binary_io.hh"
 #include "common/logging.hh"
 
 namespace tp {
@@ -115,6 +116,30 @@ class Rng
 
     /** Derive an independent child generator (for per-task streams). */
     Rng fork();
+
+    /**
+     * Serialize the full generator state (stream position). A
+     * restored Rng produces the exact draw sequence the saved one
+     * would have — required for warm-state checkpoints.
+     */
+    void
+    save(BinaryWriter &w) const
+    {
+        for (const std::uint64_t s : state_)
+            w.pod(s);
+        w.pod(spareNormal_);
+        writeBool(w, hasSpare_);
+    }
+
+    /** Exact inverse of save(). */
+    void
+    load(BinaryReader &r)
+    {
+        for (std::uint64_t &s : state_)
+            s = r.pod<std::uint64_t>();
+        spareNormal_ = r.pod<double>();
+        hasSpare_ = readBool(r);
+    }
 
     /**
      * Smallest integer T such that `next53() < T` is equivalent to

@@ -38,7 +38,10 @@
 #define TP_COMMON_STATISTICS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "common/binary_io.hh"
 
 namespace tp {
 
@@ -148,6 +151,28 @@ class RunningStats
 
     /** Merge another accumulator into this one (Chan's formula). */
     void merge(const RunningStats &other);
+
+    /** Serialize the accumulator state (for warm-state checkpoints). */
+    void
+    save(BinaryWriter &w) const
+    {
+        w.pod<std::uint64_t>(n_);
+        w.pod(mean_);
+        w.pod(m2_);
+        w.pod(min_);
+        w.pod(max_);
+    }
+
+    /** Exact inverse of save(). */
+    void
+    load(BinaryReader &r)
+    {
+        n_ = static_cast<std::size_t>(r.pod<std::uint64_t>());
+        mean_ = r.pod<double>();
+        m2_ = r.pod<double>();
+        min_ = r.pod<double>();
+        max_ = r.pod<double>();
+    }
 
   private:
     std::size_t n_ = 0;

@@ -1,16 +1,21 @@
 #include "harness/batch_runner.hh"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <future>
 #include <map>
 #include <mutex>
+#include <thread>
 #include <utility>
 
+#include "common/binary_io.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "harness/plan_shard.hh"
 #include "harness/result_cache.hh"
+#include "sim/checkpoint.hh"
 #include "trace/trace_io.hh"
 
 namespace tp::harness {
@@ -206,8 +211,12 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
     }
     if (job.mode == BatchMode::Sampled ||
         job.mode == BatchMode::Both) {
+        // Slice jobs bypass the result cache: their partial outcomes
+        // must never shadow (or be shadowed by) whole-job entries.
+        const bool useCache =
+            options_.cache != nullptr && !job.isSlice();
         std::string key;
-        if (options_.cache != nullptr) {
+        if (useCache) {
             key = sampledCacheKey(entry->digest, job.spec,
                                   job.sampling);
             if (std::optional<SampledOutcome> cached =
@@ -217,8 +226,69 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
             }
         }
         if (!r.sampled) {
-            r.sampled = runSampled(trace, job.spec, job.sampling);
-            if (options_.cache != nullptr)
+            sim::CheckpointHooks hooks;
+            sim::Checkpoint restore;
+            bool useHooks = false;
+            std::string memDigest;
+            std::string jobDigest;
+            std::string manifestKey;
+            std::uint64_t lastBoundary = 0;
+            bool recording = false;
+            if (options_.checkpoints != nullptr) {
+                memDigest =
+                    memoryConfigDigest(job.spec.arch.memory);
+                jobDigest = checkpointJobDigest(job);
+            }
+            if (job.isSlice()) {
+                // Honor the slice bounds even without a store: the
+                // merge relies on the slices tiling the run.
+                hooks.stopBoundary = job.stopBoundary;
+                useHooks = true;
+                if (options_.checkpoints != nullptr &&
+                    job.startBoundary > 0) {
+                    const std::string bkey = checkpointBlobKey(
+                        memDigest, jobDigest, job.startBoundary);
+                    if (std::optional<std::string> blob =
+                            options_.checkpoints->loadBlob(bkey)) {
+                        try {
+                            restore = sim::deserializeCheckpoint(
+                                *blob, bkey);
+                            if (restore.boundary ==
+                                job.startBoundary)
+                                hooks.restore = &restore;
+                        } catch (const IoError &) {
+                            // Damaged checkpoint: degrade to a cold
+                            // replay of the slice, never to a
+                            // different answer.
+                        }
+                    }
+                }
+            } else if (options_.checkpoints != nullptr &&
+                       options_.checkpoints->options().mode ==
+                           CacheMode::ReadWrite) {
+                manifestKey =
+                    checkpointManifestKey(memDigest, jobDigest);
+                if (!options_.checkpoints->contains(manifestKey)) {
+                    recording = true;
+                    useHooks = true;
+                    hooks.record = [&](sim::Checkpoint &&cp) {
+                        lastBoundary = cp.boundary;
+                        options_.checkpoints->storeBlob(
+                            checkpointBlobKey(memDigest, jobDigest,
+                                              cp.boundary),
+                            sim::serializeCheckpoint(cp));
+                    };
+                }
+            }
+            r.sampled = runSampled(trace, job.spec, job.sampling,
+                                   useHooks ? &hooks : nullptr);
+            // The manifest is published last: its presence promises
+            // every checkpoint 1..lastBoundary already exists.
+            if (recording)
+                options_.checkpoints->storeBlob(
+                    manifestKey,
+                    serializeCheckpointManifest(lastBoundary));
+            if (useCache)
                 options_.cache->storeSampled(key, *r.sampled);
         }
     }
@@ -246,6 +316,40 @@ BatchRunner::run(const ExperimentPlan &plan, ResultSink &sink) const
     // malformed plan fails fast instead of mid-batch.
     validatePlanJobs(plan);
 
+    // Live-points: when a checkpoint store is attached, split
+    // sampled jobs with recorded checkpoints into per-interval
+    // slices and merge the slice stream back so `sink` sees the
+    // original plan's results.
+    if (options_.checkpoints != nullptr && options_.expandSlices) {
+        std::uint32_t maxSlices = options_.checkpointSlices;
+        if (maxSlices == 0) {
+            const std::size_t workers =
+                options_.jobs != 0
+                    ? options_.jobs
+                    : std::thread::hardware_concurrency();
+            maxSlices = static_cast<std::uint32_t>(
+                std::max<std::size_t>(workers, 1));
+        }
+        CheckpointExpansion ex = expandCheckpointSlices(
+            plan, *options_.checkpoints, maxSlices);
+        if (ex.expanded) {
+            if (options_.progress)
+                progress(strprintf(
+                    "checkpoints: expanded %zu jobs into %zu "
+                    "slice jobs", plan.jobs.size(),
+                    ex.plan.jobs.size()));
+            SliceMergingSink merging(sink, std::move(ex.groups));
+            runResolved(ex.plan, merging);
+            return;
+        }
+    }
+    runResolved(plan, sink);
+}
+
+void
+BatchRunner::runResolved(const ExperimentPlan &plan,
+                         ResultSink &sink) const
+{
     // Resolve per-job seeds. Only a seed-deriving plan needs its
     // jobs copied; otherwise run straight off the caller's vector.
     std::vector<JobSpec> seeded;

@@ -82,6 +82,29 @@ struct BatchOptions
      * reports differ only in host wall-clock. nullptr = no caching.
      */
     ResultCache *cache = nullptr;
+    /**
+     * Warm-state checkpoint store (live-points; not owned, must
+     * outlive run()). When set, a sampled job with no recorded
+     * manifest records a checkpoint at every sample boundary (when
+     * the store is read-write), and later runs expand such jobs into
+     * per-interval slices that restore checkpoints instead of
+     * replaying the prefix, reassembled bit-identically by a
+     * SliceMergingSink (see harness/plan_shard.hh). nullptr =
+     * checkpoints off.
+     */
+    ResultCache *checkpoints = nullptr;
+    /**
+     * Expand jobs into checkpoint slices in run(). Out-of-process
+     * workers disable this: their shards come from a plan the parent
+     * process already expanded, and a worker re-expanding a job
+     * would return more results than its shard promises.
+     */
+    bool expandSlices = true;
+    /**
+     * Most slices one sampled job may split into; 0 derives it from
+     * the worker count. Capped by the recorded boundary count.
+     */
+    std::uint32_t checkpointSlices = 0;
 };
 
 /** See file comment. */
@@ -141,6 +164,10 @@ class BatchRunner
   private:
     struct TraceEntry;
     class TraceStore;
+
+    /** run() after validation and optional slice expansion. */
+    void runResolved(const ExperimentPlan &plan,
+                     ResultSink &sink) const;
 
     BatchResult runJob(const JobSpec &job, std::size_t index,
                        bool memoizeTrace) const;

@@ -30,14 +30,15 @@ runDetailed(const trace::TaskTrace &trace, const RunSpec &spec)
 
 SampledOutcome
 runSampled(const trace::TaskTrace &trace, const RunSpec &spec,
-           const sampling::SamplingParams &params)
+           const sampling::SamplingParams &params,
+           const sim::CheckpointHooks *hooks)
 {
     sim::SimConfig cfg = makeSimConfig(spec);
     cfg.noise.enabled = false; // sampling never runs under noise
     sim::Engine engine(cfg, trace);
     sampling::TaskPointController controller(trace, params);
     SampledOutcome out;
-    out.result = engine.run(&controller);
+    out.result = engine.run(&controller, hooks);
     out.stats = controller.stats();
     out.phaseLog = controller.phaseLog();
     for (const sampling::TypeProfile &p : controller.profiles())

@@ -58,10 +58,16 @@ struct SampledOutcome
     sampling::AdaptiveDiagnostics adaptive;
 };
 
-/** Run a TaskPoint-sampled simulation. */
+/**
+ * Run a TaskPoint-sampled simulation.
+ * @param hooks optional warm-state checkpoint behaviour (record at
+ *              sample boundaries, restore, bounded slice); see
+ *              sim/checkpoint.hh
+ */
 SampledOutcome runSampled(const trace::TaskTrace &trace,
                           const RunSpec &spec,
-                          const sampling::SamplingParams &params);
+                          const sampling::SamplingParams &params,
+                          const sim::CheckpointHooks *hooks = nullptr);
 
 /** Error/speedup summary of sampled vs. reference. */
 struct ErrorSpeedup

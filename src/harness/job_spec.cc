@@ -58,6 +58,25 @@ readWorkloadParams(BinaryReader &r)
 }
 
 void
+writeMemoryConfig(BinaryWriter &w, const mem::MemoryConfig &m)
+{
+    writeCacheConfig(w, m.l1);
+    writeCacheConfig(w, m.l2);
+    writeCacheConfig(w, m.l3);
+    writeBool(w, m.l2Shared);
+    writeBool(w, m.hasL3);
+    w.pod(m.dram.latency);
+    w.pod(m.dram.servicePeriod);
+    w.pod(m.dram.channels);
+    w.pod(m.upgradeLatency);
+    w.pod(m.busServicePeriod);
+    w.pod(m.coherentBase);
+    w.pod(m.coherentEnd);
+    writeBool(w, m.streamPrefetch);
+    w.pod(m.prefetchDegree);
+}
+
+void
 writeRunSpec(BinaryWriter &w, const RunSpec &spec)
 {
     const cpu::ArchConfig &a = spec.arch;
@@ -65,20 +84,7 @@ writeRunSpec(BinaryWriter &w, const RunSpec &spec)
     w.pod(a.core.robSize);
     w.pod(a.core.issueWidth);
     w.pod(a.core.commitWidth);
-    writeCacheConfig(w, a.memory.l1);
-    writeCacheConfig(w, a.memory.l2);
-    writeCacheConfig(w, a.memory.l3);
-    writeBool(w, a.memory.l2Shared);
-    writeBool(w, a.memory.hasL3);
-    w.pod(a.memory.dram.latency);
-    w.pod(a.memory.dram.servicePeriod);
-    w.pod(a.memory.dram.channels);
-    w.pod(a.memory.upgradeLatency);
-    w.pod(a.memory.busServicePeriod);
-    w.pod(a.memory.coherentBase);
-    w.pod(a.memory.coherentEnd);
-    writeBool(w, a.memory.streamPrefetch);
-    w.pod(a.memory.prefetchDegree);
+    writeMemoryConfig(w, a.memory);
 
     w.pod(spec.threads);
     w.pod<std::uint8_t>(
@@ -151,6 +157,8 @@ writeSamplingParams(BinaryWriter &w, const sampling::SamplingParams &p)
     w.pod(p.targetError);
     w.pod(p.pilotSamples);
     w.pod(p.confidenceZ);
+    // v3 field: the adaptive detail-budget cap.
+    w.pod(p.detailBudgetMultiple);
 }
 
 sampling::SamplingParams
@@ -169,6 +177,14 @@ readSamplingParams(BinaryReader &r, std::uint32_t version)
         p.pilotSamples = r.pod<std::uint64_t>();
         p.confidenceZ = r.pod<double>();
     }
+    if (version >= 3) {
+        p.detailBudgetMultiple = r.pod<double>();
+    } else {
+        // Builds that wrote v1/v2 plans had no budget cap; replaying
+        // their plans must reproduce their numbers bit for bit, so
+        // the cap stays off rather than taking the new default.
+        p.detailBudgetMultiple = 0.0;
+    }
     return p;
 }
 
@@ -182,6 +198,11 @@ serializeJobSpec(BinaryWriter &w, const JobSpec &job)
     writeRunSpec(w, job.spec);
     writeSamplingParams(w, job.sampling);
     w.pod<std::uint8_t>(static_cast<std::uint8_t>(job.mode));
+    // v3 fields: checkpoint-slice coordinates.
+    w.pod(job.sliceCount);
+    w.pod(job.sliceIndex);
+    w.pod(job.startBoundary);
+    w.pod(job.stopBoundary);
 }
 
 JobSpec
@@ -198,6 +219,15 @@ deserializeJobSpec(BinaryReader &r, std::uint32_t version)
     if (mode > static_cast<std::uint8_t>(BatchMode::Both))
         throwIoError("'%s': corrupt batch mode", r.name().c_str());
     job.mode = static_cast<BatchMode>(mode);
+    if (version >= 3) {
+        job.sliceCount = r.pod<std::uint32_t>();
+        job.sliceIndex = r.pod<std::uint32_t>();
+        job.startBoundary = r.pod<std::uint64_t>();
+        job.stopBoundary = r.pod<std::uint64_t>();
+        if (job.sliceCount > 0 && job.sliceIndex >= job.sliceCount)
+            throwIoError("'%s': corrupt slice coordinates",
+                         r.name().c_str());
+    }
     return job;
 }
 

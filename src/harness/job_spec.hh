@@ -69,6 +69,24 @@ struct JobSpec
     RunSpec spec;
     sampling::SamplingParams sampling;
     BatchMode mode = BatchMode::Sampled;
+
+    /**
+     * Checkpoint-slice coordinates (live-points intra-run
+     * parallelism, see harness/plan_shard.hh). A plain job has
+     * sliceCount == 0. expandCheckpointSlices() splits one sampled
+     * job into `sliceCount` jobs; slice `sliceIndex` restores the
+     * warm-state checkpoint at sample boundary `startBoundary` (0 =
+     * cold start) and stops at `stopBoundary` (0 = run to the end).
+     * Slice jobs are an execution detail: they bypass the result
+     * cache and are never re-expanded.
+     */
+    std::uint32_t sliceCount = 0;
+    std::uint32_t sliceIndex = 0;
+    std::uint64_t startBoundary = 0;
+    std::uint64_t stopBoundary = 0;
+
+    /** @return true when this job is one checkpoint slice. */
+    bool isSlice() const { return sliceCount > 0; }
 };
 
 /**
@@ -102,8 +120,15 @@ struct ExperimentPlan
  * current version; v1 files (e.g. the golden fixtures under
  * tests/golden/) still load — the reader defaults the new fields,
  * which exactly reproduces v1 semantics (adaptive off).
+ *
+ * v3: SamplingParams gained detailBudgetMultiple (the adaptive
+ * detail-budget cap) and JobSpec the checkpoint-slice coordinates
+ * (sliceCount/sliceIndex/startBoundary/stopBoundary). v1/v2 readers
+ * default both, reproducing the old semantics (note the budget cap
+ * defaults *on* for newly built params, but a v1/v2 plan replays
+ * with the cap the writing build had: off).
  */
-inline constexpr std::uint32_t kPlanFormatVersion = 2;
+inline constexpr std::uint32_t kPlanFormatVersion = 3;
 
 /** Oldest plan format deserializePlan still accepts. */
 inline constexpr std::uint32_t kMinPlanFormatVersion = 1;
@@ -112,6 +137,12 @@ inline constexpr std::uint32_t kMinPlanFormatVersion = 1;
 void writeWorkloadParams(BinaryWriter &w,
                          const work::WorkloadParams &p);
 work::WorkloadParams readWorkloadParams(BinaryReader &r);
+/**
+ * Write every MemoryConfig field (a writeRunSpec building block,
+ * exposed on its own as the memory-configuration digest material of
+ * checkpoint cache keys — see harness::memoryConfigDigest).
+ */
+void writeMemoryConfig(BinaryWriter &w, const mem::MemoryConfig &m);
 void writeRunSpec(BinaryWriter &w, const RunSpec &spec);
 RunSpec readRunSpec(BinaryReader &r);
 void writeSamplingParams(BinaryWriter &w,

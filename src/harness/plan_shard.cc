@@ -1,17 +1,24 @@
 #include "harness/plan_shard.hh"
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/binary_io.hh"
 #include "common/logging.hh"
 #include "harness/batch_runner.hh"
+#include "harness/result_cache.hh"
+#include "sim/checkpoint.hh"
 
 namespace tp::harness {
 
 namespace {
 
 constexpr std::uint64_t kShardMagic = 0x5450534852443101ULL; // TPSHRD1.
+
+// TPMANIF1: frames the tiny checkpoint-manifest payload.
+constexpr std::uint64_t kManifestMagic = 0x54504d414e494631ULL;
 
 } // namespace
 
@@ -153,6 +160,196 @@ deserializeShard(const std::string &path)
     if (!in)
         throwIoError("cannot open '%s' for reading", path.c_str());
     return deserializeShard(in, path);
+}
+
+std::string
+serializeCheckpointManifest(std::uint64_t boundaryCount)
+{
+    std::ostringstream bytes(std::ios::binary);
+    BinaryWriter w(bytes);
+    w.pod(kManifestMagic);
+    w.pod(sim::kCheckpointFormatVersion);
+    w.pod(boundaryCount);
+    return bytes.str();
+}
+
+std::optional<std::uint64_t>
+parseCheckpointManifest(const std::string &blob)
+{
+    try {
+        std::istringstream in(blob, std::ios::binary);
+        BinaryReader r(in, "checkpoint manifest");
+        if (r.pod<std::uint64_t>() != kManifestMagic)
+            return std::nullopt;
+        if (r.pod<std::uint32_t>() != sim::kCheckpointFormatVersion)
+            return std::nullopt;
+        const auto count = r.pod<std::uint64_t>();
+        r.expectEof();
+        return count;
+    } catch (const IoError &) {
+        return std::nullopt;
+    }
+}
+
+CheckpointExpansion
+expandCheckpointSlices(const ExperimentPlan &plan,
+                       ResultCache &checkpoints,
+                       std::uint32_t maxSlices)
+{
+    CheckpointExpansion ex;
+    ex.plan.baseSeed = plan.baseSeed;
+    // Seeds are resolved below, per original index; the executing
+    // BatchRunner must not re-derive them from expanded indices.
+    ex.plan.deriveSeeds = false;
+    ex.groups.reserve(plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        JobSpec job = plan.jobs[i];
+        if (plan.deriveSeeds)
+            BatchRunner::applyDerivedSeed(job, plan.baseSeed, i);
+
+        SliceGroup g;
+        g.origIndex = static_cast<std::uint64_t>(i);
+
+        // Only plain sampled work can slice; a slice job must never
+        // be re-expanded, and a detailed reference has no sampling
+        // boundaries to slice at.
+        std::uint64_t boundaries = 0;
+        if (maxSlices > 1 && !job.isSlice() &&
+            (job.mode == BatchMode::Sampled ||
+             job.mode == BatchMode::Both)) {
+            const std::string mkey = checkpointManifestKey(
+                memoryConfigDigest(job.spec.arch.memory),
+                checkpointJobDigest(job));
+            if (std::optional<std::string> blob =
+                    checkpoints.loadBlob(mkey))
+                if (std::optional<std::uint64_t> b =
+                        parseCheckpointManifest(*blob))
+                    boundaries = *b;
+        }
+        // `boundaries` checkpoints split the run into boundaries + 1
+        // intervals; fewer than two usable slices means expansion
+        // would only add restore overhead.
+        const auto slices = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(boundaries + 1, maxSlices));
+        if (slices < 2) {
+            ex.plan.jobs.push_back(std::move(job));
+            ex.groups.push_back(g);
+            continue;
+        }
+
+        g.sliced = true;
+        g.hasRef = job.mode == BatchMode::Both;
+        g.count = slices + (g.hasRef ? 1u : 0u);
+        ex.expanded = true;
+        if (g.hasRef) {
+            JobSpec ref = job;
+            ref.mode = BatchMode::Reference;
+            ex.plan.jobs.push_back(std::move(ref));
+        }
+        for (std::uint32_t s = 0; s < slices; ++s) {
+            // Slice s covers boundary intervals [first, last):
+            // restore the checkpoint at boundary `first` (0 = cold
+            // start) and stop on reaching boundary `last` (0 = run
+            // to the end). The shardRange partition guarantees the
+            // slices tile the run exactly.
+            const auto [first, last] = shardRange(
+                static_cast<std::size_t>(boundaries) + 1, s,
+                slices);
+            JobSpec sl = job;
+            sl.mode = BatchMode::Sampled;
+            sl.sliceCount = slices;
+            sl.sliceIndex = s;
+            sl.startBoundary = static_cast<std::uint64_t>(first);
+            sl.stopBoundary =
+                s + 1 == slices ? 0
+                                : static_cast<std::uint64_t>(last);
+            ex.plan.jobs.push_back(std::move(sl));
+        }
+        ex.groups.push_back(g);
+    }
+    return ex;
+}
+
+SliceMergingSink::SliceMergingSink(ResultSink &inner,
+                                   std::vector<SliceGroup> groups)
+    : inner_(inner), groups_(std::move(groups))
+{
+}
+
+void
+SliceMergingSink::begin(std::size_t totalJobs)
+{
+    std::size_t expected = 0;
+    for (const SliceGroup &g : groups_)
+        expected += g.count;
+    tp_assert(totalJobs == expected);
+    inner_.begin(groups_.size());
+}
+
+void
+SliceMergingSink::consume(BatchResult &&result)
+{
+    tp_assert(group_ < groups_.size());
+    pending_.push_back(std::move(result));
+    if (pending_.size() == groups_[group_].count)
+        flushGroup();
+}
+
+void
+SliceMergingSink::end()
+{
+    tp_assert(group_ == groups_.size() && pending_.empty());
+    inner_.end();
+}
+
+void
+SliceMergingSink::flushGroup()
+{
+    const SliceGroup &g = groups_[group_];
+    BatchResult merged;
+    if (!g.sliced) {
+        merged = std::move(pending_.front());
+    } else {
+        // Host timings are genuinely per-slice; everything else that
+        // accumulates over a run (instruction/task counters, the
+        // sampling statistics, the phase log, the final cycle count)
+        // rode the checkpoints, so the last slice already carries
+        // the whole-run values. Per-instance task records are the
+        // exception — each slice records only its own completions,
+        // and the slices tile the run, so concatenating them in
+        // slice order reproduces the serial completion order.
+        const std::size_t first = g.hasRef ? 1 : 0;
+        double wall = 0.0;
+        double host = 0.0;
+        std::vector<sim::TaskRecord> tasks;
+        for (std::size_t i = 0; i < pending_.size(); ++i)
+            host += pending_[i].hostSeconds;
+        for (std::size_t i = first; i < pending_.size(); ++i) {
+            tp_assert(pending_[i].sampled.has_value());
+            const sim::SimResult &r = pending_[i].sampled->result;
+            wall += r.wallSeconds;
+            tasks.insert(tasks.end(), r.tasks.begin(),
+                         r.tasks.end());
+        }
+        merged.label = pending_.back().label;
+        merged.sampled = std::move(pending_.back().sampled);
+        merged.sampled->result.wallSeconds = wall;
+        merged.sampled->result.tasks = std::move(tasks);
+        merged.hostSeconds = host;
+        if (g.hasRef) {
+            tp_assert(pending_.front().reference.has_value());
+            merged.reference =
+                std::move(pending_.front().reference);
+            merged.referenceFromCache =
+                pending_.front().referenceFromCache;
+            merged.comparison =
+                compare(*merged.reference, merged.sampled->result);
+        }
+    }
+    merged.index = static_cast<std::size_t>(g.origIndex);
+    pending_.clear();
+    ++group_;
+    inner_.consume(std::move(merged));
 }
 
 } // namespace tp::harness

@@ -2,11 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -18,6 +20,7 @@
 #include "common/subprocess.hh"
 #include "harness/batch_runner.hh"
 #include "harness/plan_shard.hh"
+#include "harness/result_cache.hh"
 #include "harness/worker.hh"
 #include "sim/result_io.hh"
 
@@ -90,6 +93,40 @@ ProcessPool::run(const ExperimentPlan &plan, ResultSink &sink) const
     // plan must not spawn a single worker.
     validatePlanJobs(plan);
 
+    // Live-points: expand sampled jobs with recorded checkpoints
+    // into per-interval slices before sharding, so one job's slices
+    // spread across the fleet; the workers restore the checkpoints
+    // (they get --checkpoint-dir) and the merging sink reassembles
+    // the original result stream.
+    if (!options_.checkpointDir.empty()) {
+        const std::unique_ptr<ResultCache> checkpoints =
+            openCheckpointDir(options_.checkpointDir);
+        const std::size_t lanes =
+            options_.workers *
+            (options_.jobsPerWorker == 0 ? 1
+                                         : options_.jobsPerWorker);
+        CheckpointExpansion ex = expandCheckpointSlices(
+            plan, *checkpoints,
+            static_cast<std::uint32_t>(
+                std::max<std::size_t>(lanes, 1)));
+        if (ex.expanded) {
+            if (options_.progress)
+                progress(strprintf(
+                    "checkpoints: expanded %zu jobs into %zu "
+                    "slice jobs", plan.jobs.size(),
+                    ex.plan.jobs.size()));
+            SliceMergingSink merging(sink, std::move(ex.groups));
+            runSharded(ex.plan, merging);
+            return;
+        }
+    }
+    runSharded(plan, sink);
+}
+
+void
+ProcessPool::runSharded(const ExperimentPlan &plan,
+                        ResultSink &sink) const
+{
     const std::string worker = options_.workerBinary.empty()
                                    ? defaultWorkerBinary()
                                    : options_.workerBinary;
@@ -132,6 +169,9 @@ ProcessPool::run(const ExperimentPlan &plan, ResultSink &sink) const
             argv.push_back("--cache-dir=" + options_.cacheDir);
             argv.push_back("--cache=" + options_.cacheMode);
         }
+        if (!options_.checkpointDir.empty())
+            argv.push_back("--checkpoint-dir=" +
+                           options_.checkpointDir);
         SubprocessOptions so;
         so.stderrPath =
             (fs::path(st.outDir) / "worker.err").string();
@@ -287,6 +327,7 @@ processPoolFromCli(const CliArgs &args)
         kCacheModeOption, o.cacheDir.empty() ? "off" : "rw");
     if (o.cacheMode == "off")
         o.cacheDir.clear();
+    o.checkpointDir = args.getString(kCheckpointDirOption, "");
     return o;
 }
 

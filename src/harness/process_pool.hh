@@ -75,6 +75,15 @@ struct ProcessPoolOptions
      */
     std::string cacheDir;
     std::string cacheMode = "rw";
+    /**
+     * Warm-state checkpoint store forwarded to workers
+     * (--checkpoint-dir); empty = checkpoints off. When set, the
+     * pool expands sampled jobs with recorded checkpoints into
+     * per-interval slices *before* sharding, so the slices of one
+     * job spread across the worker fleet, and merges the slice
+     * results back (see harness/plan_shard.hh).
+     */
+    std::string checkpointDir;
 };
 
 /**
@@ -106,6 +115,10 @@ class ProcessPool
     const ProcessPoolOptions &options() const { return options_; }
 
   private:
+    /** run() after validation and optional slice expansion. */
+    void runSharded(const ExperimentPlan &plan,
+                    ResultSink &sink) const;
+
     ProcessPoolOptions options_;
 };
 

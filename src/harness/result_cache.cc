@@ -15,6 +15,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "harness/job_spec.hh"
+#include "sim/checkpoint.hh"
 #include "trace/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -35,6 +36,8 @@ constexpr std::uint32_t kKeySchemeVersion = 2;
 /** Entry-kind tags keyed into the digest material. */
 constexpr std::uint8_t kKindReference = 'R';
 constexpr std::uint8_t kKindSampled = 'S';
+constexpr std::uint8_t kKindCheckpoint = 'C';
+constexpr std::uint8_t kKindManifest = 'M';
 
 const char *const kIndexName = "index.tsv";
 const char *const kEntrySuffix = ".tpres";
@@ -107,6 +110,67 @@ sampledCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
 {
     return sampledCacheKey(traceDigest(trace), spec, params,
                            formatVersion);
+}
+
+std::string
+memoryConfigDigest(const mem::MemoryConfig &m)
+{
+    std::ostringstream bytes(std::ios::binary);
+    BinaryWriter w(bytes);
+    writeMemoryConfig(w, m);
+    return hexDigest128(bytes.str());
+}
+
+std::string
+checkpointJobDigest(const JobSpec &job)
+{
+    JobSpec normalized = job;
+    normalized.label.clear();
+    normalized.mode = BatchMode::Sampled;
+    normalized.sliceCount = 0;
+    normalized.sliceIndex = 0;
+    normalized.startBoundary = 0;
+    normalized.stopBoundary = 0;
+    return jobSpecDigest(normalized);
+}
+
+namespace {
+
+std::string
+checkpointKeyMaterial(std::uint8_t kind,
+                      const std::string &memory_digest,
+                      const std::string &job_digest)
+{
+    std::ostringstream material(std::ios::binary);
+    BinaryWriter w(material);
+    w.pod(kind);
+    w.pod(kKeySchemeVersion);
+    w.pod(sim::kCheckpointFormatVersion);
+    w.str(memory_digest);
+    w.str(job_digest);
+    return material.str();
+}
+
+} // namespace
+
+std::string
+checkpointManifestKey(const std::string &memory_digest,
+                      const std::string &job_digest)
+{
+    return hexDigest128(checkpointKeyMaterial(
+        kKindManifest, memory_digest, job_digest));
+}
+
+std::string
+checkpointBlobKey(const std::string &memory_digest,
+                  const std::string &job_digest,
+                  std::uint64_t boundary)
+{
+    std::string material = checkpointKeyMaterial(
+        kKindCheckpoint, memory_digest, job_digest);
+    material.append(reinterpret_cast<const char *>(&boundary),
+                    sizeof(boundary));
+    return hexDigest128(material);
 }
 
 ResultCache::ResultCache(ResultCacheOptions options)
@@ -360,6 +424,27 @@ ResultCache::storeSampled(const std::string &key,
     storePayload(key, payload.str());
 }
 
+std::optional<std::string>
+ResultCache::loadBlob(const std::string &key)
+{
+    std::optional<std::string> payload = loadPayload(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (payload)
+        ++stats_.hits;
+    else
+        ++stats_.misses;
+    return payload;
+}
+
+void
+ResultCache::storeBlob(const std::string &key,
+                       const std::string &blob)
+{
+    if (options_.mode != CacheMode::ReadWrite)
+        return;
+    storePayload(key, blob);
+}
+
 void
 ResultCache::storePayload(const std::string &key,
                           const std::string &payload)
@@ -501,6 +586,18 @@ resultCacheFromCli(const CliArgs &args)
     ResultCacheOptions o;
     o.dir = dir;
     o.mode = mode;
+    return std::make_unique<ResultCache>(std::move(o));
+}
+
+std::unique_ptr<ResultCache>
+openCheckpointDir(const std::string &dir)
+{
+    if (dir.empty())
+        return nullptr;
+    ResultCacheOptions o;
+    o.dir = dir;
+    o.mode = CacheMode::ReadWrite;
+    o.maxBytes = 0; // see header: no LRU eviction of checkpoints
     return std::make_unique<ResultCache>(std::move(o));
 }
 

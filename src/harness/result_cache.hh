@@ -62,6 +62,8 @@ class CliArgs;
 
 namespace tp::harness {
 
+struct JobSpec;
+
 /** How a driver uses the cache (`--cache={off,ro,rw}`). */
 enum class CacheMode : std::uint8_t {
     Off,       //!< no cache (drivers pass no ResultCache at all)
@@ -133,6 +135,42 @@ sampledCacheKey(const trace::TaskTrace &trace, const RunSpec &spec,
                 const sampling::SamplingParams &params,
                 std::uint32_t formatVersion = sim::kSampledFormatVersion);
 
+/**
+ * @return the 128-bit hex digest of a memory configuration (the
+ *         writeMemoryConfig encoding). Checkpoint keys lead with it,
+ *         so a checkpoint directory groups its entries by the
+ *         microarchitectural warm state they capture — entries for
+ *         different cache hierarchies can never be confused even in
+ *         the presence of a key-derivation bug downstream.
+ */
+std::string memoryConfigDigest(const mem::MemoryConfig &m);
+
+/**
+ * @return the normalized job digest checkpoints are keyed by: the
+ *         jobSpecDigest of `job` with the label cleared, the mode
+ *         forced to Sampled and the slice coordinates zeroed, so one
+ *         recording and all slices of one underlying sampled run —
+ *         under any display label, in a Sampled or Both job — share
+ *         checkpoints. Seeds must already be applied (the digest is
+ *         computed on the job as passed).
+ */
+std::string checkpointJobDigest(const JobSpec &job);
+
+/**
+ * @return the cache key of the checkpoint *manifest* of one recorded
+ *         run (the boundary count, see plan_shard).
+ */
+std::string checkpointManifestKey(const std::string &memory_digest,
+                                  const std::string &job_digest);
+
+/**
+ * @return the cache key of the warm-state checkpoint at sample
+ *         boundary `boundary` of one recorded run.
+ */
+std::string checkpointBlobKey(const std::string &memory_digest,
+                              const std::string &job_digest,
+                              std::uint64_t boundary);
+
 /** See file comment. */
 class ResultCache
 {
@@ -169,6 +207,19 @@ class ResultCache
     /** Store a whole sampled outcome under `key`. */
     void storeSampled(const std::string &key,
                       const SampledOutcome &outcome);
+
+    /**
+     * Look up an opaque byte payload (checkpoints, manifests —
+     * anything framed by the caller). Envelope-verified like every
+     * entry; damaged or absent entries miss.
+     */
+    std::optional<std::string> loadBlob(const std::string &key);
+
+    /**
+     * Store an opaque byte payload under `key` (atomic publish).
+     * No-op in read-only mode.
+     */
+    void storeBlob(const std::string &key, const std::string &blob);
 
     /** @return whether an entry file for `key` exists right now
      *          (no validation, no LRU effect; for tests/tools). */
@@ -228,6 +279,16 @@ class ResultCache
  * @return the cache, or nullptr when caching is off
  */
 std::unique_ptr<ResultCache> resultCacheFromCli(const CliArgs &args);
+
+/**
+ * Open `dir` as a warm-state checkpoint store (live-points): a
+ * read-write ResultCache with the LRU size cap disabled — evicting a
+ * checkpoint mid-run would silently degrade slices to cold replays,
+ * so the directory's size is managed by its owner, not by the cache.
+ *
+ * @return the store, or nullptr when `dir` is empty (checkpoints off)
+ */
+std::unique_ptr<ResultCache> openCheckpointDir(const std::string &dir);
 
 } // namespace tp::harness
 

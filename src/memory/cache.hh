@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/types.hh"
 
 namespace tp::mem {
@@ -167,6 +168,17 @@ class Cache
 
     /** @return number of sets. */
     std::uint64_t numSets() const { return numSets_; }
+
+    /**
+     * Serialize the warm state: packed tag words, LRU ticks and the
+     * replacement/aging counters, plus the statistics (cumulative
+     * counters must survive a checkpoint restore bit-identically).
+     * Geometry is not serialized — it is fixed by construction.
+     */
+    void saveState(BinaryWriter &w) const;
+
+    /** Exact inverse of saveState(); throws IoError on mismatch. */
+    void loadState(BinaryReader &r);
 
   private:
     /**

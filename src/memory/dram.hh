@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/types.hh"
 
 namespace tp::mem {
@@ -74,6 +75,24 @@ class ServicePort
                          : 0.0;
     }
 
+    /** Serialize reservation + counter state (period is fixed). */
+    void
+    saveState(BinaryWriter &w) const
+    {
+        w.pod(nextFree_);
+        w.pod(requests_);
+        w.pod(totalQueueCycles_);
+    }
+
+    /** Exact inverse of saveState(). */
+    void
+    loadState(BinaryReader &r)
+    {
+        nextFree_ = r.pod<Cycles>();
+        requests_ = r.pod<std::uint64_t>();
+        totalQueueCycles_ = r.pod<Cycles>();
+    }
+
   private:
     Cycles period_;
     Cycles nextFree_ = 0;
@@ -114,6 +133,22 @@ class Dram
 
     /** @return configuration. */
     const DramConfig &config() const { return config_; }
+
+    /** Serialize every channel's reservation state. */
+    void
+    saveState(BinaryWriter &w) const
+    {
+        for (const ServicePort &p : channels_)
+            p.saveState(w);
+    }
+
+    /** Exact inverse of saveState() (channel count is fixed). */
+    void
+    loadState(BinaryReader &r)
+    {
+        for (ServicePort &p : channels_)
+            p.loadState(r);
+    }
 
   private:
     DramConfig config_;

@@ -232,6 +232,48 @@ Hierarchy::reset()
         pf = Prefetcher{};
 }
 
+void
+Hierarchy::saveState(BinaryWriter &w) const
+{
+    for (const Cache &c : l1s_)
+        c.saveState(w);
+    for (const Cache &c : l2s_)
+        c.saveState(w);
+    if (l3_)
+        l3_->saveState(w);
+    dram_.saveState(w);
+    bus_.saveState(w);
+    l2Port_.saveState(w);
+    l3Port_.saveState(w);
+    sharers_.save(w);
+    w.pod(coherenceInvalidations_);
+    for (const Prefetcher &pf : prefetchers_) {
+        w.pod(pf.lastLine);
+        w.pod(pf.lastDelta);
+    }
+}
+
+void
+Hierarchy::loadState(BinaryReader &r)
+{
+    for (Cache &c : l1s_)
+        c.loadState(r);
+    for (Cache &c : l2s_)
+        c.loadState(r);
+    if (l3_)
+        l3_->loadState(r);
+    dram_.loadState(r);
+    bus_.loadState(r);
+    l2Port_.loadState(r);
+    l3Port_.loadState(r);
+    sharers_.load(r);
+    coherenceInvalidations_ = r.pod<std::uint64_t>();
+    for (Prefetcher &pf : prefetchers_) {
+        pf.lastLine = r.pod<std::int64_t>();
+        pf.lastDelta = r.pod<std::int64_t>();
+    }
+}
+
 namespace {
 
 void

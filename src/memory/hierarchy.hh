@@ -136,6 +136,18 @@ class Hierarchy
     /** @return configuration. */
     const MemoryConfig &config() const { return config_; }
 
+    /**
+     * Serialize the complete warm state: every cache's tag/LRU
+     * arrays, all port and DRAM reservations, the sharers directory,
+     * the coherence counter and the per-core prefetcher detectors.
+     * Geometry (configuration, core count) is not serialized; the
+     * restoring hierarchy must be constructed identically.
+     */
+    void saveState(BinaryWriter &w) const;
+
+    /** Exact inverse of saveState(); throws IoError on mismatch. */
+    void loadState(BinaryReader &r);
+
   private:
     /** @return the L2 slice serving `core`. */
     Cache &l2For(ThreadId core);

@@ -24,6 +24,41 @@ DepTracker::reset()
     completed_ = 0;
 }
 
+void
+DepTracker::saveState(BinaryWriter &w) const
+{
+    w.pod<std::uint64_t>(remainingDeps_.size());
+    for (const std::uint32_t d : remainingDeps_)
+        w.pod(d);
+    for (std::size_t i = 0; i < done_.size(); ++i)
+        writeBool(w, done_[i]);
+    for (const std::uint64_t e : epochRemaining_)
+        w.pod(e);
+    w.pod(currentEpoch_);
+    w.pod(completed_);
+}
+
+void
+DepTracker::loadState(BinaryReader &r)
+{
+    const auto n = r.pod<std::uint64_t>();
+    if (n != remainingDeps_.size())
+        throwIoError("'%s': dependency-tracker size mismatch",
+                     r.name().c_str());
+    for (std::uint32_t &d : remainingDeps_)
+        d = r.pod<std::uint32_t>();
+    for (std::size_t i = 0; i < done_.size(); ++i)
+        done_[i] = readBool(r);
+    for (std::uint64_t &e : epochRemaining_)
+        e = r.pod<std::uint64_t>();
+    currentEpoch_ = r.pod<std::uint32_t>();
+    completed_ = r.pod<std::uint64_t>();
+    if (currentEpoch_ >= trace_.numEpochs() ||
+        completed_ > trace_.size())
+        throwIoError("'%s': corrupt dependency-tracker counters",
+                     r.name().c_str());
+}
+
 bool
 DepTracker::eligible(TaskInstanceId id) const
 {

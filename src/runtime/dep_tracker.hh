@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
 
@@ -53,6 +54,12 @@ class DepTracker
 
     /** Reset to the initial state (for a fresh simulation run). */
     void reset();
+
+    /** Serialize the dependency/epoch state (trace is fixed). */
+    void saveState(BinaryWriter &w) const;
+
+    /** Exact inverse of saveState(); throws IoError on mismatch. */
+    void loadState(BinaryReader &r);
 
   private:
     bool eligible(TaskInstanceId id) const;

@@ -86,6 +86,22 @@ class RuntimeModel
     /** @return the scheduler (for introspection in tests). */
     const Scheduler &scheduler() const { return *scheduler_; }
 
+    /** Serialize dependency + scheduler state (trace/config fixed). */
+    void
+    saveState(BinaryWriter &w) const
+    {
+        tracker_.saveState(w);
+        scheduler_->saveState(w);
+    }
+
+    /** Exact inverse of saveState(). */
+    void
+    loadState(BinaryReader &r)
+    {
+        tracker_.loadState(r);
+        scheduler_->loadState(r);
+    }
+
   private:
     const trace::TaskTrace &trace_;
     RuntimeConfig config_;

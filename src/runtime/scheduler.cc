@@ -4,6 +4,30 @@
 
 namespace tp::rt {
 
+namespace {
+
+void
+writeQueue(BinaryWriter &w, const std::deque<TaskInstanceId> &q)
+{
+    w.pod<std::uint64_t>(q.size());
+    for (const TaskInstanceId id : q)
+        w.pod(id);
+}
+
+void
+readQueue(BinaryReader &r, std::deque<TaskInstanceId> &q)
+{
+    const auto n = r.pod<std::uint64_t>();
+    if (n > r.remainingBytes() / sizeof(TaskInstanceId))
+        throwIoError("'%s': corrupt scheduler queue length",
+                     r.name().c_str());
+    q.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        q.push_back(r.pod<TaskInstanceId>());
+}
+
+} // namespace
+
 FifoScheduler::FifoScheduler() : name_("fifo") {}
 
 void
@@ -28,6 +52,18 @@ bool
 FifoScheduler::empty() const
 {
     return queue_.empty();
+}
+
+void
+FifoScheduler::saveState(BinaryWriter &w) const
+{
+    writeQueue(w, queue_);
+}
+
+void
+FifoScheduler::loadState(BinaryReader &r)
+{
+    readQueue(r, queue_);
 }
 
 WorkStealingScheduler::WorkStealingScheduler(std::uint32_t num_threads,
@@ -77,6 +113,25 @@ bool
 WorkStealingScheduler::empty() const
 {
     return queued_ == 0;
+}
+
+void
+WorkStealingScheduler::saveState(BinaryWriter &w) const
+{
+    for (const auto &q : deques_)
+        writeQueue(w, q);
+    rng_.save(w);
+}
+
+void
+WorkStealingScheduler::loadState(BinaryReader &r)
+{
+    queued_ = 0;
+    for (auto &q : deques_) {
+        readQueue(r, q);
+        queued_ += q.size();
+    }
+    rng_.load(r);
 }
 
 LocalityScheduler::LocalityScheduler(std::uint32_t num_threads)
@@ -144,6 +199,22 @@ LocalityScheduler::empty() const
             return false;
     }
     return true;
+}
+
+void
+LocalityScheduler::saveState(BinaryWriter &w) const
+{
+    for (const auto &q : local_)
+        writeQueue(w, q);
+    writeQueue(w, global_);
+}
+
+void
+LocalityScheduler::loadState(BinaryReader &r)
+{
+    for (auto &q : local_)
+        readQueue(r, q);
+    readQueue(r, global_);
 }
 
 std::unique_ptr<Scheduler>

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -56,6 +57,16 @@ class Scheduler
 
     /** @return policy name for reporting. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Serialize the queue contents (and any tie-break RNG state) for
+     * warm-state checkpoints; exact restore via loadState() on a
+     * scheduler constructed with the same policy and thread count.
+     */
+    virtual void saveState(BinaryWriter &w) const = 0;
+
+    /** Exact inverse of saveState(); throws IoError on corruption. */
+    virtual void loadState(BinaryReader &r) = 0;
 };
 
 /** Central-queue FIFO scheduler. */
@@ -69,6 +80,8 @@ class FifoScheduler : public Scheduler
     bool empty() const override;
     std::size_t size() const override { return queue_.size(); }
     const std::string &name() const override { return name_; }
+    void saveState(BinaryWriter &w) const override;
+    void loadState(BinaryReader &r) override;
 
   private:
     std::string name_;
@@ -91,6 +104,8 @@ class WorkStealingScheduler : public Scheduler
     bool empty() const override;
     std::size_t size() const override { return queued_; }
     const std::string &name() const override { return name_; }
+    void saveState(BinaryWriter &w) const override;
+    void loadState(BinaryReader &r) override;
 
   private:
     std::string name_;
@@ -110,6 +125,8 @@ class LocalityScheduler : public Scheduler
     bool empty() const override;
     std::size_t size() const override;
     const std::string &name() const override { return name_; }
+    void saveState(BinaryWriter &w) const override;
+    void loadState(BinaryReader &r) override;
 
   private:
     std::string name_;

@@ -54,6 +54,36 @@ StratifiedEstimator::reset()
 }
 
 void
+StratifiedEstimator::saveState(BinaryWriter &w) const
+{
+    w.pod<std::uint64_t>(strata_.size());
+    for (const RunningStats &s : stats_)
+        s.save(w);
+    for (const std::uint64_t t : targets_)
+        w.pod(t);
+    for (const char s : seen_)
+        writeBool(w, s != 0);
+    w.pod(rounds_);
+}
+
+void
+StratifiedEstimator::loadState(BinaryReader &r)
+{
+    const auto n = r.pod<std::uint64_t>();
+    if (n != strata_.size())
+        throwIoError("'%s': adaptive-estimator stratum count "
+                     "mismatch",
+                     r.name().c_str());
+    for (RunningStats &s : stats_)
+        s.load(r);
+    for (std::uint64_t &t : targets_)
+        t = r.pod<std::uint64_t>();
+    for (char &s : seen_)
+        s = readBool(r) ? 1 : 0;
+    rounds_ = r.pod<std::uint64_t>();
+}
+
+void
 StratifiedEstimator::markSeen(std::size_t stratum)
 {
     tp_assert(stratum < strata_.size());

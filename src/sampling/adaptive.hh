@@ -109,6 +109,15 @@ struct AdaptiveDiagnostics
      */
     bool cutoffStopped = false;
     /**
+     * True when the last sampling phase ended because the detailed-
+     * instruction budget cap was hit (see
+     * SamplingParams::detailBudgetMultiple): Neyman reallocation was
+     * chasing a CI target the workload's variance cannot reach at an
+     * acceptable cost, so the phase was closed at a bounded multiple
+     * of the lazy policy's detailed-instruction budget.
+     */
+    bool budgetStopped = false;
+    /**
      * Detailed samples credited to each stratum (by TaskTypeId) in
      * the final sampling regime (resampling restarts the counts).
      */
@@ -182,6 +191,16 @@ class StratifiedEstimator
      * persist.
      */
     void reset();
+
+    /**
+     * Serialize the dynamic estimator state (per-stratum Welford
+     * accumulators, targets, seen flags, reallocation rounds); the
+     * strata specs and config are fixed by construction.
+     */
+    void saveState(BinaryWriter &w) const;
+
+    /** Exact inverse of saveState(); throws IoError on mismatch. */
+    void loadState(BinaryReader &r);
 
   private:
     /** True when every seen stratum met its target or capacity. */

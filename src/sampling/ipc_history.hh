@@ -12,7 +12,10 @@
 #define TP_SAMPLING_IPC_HISTORY_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "common/binary_io.hh"
 
 namespace tp::sampling {
 
@@ -43,6 +46,31 @@ class IpcHistory
 
     /** @return arithmetic mean of the stored samples (0 if empty). */
     double mean() const;
+
+    /** Serialize contents + ring position (capacity is fixed). */
+    void
+    save(BinaryWriter &w) const
+    {
+        for (const double v : buf_)
+            w.pod(v);
+        w.pod<std::uint64_t>(next_);
+        w.pod<std::uint64_t>(size_);
+    }
+
+    /** Exact inverse of save(); throws IoError on corruption. */
+    void
+    load(BinaryReader &r)
+    {
+        for (double &v : buf_)
+            v = r.pod<double>();
+        const auto next = r.pod<std::uint64_t>();
+        const auto size = r.pod<std::uint64_t>();
+        if (next >= buf_.size() || size > buf_.size())
+            throwIoError("'%s': corrupt IPC-history position",
+                         r.name().c_str());
+        next_ = static_cast<std::size_t>(next);
+        size_ = static_cast<std::size_t>(size);
+    }
 
   private:
     std::vector<double> buf_;

@@ -46,6 +46,27 @@ TaskPointController::TaskPointController(const trace::TaskTrace &trace,
         cfg.targetError = params_.targetError;
         cfg.pilotSamples = params_.pilotSamples;
         cfg.confidenceZ = params_.confidenceZ;
+        if (params_.detailBudgetMultiple > 0.0) {
+            // The lazy policy's detailed budget: H valid samples per
+            // observed type, each costing that type's mean dynamic
+            // instructions. The cap is a multiple of that, so the
+            // adaptive policy can spend more where variance demands
+            // it without devolving into near-full detail when the CI
+            // target is unreachable.
+            double lazy_budget = 0.0;
+            for (const StratumSpec &s : strata) {
+                if (s.capacity == 0)
+                    continue;
+                const double mean_insts =
+                    s.weight / static_cast<double>(s.capacity);
+                lazy_budget +=
+                    mean_insts *
+                    static_cast<double>(std::min<std::uint64_t>(
+                        s.capacity, params_.historySize));
+            }
+            detailBudget_ =
+                params_.detailBudgetMultiple * lazy_budget;
+        }
         estimator_.emplace(std::move(strata), cfg);
     }
 
@@ -62,6 +83,8 @@ TaskPointController::enterPhase(Phase p, Cycles at)
     phase_ = p;
     ++phaseSeq_;
     ++stats_.phaseChanges;
+    if (p == Phase::Fast)
+        ++fastPhaseEntries_;
     for (ThreadState &ts : threads_)
         ts = ThreadState{};
     concurrencyDivergence_ = 0;
@@ -91,6 +114,7 @@ TaskPointController::resample(ResampleReason reason, Cycles at)
     // with them (pilot targets apply afresh to the new regime).
     if (estimator_)
         estimator_->reset();
+    detailInstsInSampling_ = 0;
     // Re-warmup needs one detailed instance per participating
     // thread, on state aged past the fast-forwarded phase.
     pendingStateAging_ = true;
@@ -178,20 +202,29 @@ TaskPointController::decideTask(const trace::TaskInstance &inst,
     if (phase_ == Phase::Warmup && warmupComplete())
         enterPhase(Phase::Sampling, status.now);
     if (phase_ == Phase::Sampling) {
-        // Adaptive: stop when the CI target is met; the rare-type
+        // Adaptive: stop when the CI target is met; the detail
+        // budget caps runaway Neyman reallocation, and the rare-type
         // cutoff stays as the escape for strata that stop arriving.
         const bool converged = estimator_ && estimator_->converged();
+        const bool budgetExceeded =
+            estimator_ && detailBudget_ > 0.0 &&
+            static_cast<double>(detailInstsInSampling_) >=
+                detailBudget_;
         const bool done = estimator_
-                              ? converged || rareCutoffReached()
+                              ? converged || budgetExceeded ||
+                                    rareCutoffReached()
                               : allSeenTypesSampled() ||
                                     rareCutoffReached();
         if (done) {
             if (estimator_) {
                 // Last stop wins: the diagnostics describe the final
                 // sampling regime, matching the estimator state they
-                // are reported with.
+                // are reported with. Convergence trumps the budget
+                // trumps the cutoff.
                 adaptiveStopCycle_ = status.now;
-                adaptiveCutoffStopped_ = !converged;
+                adaptiveBudgetStopped_ = !converged && budgetExceeded;
+                adaptiveCutoffStopped_ =
+                    !converged && !budgetExceeded;
             }
             sampledConcurrency_ = status.effectiveConcurrency;
             enterPhase(Phase::Fast, status.now);
@@ -323,6 +356,7 @@ TaskPointController::taskFinished(const trace::TaskInstance &inst,
         break;
       case Phase::Sampling:
         prof.addValidSample(ipc);
+        detailInstsInSampling_ += inst.instCount;
         // The estimator consumes exactly the valid samples, as CPI:
         // execution time is linear in CPI, not IPC.
         if (estimator_)
@@ -330,6 +364,120 @@ TaskPointController::taskFinished(const trace::TaskInstance &inst,
         break;
       case Phase::Fast:
         panic("detailed completion attributed to the fast phase");
+    }
+}
+
+void
+TaskPointController::saveState(BinaryWriter &w) const
+{
+    for (const TypeProfile &p : profiles_)
+        p.save(w);
+    w.pod<std::uint64_t>(threads_.size());
+    for (const ThreadState &ts : threads_) {
+        w.pod(ts.startedInPhase);
+        w.pod(ts.finishedInPhase);
+        w.pod(ts.sinceUnsampled);
+        w.pod(ts.fastStarted);
+        writeBool(w, ts.inPhase);
+    }
+    for (const std::uint32_t n : inFlight_)
+        w.pod(n);
+    for (const StartInfo &si : startInfo_) {
+        w.pod(si.phaseSeq);
+        w.pod<std::uint8_t>(static_cast<std::uint8_t>(si.phase));
+        writeBool(w, si.decided);
+    }
+    w.pod<std::uint8_t>(static_cast<std::uint8_t>(phase_));
+    w.pod(phaseSeq_);
+    w.pod(warmupTarget_);
+    w.pod(sampledConcurrency_);
+    w.pod(concurrencyDivergence_);
+    writeBool(w, pendingStateAging_);
+    if (estimator_)
+        estimator_->saveState(w);
+    w.pod(adaptiveStopCycle_);
+    writeBool(w, adaptiveCutoffStopped_);
+    writeBool(w, adaptiveBudgetStopped_);
+    w.pod(detailInstsInSampling_);
+    w.pod(fastPhaseEntries_);
+    w.pod(stats_.warmupTasks);
+    w.pod(stats_.sampleTasks);
+    w.pod(stats_.fastTasks);
+    w.pod(stats_.resamples);
+    w.pod(stats_.resamplesPeriod);
+    w.pod(stats_.resamplesNewType);
+    w.pod(stats_.resamplesConcurrency);
+    w.pod(stats_.phaseChanges);
+    w.pod<std::uint64_t>(phaseLog_.size());
+    for (const PhaseChange &pc : phaseLog_) {
+        w.pod(pc.at);
+        w.pod<std::uint8_t>(static_cast<std::uint8_t>(pc.to));
+    }
+}
+
+void
+TaskPointController::loadState(BinaryReader &r)
+{
+    const auto read_phase = [&r]() {
+        const auto raw = r.pod<std::uint8_t>();
+        if (raw > static_cast<std::uint8_t>(Phase::Fast))
+            throwIoError("'%s': corrupt sampling phase tag",
+                         r.name().c_str());
+        return static_cast<Phase>(raw);
+    };
+
+    for (TypeProfile &p : profiles_)
+        p.load(r);
+    const auto nthreads = r.pod<std::uint64_t>();
+    if (nthreads > r.remainingBytes())
+        throwIoError("'%s': corrupt controller thread count",
+                     r.name().c_str());
+    threads_.assign(static_cast<std::size_t>(nthreads),
+                    ThreadState{});
+    for (ThreadState &ts : threads_) {
+        ts.startedInPhase = r.pod<std::uint64_t>();
+        ts.finishedInPhase = r.pod<std::uint64_t>();
+        ts.sinceUnsampled = r.pod<std::uint64_t>();
+        ts.fastStarted = r.pod<std::uint64_t>();
+        ts.inPhase = readBool(r);
+    }
+    inFlight_.assign(static_cast<std::size_t>(nthreads), 0);
+    for (std::uint32_t &n : inFlight_)
+        n = r.pod<std::uint32_t>();
+    for (StartInfo &si : startInfo_) {
+        si.phaseSeq = r.pod<std::uint32_t>();
+        si.phase = read_phase();
+        si.decided = readBool(r);
+    }
+    phase_ = read_phase();
+    phaseSeq_ = r.pod<std::uint32_t>();
+    warmupTarget_ = r.pod<std::uint64_t>();
+    sampledConcurrency_ = r.pod<std::uint32_t>();
+    concurrencyDivergence_ = r.pod<std::uint32_t>();
+    pendingStateAging_ = readBool(r);
+    if (estimator_)
+        estimator_->loadState(r);
+    adaptiveStopCycle_ = r.pod<Cycles>();
+    adaptiveCutoffStopped_ = readBool(r);
+    adaptiveBudgetStopped_ = readBool(r);
+    detailInstsInSampling_ = r.pod<std::uint64_t>();
+    fastPhaseEntries_ = r.pod<std::uint64_t>();
+    stats_.warmupTasks = r.pod<std::uint64_t>();
+    stats_.sampleTasks = r.pod<std::uint64_t>();
+    stats_.fastTasks = r.pod<std::uint64_t>();
+    stats_.resamples = r.pod<std::uint64_t>();
+    stats_.resamplesPeriod = r.pod<std::uint64_t>();
+    stats_.resamplesNewType = r.pod<std::uint64_t>();
+    stats_.resamplesConcurrency = r.pod<std::uint64_t>();
+    stats_.phaseChanges = r.pod<std::uint64_t>();
+    const auto nlog = r.pod<std::uint64_t>();
+    if (nlog > r.remainingBytes())
+        throwIoError("'%s': corrupt phase-log length",
+                     r.name().c_str());
+    phaseLog_.resize(static_cast<std::size_t>(nlog));
+    for (PhaseChange &pc : phaseLog_) {
+        pc.at = r.pod<Cycles>();
+        pc.to = read_phase();
     }
 }
 
@@ -346,6 +494,7 @@ TaskPointController::adaptiveDiagnostics() const
     d.stopCycle = adaptiveStopCycle_;
     d.allocationRounds = estimator_->allocationRounds();
     d.cutoffStopped = adaptiveCutoffStopped_;
+    d.budgetStopped = adaptiveBudgetStopped_;
     d.strataSamples.reserve(estimator_->size());
     for (std::size_t h = 0; h < estimator_->size(); ++h)
         d.strataSamples.push_back(estimator_->samples(h));

@@ -95,6 +95,18 @@ struct SamplingParams
     std::uint64_t pilotSamples = 4;
     /** Normal quantile of the CI (1.96 = 95% confidence). */
     double confidenceZ = 1.96;
+    /**
+     * Detail-budget cap of the adaptive policy, as a multiple of the
+     * lazy policy's detailed-instruction budget (the instructions a
+     * valid history of depth H per observed type would cost). When an
+     * unreachable CI target keeps Neyman reallocation requesting more
+     * samples — high within-stratum variance makes n_total ~ 1/eps^2
+     * explode well past the census sizes actually available — the
+     * sampling phase is closed at this multiple instead of devolving
+     * into near-full detail (see AdaptiveDiagnostics::budgetStopped).
+     * 0 disables the cap. Ignored by the lazy/periodic policies.
+     */
+    double detailBudgetMultiple = 2.0;
 
     /** @return true when the adaptive policy is active. */
     bool adaptiveEnabled() const { return targetError > 0.0; }
@@ -209,6 +221,23 @@ class TaskPointController : public sim::ModeController
      */
     AdaptiveDiagnostics adaptiveDiagnostics() const;
 
+    /**
+     * @return number of Sampling->Fast transitions so far. Each one
+     *         is a checkpointable sample boundary: the histories are
+     *         freshly full and the fast-forward regime is about to
+     *         begin (see sim/checkpoint.hh).
+     */
+    std::uint64_t phaseEpoch() const override
+    {
+        return fastPhaseEntries_;
+    }
+
+    /** Serialize the full dynamic controller state. */
+    void saveState(BinaryWriter &w) const override;
+
+    /** Exact inverse of saveState(); throws IoError on corruption. */
+    void loadState(BinaryReader &r) override;
+
   private:
     /** Per-thread bookkeeping, reset at each phase change. */
     struct ThreadState
@@ -263,6 +292,18 @@ class TaskPointController : public sim::ModeController
     /** Last sampling-complete transition (adaptive diagnostics). */
     Cycles adaptiveStopCycle_ = 0;
     bool adaptiveCutoffStopped_ = false;
+    bool adaptiveBudgetStopped_ = false;
+    /**
+     * Detailed-instruction cap per sampling regime, derived in the
+     * constructor from detailBudgetMultiple and the trace's type mix
+     * (0 = uncapped; always 0 for the lazy/periodic policies).
+     */
+    double detailBudget_ = 0.0;
+    /** Detailed instructions spent in the current sampling regime. */
+    std::uint64_t detailInstsInSampling_ = 0;
+
+    /** Sampling->Fast transitions; exported via phaseEpoch(). */
+    std::uint64_t fastPhaseEntries_ = 0;
 
     SamplingStats stats_;
     std::vector<PhaseChange> phaseLog_;

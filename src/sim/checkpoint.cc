@@ -1,0 +1,66 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/binary_io.hh"
+#include "common/hash.hh"
+
+namespace tp::sim {
+
+std::string
+serializeCheckpoint(const Checkpoint &cp)
+{
+    std::ostringstream os(std::ios::binary);
+    BinaryWriter w(os);
+    w.pod(kCheckpointMagic);
+    w.pod(kCheckpointFormatVersion);
+    w.pod(cp.boundary);
+    // The payload is written raw (not via str()): warm-state blobs
+    // routinely exceed the reader's 1 MiB string bound.
+    w.pod<std::uint64_t>(cp.state.size());
+    os.write(cp.state.data(),
+             static_cast<std::streamsize>(cp.state.size()));
+    std::string bytes = os.str();
+    const std::uint64_t sum = fnv1a(bytes.data(), bytes.size());
+    bytes.append(reinterpret_cast<const char *>(&sum), sizeof(sum));
+    return bytes;
+}
+
+Checkpoint
+deserializeCheckpoint(const std::string &blob,
+                      const std::string &name)
+{
+    if (blob.size() < sizeof(std::uint64_t))
+        throwIoError("'%s': checkpoint truncated", name.c_str());
+    const std::size_t body = blob.size() - sizeof(std::uint64_t);
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, blob.data() + body, sizeof(stored));
+    if (fnv1a(blob.data(), body) != stored)
+        throwIoError("'%s': checkpoint checksum mismatch",
+                     name.c_str());
+
+    std::istringstream is(blob.substr(0, body), std::ios::binary);
+    BinaryReader r(is, name);
+    if (r.pod<std::uint64_t>() != kCheckpointMagic)
+        throwIoError("'%s': not a checkpoint file", name.c_str());
+    const auto version = r.pod<std::uint32_t>();
+    if (version != kCheckpointFormatVersion) {
+        throwIoError("'%s': checkpoint format v%u (this build "
+                     "reads v%u)",
+                     name.c_str(), version, kCheckpointFormatVersion);
+    }
+    Checkpoint cp;
+    cp.boundary = r.pod<std::uint64_t>();
+    const auto len = r.pod<std::uint64_t>();
+    if (len > r.remainingBytes())
+        throwIoError("'%s': checkpoint truncated", name.c_str());
+    cp.state.resize(static_cast<std::size_t>(len));
+    is.read(cp.state.data(), static_cast<std::streamsize>(len));
+    if (!is)
+        throwIoError("'%s': checkpoint truncated", name.c_str());
+    r.expectEof();
+    return cp;
+}
+
+} // namespace tp::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -147,8 +148,77 @@ Engine::assignTasks(Cycles now)
     }
 }
 
+void
+Engine::saveState(BinaryWriter &w) const
+{
+    w.pod(activeCores_);
+    w.pod(lastCompletion_);
+    w.pod(busyCycles_);
+    w.pod(fastInstsSinceAging_);
+    w.pod(result_.detailedTasks);
+    w.pod(result_.fastTasks);
+    w.pod(result_.detailedInsts);
+    w.pod(result_.fastInsts);
+    jitterRng_.save(w);
+    for (const CoreState &s : states_) {
+        w.pod<std::uint8_t>(static_cast<std::uint8_t>(s.st));
+        w.pod(s.task);
+        w.pod(s.start);
+        w.pod(s.finish);
+    }
+    for (const cpu::RobCore &c : cores_)
+        c.saveState(w);
+    events_.saveState(w);
+    mem_.saveState(w);
+    runtime_.saveState(w);
+    noise_.saveState(w);
+}
+
+void
+Engine::loadState(BinaryReader &r)
+{
+    activeCores_ = r.pod<std::uint32_t>();
+    lastCompletion_ = r.pod<Cycles>();
+    busyCycles_ = r.pod<Cycles>();
+    fastInstsSinceAging_ = r.pod<InstCount>();
+    result_.detailedTasks = r.pod<std::uint64_t>();
+    result_.fastTasks = r.pod<std::uint64_t>();
+    result_.detailedInsts = r.pod<InstCount>();
+    result_.fastInsts = r.pod<InstCount>();
+    jitterRng_.load(r);
+    for (CoreState &s : states_) {
+        const auto raw = r.pod<std::uint8_t>();
+        if (raw > static_cast<std::uint8_t>(CoreState::St::Fast))
+            throwIoError("'%s': corrupt core state tag",
+                         r.name().c_str());
+        s.st = static_cast<CoreState::St>(raw);
+        s.task = r.pod<TaskInstanceId>();
+        s.start = r.pod<Cycles>();
+        s.finish = r.pod<Cycles>();
+        if (s.st != CoreState::St::Idle && s.task >= trace_.size())
+            throwIoError("'%s': core task id out of range",
+                         r.name().c_str());
+    }
+    for (ThreadId c = 0; c < config_.numThreads; ++c) {
+        const CoreState &s = states_[c];
+        // A detailed core at a sample boundary is always mid-task;
+        // its instruction stream is rebuilt from the trace and then
+        // repositioned by RobCore::loadState.
+        const trace::TaskInstance *inst =
+            s.st == CoreState::St::Detailed ? &trace_.instance(s.task)
+                                            : nullptr;
+        const trace::TaskType *type =
+            inst != nullptr ? &trace_.type(inst->type) : nullptr;
+        cores_[c].loadState(r, type, inst);
+    }
+    events_.loadState(r);
+    mem_.loadState(r);
+    runtime_.loadState(r);
+    noise_.loadState(r);
+}
+
 SimResult
-Engine::run(ModeController *controller)
+Engine::run(ModeController *controller, const CheckpointHooks *hooks)
 {
     if (ran_)
         fatal("Engine::run may only be called once per instance");
@@ -156,9 +226,54 @@ Engine::run(ModeController *controller)
     controller_ = controller;
     const auto wall_start = std::chrono::steady_clock::now();
 
-    assignTasks(0);
+    // Sample-boundary bookkeeping (sim/checkpoint.hh): any loop-top
+    // change of the controller's phase epoch counts as exactly one
+    // boundary. Recording and slicing runs observe the identical
+    // deterministic event sequence, so the boundary indices — and
+    // therefore the interval slices — tile the run exactly.
+    std::uint64_t boundary_count = 0;
+    if (hooks != nullptr && hooks->restore != nullptr) {
+        if (controller_ == nullptr)
+            fatal("checkpoint restore requires a mode controller");
+        std::istringstream is(hooks->restore->state,
+                              std::ios::binary);
+        BinaryReader r(is, "checkpoint");
+        controller_->loadState(r);
+        loadState(r);
+        r.expectEof();
+        boundary_count = hooks->restore->boundary;
+    } else {
+        assignTasks(0);
+    }
+    std::uint64_t seen_epoch =
+        controller_ != nullptr ? controller_->phaseEpoch() : 0;
 
     while (!runtime_.allDone()) {
+        if (hooks != nullptr && controller_ != nullptr) {
+            const std::uint64_t epoch = controller_->phaseEpoch();
+            if (epoch != seen_epoch) {
+                seen_epoch = epoch;
+                ++boundary_count;
+                // Stop *before* processing any post-boundary event:
+                // the next slice restores the state captured here.
+                if (hooks->stopBoundary != 0 &&
+                    boundary_count >= hooks->stopBoundary) {
+                    break;
+                }
+                if (hooks->record) {
+                    Checkpoint cp;
+                    cp.boundary = boundary_count;
+                    std::ostringstream os(std::ios::binary);
+                    BinaryWriter w(os);
+                    controller_->saveState(w);
+                    saveState(w);
+                    if (!w.good())
+                        fatal("checkpoint serialization failed");
+                    cp.state = os.str();
+                    hooks->record(std::move(cp));
+                }
+            }
+        }
         // Pick the lagging core: fast cores are keyed by their known
         // completion time, detailed cores by their local progress.
         // The queue orders by (time, core id) — identical to the

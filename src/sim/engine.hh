@@ -26,6 +26,7 @@
 #include "cpu/rob_core.hh"
 #include "memory/hierarchy.hh"
 #include "runtime/runtime.hh"
+#include "sim/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/mode_controller.hh"
 #include "sim/noise.hh"
@@ -64,12 +65,22 @@ class Engine
     Engine(const SimConfig &config, const trace::TaskTrace &trace);
 
     /**
-     * Run the whole application.
+     * Run the whole application (or one checkpoint-delimited slice
+     * of it).
      * @param controller sampling methodology, or nullptr for the
      *                   full-detailed reference simulation
-     * @return aggregate results (per-task records if configured)
+     * @param hooks      optional checkpoint behaviour: record warm
+     *                   state at sample boundaries, restore a
+     *                   recorded state instead of starting cold,
+     *                   and/or stop at a given boundary (see
+     *                   sim/checkpoint.hh). Boundaries only exist
+     *                   when `controller` advances phaseEpoch().
+     * @return aggregate results (per-task records if configured);
+     *         for a slice, the records cover the slice's interval
+     *         and the counters continue the restored totals
      */
-    SimResult run(ModeController *controller = nullptr);
+    SimResult run(ModeController *controller = nullptr,
+                  const CheckpointHooks *hooks = nullptr);
 
   private:
     /** Execution state of one simulated core. */
@@ -93,6 +104,16 @@ class Engine
 
     /** @return snapshot for controller callbacks. */
     EngineStatus status(Cycles now, bool counting_new_task) const;
+
+    /**
+     * Serialize the engine's dynamic state (cores, memory, runtime,
+     * event queue, counters, RNGs — everything but the config, the
+     * trace and the accumulated TaskRecords).
+     */
+    void saveState(BinaryWriter &w) const;
+
+    /** Exact inverse of saveState(); throws IoError on corruption. */
+    void loadState(BinaryReader &r);
 
     SimConfig config_;
     const trace::TaskTrace &trace_;

@@ -18,9 +18,11 @@
 #ifndef TP_SIM_EVENT_QUEUE_HH
 #define TP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/binary_io.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -106,6 +108,45 @@ class CoreEventQueue
     {
         tp_assert(core < pos_.size());
         return pos_[core] != kAbsent;
+    }
+
+    /**
+     * Serialize the heap array and every key verbatim, preserving
+     * the exact heap layout (top order and all future sift paths).
+     */
+    void
+    saveState(BinaryWriter &w) const
+    {
+        w.pod<std::uint64_t>(heap_.size());
+        for (const ThreadId id : heap_)
+            w.pod(id);
+        for (const Cycles k : key_)
+            w.pod(k);
+    }
+
+    /**
+     * Exact inverse of saveState(). The core count is fixed by
+     * construction; throws IoError on mismatching or duplicate ids.
+     */
+    void
+    loadState(BinaryReader &r)
+    {
+        const auto n = r.pod<std::uint64_t>();
+        if (n > pos_.size())
+            throwIoError("'%s': corrupt event-queue size",
+                         r.name().c_str());
+        heap_.clear();
+        std::fill(pos_.begin(), pos_.end(), kAbsent);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto id = r.pod<ThreadId>();
+            if (id >= pos_.size() || pos_[id] != kAbsent)
+                throwIoError("'%s': corrupt event-queue entry",
+                             r.name().c_str());
+            pos_[id] = heap_.size();
+            heap_.push_back(id);
+        }
+        for (Cycles &k : key_)
+            k = r.pod<Cycles>();
     }
 
   private:

@@ -12,6 +12,7 @@
 #ifndef TP_SIM_MODE_CONTROLLER_HH
 #define TP_SIM_MODE_CONTROLLER_HH
 
+#include "common/binary_io.hh"
 #include "common/types.hh"
 #include "sim/sim_mode.hh"
 #include "trace/task.hh"
@@ -71,6 +72,26 @@ class ModeController
                               ThreadId thread, SimMode mode,
                               double ipc,
                               const EngineStatus &status) = 0;
+
+    /**
+     * Monotone counter the engine polls to detect checkpointable
+     * sample boundaries: each increment marks the start of a new
+     * fast-forward regime (warm state is maximally aged there, so a
+     * checkpoint taken at the increment captures a stable point the
+     * run can later be resumed from). Controllers without a phase
+     * structure never advance it, which disables checkpointing.
+     */
+    virtual std::uint64_t phaseEpoch() const { return 0; }
+
+    /**
+     * Serialize the controller's dynamic state into a checkpoint.
+     * Must be overridden (together with loadState()) by controllers
+     * that advance phaseEpoch().
+     */
+    virtual void saveState(BinaryWriter &) const {}
+
+    /** Exact inverse of saveState(). */
+    virtual void loadState(BinaryReader &) {}
 };
 
 } // namespace tp::sim

@@ -47,6 +47,12 @@ class NoiseModel
     /** @return true if the model changes durations. */
     bool enabled() const { return config_.enabled; }
 
+    /** Serialize the RNG position (config is fixed). */
+    void saveState(BinaryWriter &w) const { rng_.save(w); }
+
+    /** Exact inverse of saveState(). */
+    void loadState(BinaryReader &r) { rng_.load(r); }
+
   private:
     NoiseConfig config_;
     Rng rng_;

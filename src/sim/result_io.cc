@@ -187,6 +187,7 @@ serializeSampledOutcome(const harness::SampledOutcome &o,
     w.pod(a.stopCycle);
     w.pod(a.allocationRounds);
     w.pod<std::uint8_t>(a.cutoffStopped ? 1 : 0);
+    w.pod<std::uint8_t>(a.budgetStopped ? 1 : 0);
     w.pod<std::uint64_t>(a.strataSamples.size());
     for (std::uint64_t n : a.strataSamples)
         w.pod(n);
@@ -242,6 +243,7 @@ deserializeSampledOutcome(std::istream &in, const std::string &name)
     a.stopCycle = r.pod<Cycles>();
     a.allocationRounds = r.pod<std::uint64_t>();
     a.cutoffStopped = r.pod<std::uint8_t>() != 0;
+    a.budgetStopped = r.pod<std::uint8_t>() != 0;
     const auto nstrata = r.pod<std::uint64_t>();
     if (nstrata > (1ULL << 32))
         throwIoError("'%s': corrupt strata-sample count",

@@ -56,8 +56,11 @@ SimResult deserializeResult(std::istream &in, const std::string &name);
  * harness::sampledCacheKey).
  *
  * v2: appended the adaptive-sampling diagnostics block.
+ *
+ * v3: the diagnostics block gained budgetStopped (the detail-budget
+ * stop reason).
  */
-inline constexpr std::uint32_t kSampledFormatVersion = 2;
+inline constexpr std::uint32_t kSampledFormatVersion = 3;
 
 /**
  * Version of the checksummed result envelope (see writeEnvelope).

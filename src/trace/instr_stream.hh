@@ -68,6 +68,37 @@ class InstrStream
     /** @return true when all instructions have been produced. */
     bool done() const { return produced_ >= total_; }
 
+    /**
+     * Serialize the stream position: the produced count, the RNG
+     * state and the two walk registers. Everything else is a pure
+     * function of (task type, instance) and is reconstructed by the
+     * constructor on restore.
+     */
+    void
+    saveState(BinaryWriter &w) const
+    {
+        w.pod(produced_);
+        rng_.save(w);
+        w.pod(cursor_);
+        w.pod(sinceLastMem_);
+    }
+
+    /**
+     * Exact inverse of saveState(); call on a stream freshly
+     * constructed from the same (type, instance) pair.
+     */
+    void
+    loadState(BinaryReader &r)
+    {
+        produced_ = r.pod<InstCount>();
+        if (produced_ > total_)
+            throwIoError("'%s': corrupt instruction-stream position",
+                         r.name().c_str());
+        rng_.load(r);
+        cursor_ = r.pod<Addr>();
+        sinceLastMem_ = r.pod<std::uint64_t>();
+    }
+
   private:
     Addr privateAddress(Rng &rng, Addr &cursor);
     Addr sharedAddress(Rng &rng);

@@ -22,6 +22,7 @@
 #include "sampling/taskpoint.hh"
 #include "sim/result_io.hh"
 #include "trace/trace_builder.hh"
+#include "workloads/workloads.hh"
 
 namespace tp::sampling {
 namespace {
@@ -306,6 +307,51 @@ TEST(AdaptiveController, RareTypeFallsBackToCutoff)
               405u);
     EXPECT_GT(out.stats.fastTasks, 200u);
     EXPECT_TRUE(out.adaptive.enabled);
+}
+
+TEST(AdaptiveBudget, CapBoundsDetailCostWithDistinctStopReason)
+{
+    // Regression for the adaptive cost blowup: an unreachable CI
+    // target on a high-variance workload (spmv, the worst offender)
+    // keeps Neyman reallocation requesting samples; uncapped, the
+    // run devolves toward full detail. The budget cap must close the
+    // sampling phase at a bounded multiple of the lazy policy's
+    // detailed-instruction cost and say so in the diagnostics.
+    work::WorkloadParams wp;
+    wp.scale = 0.02;
+    wp.seed = 42;
+    const trace::TaskTrace t = work::generateWorkload(
+        "sparse-matrix-vector-multiplication", wp);
+
+    const harness::SampledOutcome lazy =
+        harness::runSampled(t, spec(8), SamplingParams::lazy());
+
+    SamplingParams uncapped = SamplingParams::adaptive(0.0005);
+    uncapped.detailBudgetMultiple = 0.0;
+    const harness::SampledOutcome un =
+        harness::runSampled(t, spec(8), uncapped);
+
+    // The configurable cap (the 2.0 default) on the same run.
+    const SamplingParams capped = SamplingParams::adaptive(0.0005);
+    ASSERT_DOUBLE_EQ(capped.detailBudgetMultiple, 2.0);
+    const harness::SampledOutcome cap =
+        harness::runSampled(t, spec(8), capped);
+
+    // Distinct stop reason: the budget, not convergence or the
+    // rare-type cutoff.
+    EXPECT_TRUE(cap.adaptive.budgetStopped);
+    EXPECT_FALSE(cap.adaptive.cutoffStopped);
+    EXPECT_FALSE(un.adaptive.budgetStopped);
+
+    // The cap must actually bite, and must keep the adaptive run
+    // within a small multiple of the lazy policy's detailed cost
+    // (the budget is 2x the lazy-equivalent sampling budget; the
+    // remainder is warmup and in-flight overshoot).
+    EXPECT_LT(cap.result.detailedInsts, un.result.detailedInsts);
+    EXPECT_LE(cap.result.detailedInsts,
+              3 * lazy.result.detailedInsts)
+        << "capped adaptive " << cap.result.detailedInsts
+        << " vs lazy " << lazy.result.detailedInsts;
 }
 
 // ---------------------------------------------------------------

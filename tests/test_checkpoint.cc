@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests of the warm-state checkpoint subsystem (live-points): the
+ * envelope format's corruption battery (truncation, bit flips,
+ * version skew), the manifest framing, slice expansion/merge
+ * bookkeeping, and the end-to-end guarantee — a checkpoint-parallel
+ * run is bit-identical to the serial replay for every workload in
+ * the registry, and a damaged store degrades to cold replay, never
+ * to a different answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "common/binary_io.hh"
+#include "common/hash.hh"
+#include "cpu/arch_config.hh"
+#include "harness/batch_runner.hh"
+#include "harness/plan_shard.hh"
+#include "harness/result_cache.hh"
+#include "harness/result_sink.hh"
+#include "sim/checkpoint.hh"
+#include "sim/result_io.hh"
+#include "workloads/workloads.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::harness {
+namespace {
+
+// ---------------------------------------------------------------
+// Envelope format.
+// ---------------------------------------------------------------
+
+sim::Checkpoint
+sampleCheckpoint()
+{
+    sim::Checkpoint cp;
+    cp.boundary = 7;
+    cp.state = std::string("warm-state payload \x00\x01\xff bytes", 29);
+    return cp;
+}
+
+TEST(CheckpointEnvelope, RoundTripPreservesBoundaryAndState)
+{
+    const sim::Checkpoint cp = sampleCheckpoint();
+    const std::string blob = sim::serializeCheckpoint(cp);
+    const sim::Checkpoint back =
+        sim::deserializeCheckpoint(blob, "test");
+    EXPECT_EQ(back.boundary, cp.boundary);
+    EXPECT_EQ(back.state, cp.state);
+}
+
+TEST(CheckpointEnvelope, EveryTruncationIsRecoverable)
+{
+    const std::string blob =
+        sim::serializeCheckpoint(sampleCheckpoint());
+    for (std::size_t len = 0; len < blob.size(); ++len) {
+        EXPECT_THROW(sim::deserializeCheckpoint(blob.substr(0, len),
+                                                "trunc"),
+                     IoError)
+            << "prefix of " << len << " bytes";
+    }
+}
+
+TEST(CheckpointEnvelope, EveryBitFlipIsRecoverable)
+{
+    const std::string blob =
+        sim::serializeCheckpoint(sampleCheckpoint());
+    for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = blob;
+            bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+            EXPECT_THROW(sim::deserializeCheckpoint(bad, "flip"),
+                         IoError)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+/** Rewrite `blob`'s trailing checksum so only the named field is
+ *  wrong — the corruption battery above trips the checksum first. */
+std::string
+resealed(std::string blob)
+{
+    const std::size_t body = blob.size() - sizeof(std::uint64_t);
+    const std::uint64_t sum = fnv1a(blob.data(), body);
+    blob.replace(body, sizeof(sum),
+                 reinterpret_cast<const char *>(&sum), sizeof(sum));
+    return blob;
+}
+
+TEST(CheckpointEnvelope, VersionSkewIsRecoverable)
+{
+    std::string blob = sim::serializeCheckpoint(sampleCheckpoint());
+    // The u32 version follows the u64 magic.
+    const std::uint32_t skewed = sim::kCheckpointFormatVersion + 1;
+    blob.replace(sizeof(std::uint64_t), sizeof(skewed),
+                 reinterpret_cast<const char *>(&skewed),
+                 sizeof(skewed));
+    try {
+        sim::deserializeCheckpoint(resealed(std::move(blob)), "skew");
+        FAIL() << "version skew must be an IoError";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("format"),
+                  std::string::npos)
+            << "error must name the version mismatch, got: "
+            << e.what();
+    }
+}
+
+TEST(CheckpointEnvelope, BadMagicIsRecoverable)
+{
+    std::string blob = sim::serializeCheckpoint(sampleCheckpoint());
+    blob[0] = static_cast<char>(blob[0] ^ 0xff);
+    EXPECT_THROW(
+        sim::deserializeCheckpoint(resealed(std::move(blob)), "mag"),
+        IoError);
+}
+
+// ---------------------------------------------------------------
+// Manifest framing.
+// ---------------------------------------------------------------
+
+TEST(CheckpointManifest, RoundTrip)
+{
+    for (std::uint64_t count : {0ULL, 1ULL, 17ULL, 1ULL << 40}) {
+        const std::optional<std::uint64_t> back =
+            parseCheckpointManifest(
+                serializeCheckpointManifest(count));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, count);
+    }
+}
+
+TEST(CheckpointManifest, GarbageParsesToNothing)
+{
+    EXPECT_FALSE(parseCheckpointManifest(""));
+    EXPECT_FALSE(parseCheckpointManifest("not a manifest"));
+    // A checkpoint blob is not a manifest.
+    EXPECT_FALSE(parseCheckpointManifest(
+        sim::serializeCheckpoint(sampleCheckpoint())));
+    // Truncated and extended manifests are rejected, not misread.
+    const std::string good = serializeCheckpointManifest(5);
+    EXPECT_FALSE(
+        parseCheckpointManifest(good.substr(0, good.size() - 1)));
+    EXPECT_FALSE(parseCheckpointManifest(good + "x"));
+}
+
+// ---------------------------------------------------------------
+// Slice expansion.
+// ---------------------------------------------------------------
+
+JobSpec
+sampledJob(const std::string &workload, BatchMode mode,
+           bool record_tasks = false)
+{
+    JobSpec j;
+    j.label = workload;
+    j.workload = workload;
+    j.workloadParams.scale = 0.02;
+    j.workloadParams.seed = 42;
+    j.spec.arch = cpu::highPerformanceConfig();
+    j.spec.threads = 8;
+    j.spec.recordTasks = record_tasks;
+    j.mode = mode;
+    return j;
+}
+
+/** A fresh store under the gtest temp dir. */
+std::unique_ptr<ResultCache>
+tempStore(const std::string &tag)
+{
+    const fs::path dir =
+        fs::path(testing::TempDir()) / ("tp_ckpt_" + tag);
+    fs::remove_all(dir);
+    return openCheckpointDir(dir.string());
+}
+
+TEST(CheckpointExpand, PassThroughWithoutManifest)
+{
+    const std::unique_ptr<ResultCache> store = tempStore("empty");
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    plan.jobs.push_back(sampledJob("histogram", BatchMode::Sampled));
+    const CheckpointExpansion ex =
+        expandCheckpointSlices(plan, *store, 4);
+    EXPECT_FALSE(ex.expanded);
+    ASSERT_EQ(ex.plan.jobs.size(), 1u);
+    ASSERT_EQ(ex.groups.size(), 1u);
+    EXPECT_FALSE(ex.groups[0].sliced);
+    EXPECT_EQ(ex.groups[0].count, 1u);
+}
+
+TEST(CheckpointExpand, SlicesTileTheRecordedRun)
+{
+    const std::unique_ptr<ResultCache> store = tempStore("tile");
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    plan.jobs.push_back(sampledJob("histogram", BatchMode::Sampled));
+    // Pretend a record run published 5 boundaries (= 6 intervals).
+    store->storeBlob(
+        checkpointManifestKey(
+            memoryConfigDigest(plan.jobs[0].spec.arch.memory),
+            checkpointJobDigest(plan.jobs[0])),
+        serializeCheckpointManifest(5));
+
+    // maxSlices = 1 must never expand.
+    EXPECT_FALSE(expandCheckpointSlices(plan, *store, 1).expanded);
+
+    const CheckpointExpansion ex =
+        expandCheckpointSlices(plan, *store, 3);
+    ASSERT_TRUE(ex.expanded);
+    ASSERT_EQ(ex.plan.jobs.size(), 3u);
+    ASSERT_EQ(ex.groups.size(), 1u);
+    EXPECT_TRUE(ex.groups[0].sliced);
+    EXPECT_EQ(ex.groups[0].count, 3u);
+    // The 6 intervals tile as [0,2) [2,4) [4,end): each slice
+    // restores its start boundary, the last runs to completion.
+    const std::uint64_t starts[] = {0, 2, 4};
+    const std::uint64_t stops[] = {2, 4, 0};
+    for (std::size_t s = 0; s < 3; ++s) {
+        const JobSpec &j = ex.plan.jobs[s];
+        EXPECT_TRUE(j.isSlice());
+        EXPECT_EQ(j.sliceCount, 3u);
+        EXPECT_EQ(j.sliceIndex, s);
+        EXPECT_EQ(j.startBoundary, starts[s]);
+        EXPECT_EQ(j.stopBoundary, stops[s]);
+        EXPECT_EQ(j.mode, BatchMode::Sampled);
+    }
+}
+
+TEST(CheckpointExpand, BothModeSplitsIntoReferencePlusSlices)
+{
+    const std::unique_ptr<ResultCache> store = tempStore("both");
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    plan.jobs.push_back(sampledJob("histogram", BatchMode::Both));
+    store->storeBlob(
+        checkpointManifestKey(
+            memoryConfigDigest(plan.jobs[0].spec.arch.memory),
+            checkpointJobDigest(plan.jobs[0])),
+        serializeCheckpointManifest(3));
+    const CheckpointExpansion ex =
+        expandCheckpointSlices(plan, *store, 2);
+    ASSERT_TRUE(ex.expanded);
+    ASSERT_EQ(ex.plan.jobs.size(), 3u); // 1 reference + 2 slices
+    ASSERT_EQ(ex.groups.size(), 1u);
+    EXPECT_TRUE(ex.groups[0].hasRef);
+    EXPECT_EQ(ex.groups[0].count, 3u);
+    EXPECT_EQ(ex.plan.jobs[0].mode, BatchMode::Reference);
+    EXPECT_FALSE(ex.plan.jobs[0].isSlice());
+    EXPECT_EQ(ex.plan.jobs[1].mode, BatchMode::Sampled);
+    EXPECT_TRUE(ex.plan.jobs[1].isSlice());
+}
+
+// ---------------------------------------------------------------
+// End to end: record, then slice-parallel, bit-identical.
+// ---------------------------------------------------------------
+
+std::string
+outcomeBytes(const BatchResult &r)
+{
+    // wallSeconds is host timing — the only field allowed to differ
+    // between byte-identical runs.
+    SampledOutcome out = *r.sampled;
+    out.result.wallSeconds = 0.0;
+    std::ostringstream bytes(std::ios::binary);
+    sim::serializeSampledOutcome(out, bytes);
+    return bytes.str();
+}
+
+void
+runPlan(const ExperimentPlan &plan, const BatchOptions &opts,
+        CollectingSink &sink)
+{
+    BatchRunner(opts).run(plan, sink);
+    ASSERT_EQ(sink.results().size(), plan.jobs.size());
+}
+
+/**
+ * The ISSUE-level guarantee, per workload: a serial run, a recording
+ * run and a checkpoint-parallel (sliced) run of the same job all
+ * produce byte-identical sampled outcomes.
+ */
+TEST(CheckpointRoundTrip, EveryRegistryWorkloadRestoresBitIdentical)
+{
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    for (const work::WorkloadInfo &w : work::allWorkloads())
+        plan.jobs.push_back(sampledJob(w.name, BatchMode::Sampled,
+                                       /*record_tasks=*/true));
+
+    // Serial baseline, no checkpoints involved.
+    CollectingSink serial;
+    runPlan(plan, BatchOptions{}, serial);
+
+    const std::unique_ptr<ResultCache> store = tempStore("registry");
+
+    // Recording run: serial, publishes checkpoints + manifests.
+    BatchOptions record;
+    record.checkpoints = store.get();
+    CollectingSink recorded;
+    runPlan(plan, record, recorded);
+
+    // Sliced run: every job expands into slices that restore the
+    // recorded warm state; the merge must reassemble the original
+    // result stream.
+    BatchOptions sliced;
+    sliced.checkpoints = store.get();
+    sliced.checkpointSlices = 4;
+    sliced.jobs = 4;
+    CollectingSink merged;
+    runPlan(plan, sliced, merged);
+
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        ASSERT_TRUE(serial.results()[i].sampled.has_value());
+        ASSERT_TRUE(merged.results()[i].sampled.has_value());
+        EXPECT_EQ(merged.results()[i].index, i);
+        const std::string want = outcomeBytes(serial.results()[i]);
+        EXPECT_EQ(outcomeBytes(recorded.results()[i]), want)
+            << plan.jobs[i].label << " (recording run)";
+        EXPECT_EQ(outcomeBytes(merged.results()[i]), want)
+            << plan.jobs[i].label << " (sliced run)";
+    }
+}
+
+TEST(CheckpointRoundTrip, BothModeRecomputesComparisonExactly)
+{
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    plan.jobs.push_back(sampledJob("histogram", BatchMode::Both));
+
+    CollectingSink serial;
+    runPlan(plan, BatchOptions{}, serial);
+
+    const std::unique_ptr<ResultCache> store = tempStore("bothe2e");
+    BatchOptions record;
+    record.checkpoints = store.get();
+    CollectingSink recorded;
+    runPlan(plan, record, recorded);
+
+    BatchOptions sliced;
+    sliced.checkpoints = store.get();
+    sliced.checkpointSlices = 3;
+    CollectingSink merged;
+    runPlan(plan, sliced, merged);
+
+    const BatchResult &a = serial.results()[0];
+    const BatchResult &b = merged.results()[0];
+    ASSERT_TRUE(a.comparison.has_value());
+    ASSERT_TRUE(b.comparison.has_value());
+    EXPECT_EQ(outcomeBytes(a), outcomeBytes(b));
+    EXPECT_DOUBLE_EQ(a.comparison->errorPct, b.comparison->errorPct);
+    EXPECT_DOUBLE_EQ(a.comparison->detailFraction,
+                     b.comparison->detailFraction);
+    ASSERT_TRUE(b.reference.has_value());
+    EXPECT_EQ(a.reference->totalCycles, b.reference->totalCycles);
+}
+
+/**
+ * Checkpoints are an accelerator, never a correctness dependency: a
+ * store whose blobs are all damaged (manifest intact) must yield the
+ * same answer through cold replay of every slice.
+ */
+TEST(CheckpointRoundTrip, DamagedStoreDegradesToColdReplay)
+{
+    ExperimentPlan plan;
+    plan.deriveSeeds = false;
+    plan.jobs.push_back(sampledJob("histogram", BatchMode::Sampled));
+
+    CollectingSink serial;
+    runPlan(plan, BatchOptions{}, serial);
+
+    const std::unique_ptr<ResultCache> store = tempStore("damaged");
+    BatchOptions record;
+    record.checkpoints = store.get();
+    CollectingSink recorded;
+    runPlan(plan, record, recorded);
+
+    const std::string mem =
+        memoryConfigDigest(plan.jobs[0].spec.arch.memory);
+    const std::string jd = checkpointJobDigest(plan.jobs[0]);
+    const std::optional<std::string> manifest =
+        store->loadBlob(checkpointManifestKey(mem, jd));
+    ASSERT_TRUE(manifest.has_value());
+    const std::optional<std::uint64_t> boundaries =
+        parseCheckpointManifest(*manifest);
+    ASSERT_TRUE(boundaries.has_value());
+    ASSERT_GT(*boundaries, 0u);
+    for (std::uint64_t b = 1; b <= *boundaries; ++b)
+        store->storeBlob(checkpointBlobKey(mem, jd, b),
+                         "damaged beyond recognition");
+
+    BatchOptions sliced;
+    sliced.checkpoints = store.get();
+    sliced.checkpointSlices = 3;
+    CollectingSink merged;
+    runPlan(plan, sliced, merged);
+    EXPECT_EQ(outcomeBytes(merged.results()[0]),
+              outcomeBytes(serial.results()[0]));
+}
+
+} // namespace
+} // namespace tp::harness

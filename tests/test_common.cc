@@ -436,6 +436,59 @@ TEST(Cli, ParsesDoubles)
     EXPECT_DOUBLE_EQ(args.getDouble("x", 1.0), 0.25);
 }
 
+TEST(Cli, RejectsEmptyNumericValue)
+{
+    const char *argv[] = {"prog", "--a=", "--b="};
+    CliArgs args(3, argv, {"a", "b"});
+    EXPECT_THROW(args.getInt("a", 0), SimError);
+    EXPECT_THROW(args.getDouble("b", 0.0), SimError);
+}
+
+TEST(Cli, RejectsNonFiniteDoubles)
+{
+    // strtod happily parses these; a scale of inf or nan must be a
+    // hard configuration error, not a silently absurd workload.
+    for (const char *v : {"--x=inf", "--x=-inf", "--x=nan",
+                          "--x=1e999", "--x=-1e999"}) {
+        const char *argv[] = {"prog", v};
+        CliArgs args(2, argv, {"x"});
+        EXPECT_THROW(args.getDouble("x", 1.0), SimError) << v;
+    }
+}
+
+TEST(Cli, RejectsOutOfRangeIntegers)
+{
+    const char *argv[] = {"prog", "--x=99999999999999999999999"};
+    CliArgs args(2, argv, {"x"});
+    EXPECT_THROW(args.getInt("x", 0), SimError);
+    EXPECT_THROW(args.getUint("x", 0), SimError);
+}
+
+TEST(Cli, GetUintInEnforcesInclusiveRange)
+{
+    const char *argv[] = {"prog", "--lo=1", "--hi=100", "--out=101"};
+    CliArgs args(4, argv, {"lo", "hi", "out"});
+    EXPECT_EQ(args.getUintIn("lo", 5, 1, 100), 1u);
+    EXPECT_EQ(args.getUintIn("hi", 5, 1, 100), 100u);
+    EXPECT_THROW(args.getUintIn("out", 5, 1, 100), SimError);
+    // Absent option: the fallback is the caller's default and is
+    // not range-checked.
+    EXPECT_EQ(args.getUintIn("missing", 0, 1, 100), 0u);
+}
+
+TEST(Cli, GetDoubleInEnforcesInclusiveRange)
+{
+    const char *argv[] = {"prog", "--lo=0.25", "--hi=4.0",
+                          "--out=4.5", "--inf=inf"};
+    CliArgs args(5, argv, {"lo", "hi", "out", "inf"});
+    EXPECT_DOUBLE_EQ(args.getDoubleIn("lo", 1.0, 0.25, 4.0), 0.25);
+    EXPECT_DOUBLE_EQ(args.getDoubleIn("hi", 1.0, 0.25, 4.0), 4.0);
+    EXPECT_THROW(args.getDoubleIn("out", 1.0, 0.25, 4.0), SimError);
+    EXPECT_THROW(args.getDoubleIn("inf", 1.0, 0.25, 4.0), SimError);
+    EXPECT_DOUBLE_EQ(args.getDoubleIn("missing", 0.0, 0.25, 4.0),
+                     0.0);
+}
+
 TEST(Cli, UnknownOptionErrorSuggestsHelp)
 {
     const char *argv[] = {"some/dir/prog", "--bogus=1"};

@@ -293,10 +293,21 @@ TEST(JobSpecCorruption, TrailingBytesThrowIoError)
 
 TEST(JobSpecCorruption, CorruptEnumBytesThrowIoError)
 {
-    // The mode byte is the last byte of each serialized job; the
-    // last job's mode byte is the last payload byte of the plan.
+    // The mode byte sits right before the 24 bytes of v3 slice
+    // coordinates (2x u32 + 2x u64) that end each serialized job;
+    // the last job's fields end the plan payload.
     std::string bytes = planBytes(fullPlan());
-    bytes[bytes.size() - 1] = static_cast<char>(0x7f);
+    bytes[bytes.size() - 25] = static_cast<char>(0x7f);
+    EXPECT_THROW((void)fromBytes(bytes), IoError);
+}
+
+TEST(JobSpecCorruption, CorruptSliceCoordinatesThrowIoError)
+{
+    // sliceIndex >= sliceCount (with sliceCount nonzero) is never
+    // produced by expansion and must be rejected, not executed.
+    std::string bytes = planBytes(fullPlan());
+    bytes[bytes.size() - 24] = 1; // sliceCount = 1 (little endian)
+    bytes[bytes.size() - 20] = 2; // sliceIndex = 2
     EXPECT_THROW((void)fromBytes(bytes), IoError);
 }
 

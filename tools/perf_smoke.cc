@@ -2,11 +2,11 @@
  * @file
  * Fixed-scenario performance smoke: the simulator's speed trajectory.
  *
- *   ./perf_smoke [--out=BENCH_6.json] [--repeat=N] [--scale=S]
+ *   ./perf_smoke [--out=BENCH_7.json] [--repeat=N] [--scale=S]
  *
  * Times a small fixed suite — three workloads, each in full-detailed,
- * lazy-sampled and adaptive-sampled mode, at fixed
- * scale/seed/threads — and emits a
+ * lazy-sampled, checkpoint-recording and adaptive-sampled mode, at
+ * fixed scale/seed/threads — and emits a
  * JSON report with host wall seconds and detailed-mode simulation
  * throughput (instructions per second) per scenario, plus suite
  * totals. The simulated metrics (total cycles, instruction counts)
@@ -26,13 +26,14 @@
 #include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "sampling/taskpoint.hh"
+#include "sim/checkpoint.hh"
 #include "workloads/workloads.hh"
 
 using namespace tp;
 
 namespace {
 
-enum class Mode { Detailed, Sampled, Adaptive };
+enum class Mode { Detailed, Sampled, Checkpointed, Adaptive };
 
 struct Scenario
 {
@@ -48,6 +49,8 @@ modeName(Mode m)
         return "detailed";
       case Mode::Sampled:
         return "sampled";
+      case Mode::Checkpointed:
+        return "checkpointed";
       case Mode::Adaptive:
         return "adaptive";
     }
@@ -57,19 +60,24 @@ modeName(Mode m)
 /**
  * The fixed suite: a coherence-heavy kernel (histogram), an
  * irregular memory-bound one (spmv) and a pointer-chasing one
- * (n-body) — each detailed, lazy-sampled and adaptive-sampled
- * (1% CI target). Fixed seeds, threads and scale make runs
- * comparable across PRs on one machine.
+ * (n-body) — each detailed, lazy-sampled, checkpoint-recording
+ * (lazy-sampled while serializing a warm-state checkpoint at every
+ * sample boundary; the column tracks the recording overhead) and
+ * adaptive-sampled (1% CI target). Fixed seeds, threads and scale
+ * make runs comparable across PRs on one machine.
  */
 constexpr Scenario kScenarios[] = {
     {"histogram", Mode::Detailed},
     {"histogram", Mode::Sampled},
+    {"histogram", Mode::Checkpointed},
     {"histogram", Mode::Adaptive},
     {"sparse-matrix-vector-multiplication", Mode::Detailed},
     {"sparse-matrix-vector-multiplication", Mode::Sampled},
+    {"sparse-matrix-vector-multiplication", Mode::Checkpointed},
     {"sparse-matrix-vector-multiplication", Mode::Adaptive},
     {"n-body", Mode::Detailed},
     {"n-body", Mode::Sampled},
+    {"n-body", Mode::Checkpointed},
     {"n-body", Mode::Adaptive},
 };
 
@@ -82,6 +90,10 @@ struct Measured
     InstCount fastInsts = 0;
     Cycles totalCycles = 0;
     double detailedInstsPerSec = 0.0;
+    /** Serialized checkpoint bytes (checkpointed mode only). */
+    std::uint64_t checkpointBytes = 0;
+    /** Recorded sample boundaries (checkpointed mode only). */
+    std::uint64_t checkpointCount = 0;
 };
 
 double
@@ -100,15 +112,14 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        {{"out", "JSON report path (default BENCH_6.json)"},
+        {{"out", "JSON report path (default BENCH_7.json)"},
          {"repeat",
           "timed repetitions per scenario, fastest wins (default 3)"},
          {"scale", "workload scale override (default 0.02)"}});
     const std::string out_path =
-        args.getString("out", "BENCH_6.json");
-    const std::uint64_t repeat =
-        std::max<std::uint64_t>(args.getUint("repeat", 3), 1);
-    const double scale = args.getDouble("scale", 0.02);
+        args.getString("out", "BENCH_7.json");
+    const std::uint64_t repeat = args.getUintIn("repeat", 3, 1, 100);
+    const double scale = args.getDoubleIn("scale", 0.02, 1e-4, 10.0);
 
     work::WorkloadParams wp;
     wp.scale = scale;
@@ -127,6 +138,16 @@ main(int argc, char **argv)
         m.mode = modeName(sc.mode);
         m.wallSeconds = -1.0;
         for (std::uint64_t r = 0; r < repeat; ++r) {
+            // Checkpointed mode serializes every boundary's warm
+            // state (and drops it): the lazy-vs-checkpointed delta
+            // is pure recording overhead.
+            std::uint64_t ckptBytes = 0;
+            std::uint64_t ckptCount = 0;
+            sim::CheckpointHooks hooks;
+            hooks.record = [&](sim::Checkpoint &&cp) {
+                ckptBytes += sim::serializeCheckpoint(cp).size();
+                ++ckptCount;
+            };
             const double t0 = nowSeconds();
             sim::SimResult res =
                 sc.mode == Mode::Detailed
@@ -136,7 +157,9 @@ main(int argc, char **argv)
                           sc.mode == Mode::Adaptive
                               ? sampling::SamplingParams::adaptive(
                                     0.01)
-                              : sampling::SamplingParams::lazy())
+                              : sampling::SamplingParams::lazy(),
+                          sc.mode == Mode::Checkpointed ? &hooks
+                                                        : nullptr)
                           .result;
             const double wall = nowSeconds() - t0;
             if (m.wallSeconds < 0.0 || wall < m.wallSeconds)
@@ -145,6 +168,8 @@ main(int argc, char **argv)
             m.detailedInsts = res.detailedInsts;
             m.fastInsts = res.fastInsts;
             m.totalCycles = res.totalCycles;
+            m.checkpointBytes = ckptBytes;
+            m.checkpointCount = ckptCount;
         }
         m.detailedInstsPerSec =
             m.wallSeconds > 0.0
@@ -161,7 +186,7 @@ main(int argc, char **argv)
     if (f == nullptr)
         fatal("cannot write %s", out_path.c_str());
     std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n");
-    std::fprintf(f, "  \"pr\": 6,\n");
+    std::fprintf(f, "  \"pr\": 7,\n");
     std::fprintf(f, "  \"threads\": %u,\n", spec.threads);
     std::fprintf(f, "  \"scale\": %g,\n", scale);
     std::fprintf(f, "  \"repeat\": %llu,\n",
@@ -177,12 +202,16 @@ main(int argc, char **argv)
             "    {\"workload\": \"%s\", \"mode\": \"%s\", "
             "\"wall_seconds\": %.6f, \"total_cycles\": %llu, "
             "\"detailed_insts\": %llu, \"fast_insts\": %llu, "
-            "\"detailed_insts_per_sec\": %.0f}%s\n",
+            "\"detailed_insts_per_sec\": %.0f, "
+            "\"checkpoints\": %llu, "
+            "\"checkpoint_bytes\": %llu}%s\n",
             m.name.c_str(), m.mode.c_str(), m.wallSeconds,
             static_cast<unsigned long long>(m.totalCycles),
             static_cast<unsigned long long>(m.detailedInsts),
             static_cast<unsigned long long>(m.fastInsts),
             m.detailedInstsPerSec,
+            static_cast<unsigned long long>(m.checkpointCount),
+            static_cast<unsigned long long>(m.checkpointBytes),
             i + 1 < rows.size() ? "," : "");
         total_wall += m.wallSeconds;
         if (m.mode == "detailed") {

@@ -4,7 +4,8 @@
  * transport (see harness/process_pool).
  *
  *   taskpoint_worker --shard=FILE --out-dir=DIR [--jobs=N|auto]
- *                    [--cache-dir=DIR] [--cache=off|ro|rw] [--quiet]
+ *                    [--cache-dir=DIR] [--cache=off|ro|rw]
+ *                    [--checkpoint-dir=DIR] [--quiet]
  *
  * Reads a serialized plan shard (harness/plan_shard), executes it
  * through the ordinary BatchRunner, and publishes one checksummed
@@ -41,7 +42,7 @@ main(int argc, char **argv)
               "(required)"},
              {"quiet", "suppress per-job progress lines"},
              jobsCliOption(), cacheDirCliOption(),
-             cacheModeCliOption()});
+             cacheModeCliOption(), checkpointDirCliOption()});
         harness::WorkerOptions wo;
         wo.shardPath = args.getString("shard", "");
         wo.outDir = args.getString("out-dir", "");
@@ -51,9 +52,17 @@ main(int argc, char **argv)
 
         const std::unique_ptr<harness::ResultCache> cache =
             harness::resultCacheFromCli(args);
+        const std::unique_ptr<harness::ResultCache> checkpoints =
+            harness::openCheckpointDir(
+                args.getString(kCheckpointDirOption, ""));
         wo.batch.jobs = jobsFlag(args, 1);
         wo.batch.progress = !args.has("quiet");
         wo.batch.cache = cache.get();
+        wo.batch.checkpoints = checkpoints.get();
+        // The parent pool already expanded the plan; a worker
+        // re-expanding its shard would publish more results than
+        // the shard promises.
+        wo.batch.expandSlices = false;
 
         const std::size_t published = harness::runWorkerShard(wo);
         if (wo.batch.progress)
