@@ -116,6 +116,7 @@ parseFigureOptions(int argc, char **argv,
         jobsCliOption(),
         workersCliOption(),
         workerBinCliOption(),
+        maxRetriesCliOption(),
         cacheDirCliOption(),
         cacheModeCliOption(),
         checkpointDirCliOption(),

@@ -60,8 +60,8 @@ main(int argc, char **argv)
          {"csv", "also stream results to this file as CSV rows"},
          {"json", "also stream results to this file as a JSON array"},
          jobsCliOption(), workersCliOption(), workerBinCliOption(),
-         cacheDirCliOption(), cacheModeCliOption(),
-         checkpointDirCliOption()});
+         maxRetriesCliOption(), cacheDirCliOption(),
+         cacheModeCliOption(), checkpointDirCliOption()});
     const std::string path = args.getString("plan", "");
     if (path.empty())
         fatal("--plan=FILE is required (see --help)");

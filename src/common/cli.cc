@@ -201,6 +201,7 @@ const char *const kCacheDirOption = "cache-dir";
 const char *const kCacheModeOption = "cache";
 const char *const kTargetErrorOption = "target-error";
 const char *const kCheckpointDirOption = "checkpoint-dir";
+const char *const kMaxRetriesOption = "max-retries";
 
 CliOption
 jobsCliOption()
@@ -305,6 +306,23 @@ checkpointDirCliOption()
             "at every sample boundary; later runs split each job "
             "into slices restoring them, in parallel, with "
             "byte-identical results"};
+}
+
+CliOption
+maxRetriesCliOption()
+{
+    return {kMaxRetriesOption,
+            "attempts per shard before a multi-process or "
+            "distributed run fails: spawn retries for --workers, "
+            "steal/re-split rounds for taskpoint_dispatch "
+            "(default 3, range 1-100)"};
+}
+
+std::size_t
+maxRetriesFlag(const CliArgs &args, std::size_t fallback)
+{
+    return static_cast<std::size_t>(
+        args.getUintIn(kMaxRetriesOption, fallback, 1, 100));
 }
 
 std::size_t

@@ -138,6 +138,14 @@ extern const char *const kTargetErrorOption;
  */
 extern const char *const kCheckpointDirOption;
 
+/**
+ * Canonical name of the fault-tolerance budget option
+ * ("max-retries"): attempts per shard before a ProcessPool run
+ * fails, and steal/re-split rounds per shard lineage before a
+ * dispatch campaign fails.
+ */
+extern const char *const kMaxRetriesOption;
+
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
 
@@ -154,6 +162,17 @@ CliOption targetErrorCliOption();
 
 /** --checkpoint-dir with its canonical help text. */
 CliOption checkpointDirCliOption();
+
+/** --max-retries with its canonical help text. */
+CliOption maxRetriesCliOption();
+
+/**
+ * Shard attempt budget from `--max-retries=N` (range-validated to
+ * [1, 100]); absent means `fallback`. The binary must list
+ * kMaxRetriesOption among its allowed options for users to set it.
+ */
+std::size_t maxRetriesFlag(const CliArgs &args,
+                           std::size_t fallback = 3);
 
 /**
  * Worker count from `--jobs=N` / `--jobs=auto`.

@@ -6,14 +6,12 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <memory>
 #include <sstream>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/backoff.hh"
 #include "common/binary_io.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -37,13 +35,14 @@ struct ShardState
     std::string shardPath;
     std::size_t attempt = 0;
     std::string outDir; //!< of the current attempt
+    /** Tails the current attempt's result stream. */
+    std::unique_ptr<sim::EnvelopeStreamReader> reader;
     Subprocess process;
     bool done = false;
     /**
-     * Shard-local jobs already collected (across all attempts).
-     * Workers publish in shard submission order, so the collected
-     * jobs always form a prefix — one counter suffices, and each
-     * poll tick probes only the first missing file per shard.
+     * Distinct jobs of this shard collected across all attempts —
+     * a retry's stream republishes from the shard's first job, and
+     * the merger drops those bit-identical duplicates.
      */
     std::size_t collected = 0;
 };
@@ -148,7 +147,7 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
         fatal("cannot create scratch directory '%s': %s",
               scratch.c_str(), ec.message().c_str());
 
-    sink.begin(plan.jobs.size());
+    ResultMerger merger(sink, plan.jobs.size());
 
     std::vector<PlanShard> shards = makeShards(
         plan, static_cast<std::uint32_t>(options_.workers));
@@ -161,6 +160,13 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
         if (ec)
             fatal("cannot create worker out dir '%s': %s",
                   st.outDir.c_str(), ec.message().c_str());
+        // Fresh attempt, fresh stream: results the failed attempt
+        // already shipped stay collected; the retry's duplicates
+        // are dropped by the merger.
+        st.reader = std::make_unique<sim::EnvelopeStreamReader>(
+            (fs::path(st.outDir) /
+             shardStreamFileName(st.shard.shardIndex))
+                .string());
         std::vector<std::string> argv = {
             worker, "--shard=" + st.shardPath,
             "--out-dir=" + st.outDir,
@@ -196,36 +202,29 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
         spawnShard(st);
     }
 
-    // Reassembly into submission order: results park in `pending`
-    // until their index is next. Delivery happens on this thread
-    // (the sink contract).
-    std::map<std::size_t, BatchResult> pending;
-    std::size_t nextDeliver = 0;
-    std::size_t delivered = 0;
-
-    /** Load every newly published result file of `st`'s attempt. */
+    /**
+     * Drain every newly completed envelope of `st`'s current
+     * attempt stream into the merger.
+     */
     const auto collectShard = [&](ShardState &st) -> bool {
-        while (st.collected < st.shard.jobs.size()) {
-            const ShardJob &sj = st.shard.jobs[st.collected];
-            const fs::path file =
-                fs::path(st.outDir) / resultFileName(sj.planIndex);
-            std::ifstream in(file, std::ios::binary);
-            if (!in)
-                break; // not published yet
-            // Envelope verification: rename-published files are
-            // complete, so any failure here means real corruption —
-            // handled as a shard failure by the caller.
-            const std::string payload =
-                sim::readEnvelope(in, file.string());
+        std::vector<std::string> payloads;
+        // Corruption (bad framing, checksum mismatch, shrinking
+        // stream) raises IoError — handled as a shard failure by
+        // the caller. An incomplete tail is simply not returned.
+        st.reader->poll(payloads);
+        for (std::string &payload : payloads) {
             std::istringstream ps(payload, std::ios::binary);
             BatchResult r =
-                deserializeBatchResult(ps, file.string());
-            if (r.index != sj.planIndex)
-                throwIoError("'%s': result index %zu does not "
-                             "match file name",
-                             file.string().c_str(), r.index);
-            ++st.collected;
-            pending.emplace(r.index, std::move(r));
+                deserializeBatchResult(ps, st.reader->path());
+            // The stream is written by this shard's worker, so
+            // every index must be one of the shard's jobs.
+            if (r.index < st.shard.jobs.front().planIndex ||
+                r.index > st.shard.jobs.back().planIndex)
+                throwIoError("'%s': result index %zu outside the "
+                             "shard's job range",
+                             st.reader->path().c_str(), r.index);
+            if (merger.offer(std::move(r)))
+                ++st.collected;
         }
         return st.collected == st.shard.jobs.size();
     };
@@ -247,16 +246,17 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
         spawnShard(st);
     };
 
-    const std::size_t totalJobs = plan.jobs.size();
-    while (delivered < totalJobs) {
+    PollBackoff backoff(std::chrono::milliseconds(1),
+                        std::chrono::milliseconds(50));
+    while (!merger.complete()) {
         bool progressed = false;
 
         for (ShardState &st : states) {
             if (st.done)
                 continue;
             // Poll the exit status *before* collecting: a worker's
-            // renames happen before its exit, so whatever this
-            // collect pass does not find was genuinely never
+            // stream writes are flushed before its exit, so whatever
+            // this collect pass does not find was genuinely never
             // published by an exited worker — no publish/exit race
             // can cause a spurious retry.
             const std::optional<ExitStatus> es = st.process.poll();
@@ -293,20 +293,13 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
             }
         }
 
-        while (pending.count(nextDeliver) > 0) {
-            auto node = pending.extract(nextDeliver);
-            sink.consume(std::move(node.mapped()));
-            ++nextDeliver;
-            ++delivered;
-            progressed = true;
-        }
-
-        if (!progressed && delivered < totalJobs)
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(5));
+        if (progressed)
+            backoff.reset();
+        else if (!merger.complete())
+            backoff.sleep();
     }
 
-    sink.end();
+    merger.finish();
 
     if (!options_.keepScratch) {
         std::error_code rec;
@@ -328,6 +321,7 @@ processPoolFromCli(const CliArgs &args)
     if (o.cacheMode == "off")
         o.cacheDir.clear();
     o.checkpointDir = args.getString(kCheckpointDirOption, "");
+    o.maxAttempts = maxRetriesFlag(args, o.maxAttempts);
     return o;
 }
 

@@ -4,26 +4,30 @@
  *
  * ProcessPool is the out-of-process sibling of BatchRunner: it
  * shards a plan across N spawned `taskpoint_worker` processes
- * (harness/plan_shard), tails each worker's result directory for
- * envelope-framed result files (harness/worker), and streams the
- * reassembled BatchResults to a ResultSink in parent-plan submission
- * order — the exact sink contract BatchRunner honours, so every
- * figure driver produces byte-identical deterministic output whether
- * it runs in-process (`--jobs`) or multi-process (`--workers`).
+ * (harness/plan_shard), live-tails each worker's single
+ * `shard-<i>.tprs` envelope stream (harness/worker, sim/result_io)
+ * with bounded exponential backoff, and merges the results through a
+ * ResultMerger to the ResultSink in parent-plan submission order —
+ * the exact sink contract BatchRunner honours, so every figure
+ * driver produces byte-identical deterministic output whether it
+ * runs in-process (`--jobs`) or multi-process (`--workers`).
  *
  * Fault handling: a worker that exits nonzero, dies on a signal, or
  * exits cleanly without publishing its whole shard has its shard
- * re-run by a freshly spawned worker (up to maxAttempts per shard);
- * results already published by the failed attempt are kept, and
- * duplicates republished by the retry are ignored — executions are
+ * re-run by a freshly spawned worker (up to maxAttempts per shard,
+ * `--max-retries` on the CLI); results already collected from the
+ * failed attempt's stream are kept, and the duplicates the retry
+ * republishes are dropped by the merger — executions are
  * deterministic, so a duplicate is bit-identical by construction. A
- * result file that fails envelope verification counts as a shard
- * failure, never a crash.
+ * stream whose completed envelopes fail verification counts as a
+ * shard failure, never a crash; an incomplete stream tail is simply
+ * a result still being written.
  *
  * Scratch layout (under a unique temp directory, removed on
  * success): `shard-<i>.tpshard` per shard, plus per-attempt
- * `out-<i>.<attempt>/` result directories; each worker's stderr goes
- * to `out-<i>.<attempt>/worker.err` for post-mortems.
+ * `out-<i>.<attempt>/` directories holding the attempt's
+ * `shard-<i>.tprs` result stream; each worker's stderr goes to
+ * `out-<i>.<attempt>/worker.err` for post-mortems.
  */
 
 #ifndef TP_HARNESS_PROCESS_POOL_HH
@@ -64,7 +68,10 @@ struct ProcessPoolOptions
     bool keepScratch = false;
     /** --jobs forwarded to each worker (threads per worker). */
     std::size_t jobsPerWorker = 1;
-    /** Spawn attempts per shard before the run fails. */
+    /**
+     * Spawn attempts per shard before the run fails
+     * (`--max-retries`, see maxRetriesFlag).
+     */
     std::size_t maxAttempts = 3;
     /** Emit one progress() line per shard event. */
     bool progress = false;
@@ -125,9 +132,10 @@ class ProcessPool
 /**
  * Assemble ProcessPoolOptions from the canonical CLI surface:
  * `--workers=N|auto` (kWorkersOption), `--worker-bin=PATH`,
- * `--jobs` (threads per worker) and the result-cache options, which
- * are forwarded to every worker. The caller decides whether to go
- * multi-process at all (workersFlag(args) > 0) before using this.
+ * `--jobs` (threads per worker), `--max-retries` and the
+ * result-cache options, which are forwarded to every worker. The
+ * caller decides whether to go multi-process at all
+ * (workersFlag(args) > 0) before using this.
  */
 ProcessPoolOptions processPoolFromCli(const CliArgs &args);
 

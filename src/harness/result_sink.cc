@@ -280,6 +280,44 @@ TeeSink::end()
         s->end();
 }
 
+ResultMerger::ResultMerger(ResultSink &sink, std::size_t totalJobs)
+    : sink_(sink), total_(totalJobs), seen_(totalJobs, false)
+{
+    sink_.begin(totalJobs);
+}
+
+bool
+ResultMerger::offer(BatchResult &&result)
+{
+    tp_assert(result.index < total_);
+    if (seen_[result.index])
+        return false; // deterministic duplicate; first arrival won
+    seen_[result.index] = true;
+    pending_.emplace(result.index, std::move(result));
+    while (!pending_.empty() &&
+           pending_.begin()->first == nextDeliver_) {
+        auto node = pending_.extract(pending_.begin());
+        sink_.consume(std::move(node.mapped()));
+        ++nextDeliver_;
+        ++delivered_;
+    }
+    return true;
+}
+
+bool
+ResultMerger::collected(std::size_t index) const
+{
+    tp_assert(index < total_);
+    return seen_[index];
+}
+
+void
+ResultMerger::finish()
+{
+    tp_assert(complete());
+    sink_.end();
+}
+
 TextTable
 batchSummaryTable(const std::string &title,
                   const std::vector<BatchResult> &results)

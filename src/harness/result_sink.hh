@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -238,6 +239,60 @@ class TeeSink final : public ResultSink
 
   private:
     std::vector<ResultSink *> sinks_;
+};
+
+/**
+ * Reassembles an unordered, possibly duplicated result stream into
+ * the ordered stream a ResultSink expects — the merge half of every
+ * multi-process coordinator (harness/process_pool and
+ * harness/dispatch).
+ *
+ * Results arrive from concurrently tailed shard streams in whatever
+ * order workers finish, and fault handling can produce the same
+ * plan index twice: a retried shard republishes results its failed
+ * attempt already shipped, and a job stolen from a straggler can be
+ * finished by both the thief and the original runner. Executions
+ * are deterministic, so duplicates are bit-identical by
+ * construction; the merger delivers the first arrival of each index
+ * and drops the rest, parking out-of-order results until their
+ * index is next. The inner sink observes exactly the
+ * begin/consume/end sequence of an in-process run.
+ */
+class ResultMerger
+{
+  public:
+    /** Calls sink.begin(totalJobs); sink must outlive the merger. */
+    ResultMerger(ResultSink &sink, std::size_t totalJobs);
+
+    /**
+     * Accept one result (any order, duplicates allowed), delivering
+     * every newly in-order result to the sink.
+     *
+     * @return true when the result was new, false for a duplicate
+     *         (dropped). An index beyond totalJobs panics — streams
+     *         are checksummed, so that is a coordinator bug.
+     */
+    bool offer(BatchResult &&result);
+
+    /** @return whether `index` has already been offered. */
+    bool collected(std::size_t index) const;
+
+    /** @return results delivered to the sink so far. */
+    std::size_t delivered() const { return delivered_; }
+
+    /** @return whether every job's result has been delivered. */
+    bool complete() const { return delivered_ == total_; }
+
+    /** Calls sink.end(); panics unless complete(). */
+    void finish();
+
+  private:
+    ResultSink &sink_;
+    std::size_t total_;
+    std::vector<bool> seen_;
+    std::map<std::size_t, BatchResult> pending_;
+    std::size_t nextDeliver_ = 0;
+    std::size_t delivered_ = 0;
 };
 
 /**

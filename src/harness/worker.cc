@@ -20,35 +20,31 @@ namespace tp::harness {
 namespace {
 
 /**
- * Honour kKillOnceEnvVar: after a successful publish, the first
- * worker to claim the marker file dies by SIGKILL, simulating a
- * crashed machine mid-shard. O_EXCL makes the claim atomic across
- * concurrently publishing workers.
+ * Appends each finished result to the shard's single envelope
+ * stream, remapping shard-local indices to parent-plan indices.
+ *
+ * Each append is one buffered write of a whole envelope followed by
+ * a flush, so a crash between jobs leaves a clean stream boundary
+ * and a crash mid-write leaves an incomplete tail — which the
+ * tailing coordinator's EnvelopeStreamReader treats as
+ * not-yet-published, never as a result.
  */
-void
-maybeKillSelfForTest()
-{
-    const char *marker = std::getenv(kKillOnceEnvVar);
-    if (marker == nullptr || *marker == '\0')
-        return;
-    const int fd =
-        ::open(marker, O_CREAT | O_EXCL | O_WRONLY, 0644);
-    if (fd < 0)
-        return; // someone else claimed it (or the path is bad)
-    ::close(fd);
-    ::raise(SIGKILL);
-}
-
-/**
- * Publishes each finished result as an envelope-framed file under
- * outDir, remapping shard-local indices to parent-plan indices.
- */
-class PublishingSink final : public ResultSink
+class StreamPublishingSink final : public ResultSink
 {
   public:
-    PublishingSink(const PlanShard &shard, std::string outDir)
-        : shard_(shard), outDir_(std::move(outDir))
-    {}
+    StreamPublishingSink(const PlanShard &shard,
+                         const std::string &streamPath)
+        : shard_(shard), out_(streamPath, std::ios::binary),
+          path_(streamPath)
+    {
+        // The coordinator guarantees a fresh stream name per shard
+        // attempt (attempt-unique out dirs, steal-generation-unique
+        // task names), so truncating here can never discard results
+        // a tailer already consumed.
+        if (!out_)
+            fatal("worker: cannot create result stream '%s'",
+                  path_.c_str());
+    }
 
     void
     consume(BatchResult &&r) override
@@ -61,29 +57,15 @@ class PublishingSink final : public ResultSink
 
         std::ostringstream payload(std::ios::binary);
         serializeBatchResult(r, payload);
+        std::ostringstream framed(std::ios::binary);
+        sim::writeEnvelope(framed, payload.str());
 
-        const fs::path tmp =
-            fs::path(outDir_) /
-            strprintf(".tmp.%d.%zu", static_cast<int>(::getpid()),
-                      published_);
-        {
-            std::ofstream out(tmp, std::ios::binary);
-            if (!out)
-                fatal("worker: cannot write '%s'",
-                      tmp.string().c_str());
-            sim::writeEnvelope(out, payload.str());
-            if (!out.good())
-                fatal("worker: error writing '%s'",
-                      tmp.string().c_str());
-        }
-        const fs::path dest =
-            fs::path(outDir_) /
-            resultFileName(static_cast<std::uint64_t>(r.index));
-        std::error_code ec;
-        fs::rename(tmp, dest, ec); // atomic publish
-        if (ec)
-            fatal("worker: cannot publish '%s': %s",
-                  dest.string().c_str(), ec.message().c_str());
+        const std::string bytes = framed.str();
+        out_.write(bytes.data(),
+                   static_cast<std::streamsize>(bytes.size()));
+        out_.flush();
+        if (!out_.good())
+            fatal("worker: error appending to '%s'", path_.c_str());
         ++published_;
         maybeKillSelfForTest();
     }
@@ -92,11 +74,30 @@ class PublishingSink final : public ResultSink
 
   private:
     const PlanShard &shard_;
-    std::string outDir_;
+    std::ofstream out_;
+    std::string path_;
     std::size_t published_ = 0;
 };
 
 } // namespace
+
+void
+maybeKillSelfForTest()
+{
+    // After a successful publish, the first worker to claim the
+    // marker file dies by SIGKILL, simulating a crashed machine
+    // mid-shard. O_EXCL makes the claim atomic across concurrently
+    // publishing workers.
+    const char *marker = std::getenv(kKillOnceEnvVar);
+    if (marker == nullptr || *marker == '\0')
+        return;
+    const int fd =
+        ::open(marker, O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return; // someone else claimed it (or the path is bad)
+    ::close(fd);
+    ::raise(SIGKILL);
+}
 
 void
 serializeBatchResult(const BatchResult &r, std::ostream &out)
@@ -146,10 +147,9 @@ deserializeBatchResult(std::istream &in, const std::string &name)
 }
 
 std::string
-resultFileName(std::uint64_t planIndex)
+shardStreamFileName(std::uint32_t shardIndex)
 {
-    return strprintf("job-%llu.tpr",
-                     static_cast<unsigned long long>(planIndex));
+    return strprintf("shard-%u.tprs", shardIndex);
 }
 
 std::size_t
@@ -169,7 +169,13 @@ runWorkerShard(const WorkerOptions &options)
             shard.planDigest.c_str(), shard.jobs.size()));
 
     const ExperimentPlan plan = shardPlan(shard);
-    PublishingSink sink(shard, options.outDir);
+    const std::string stream =
+        options.streamName.empty()
+            ? shardStreamFileName(shard.shardIndex)
+            : options.streamName;
+    StreamPublishingSink sink(shard,
+                              (fs::path(options.outDir) / stream)
+                                  .string());
     BatchOptions batch = options.batch;
     // shardPlan() pre-resolved the parent's derived seeds, so each
     // workload trace is unique to its job: don't retain them.

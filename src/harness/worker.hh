@@ -1,17 +1,20 @@
 /**
  * @file
  * Worker-side execution of plan shards, and the BatchResult wire
- * format shared with the driver-side ProcessPool.
+ * format shared with the driver-side coordinators (ProcessPool and
+ * harness/dispatch).
  *
- * The transport is a directory of result files: the worker runs its
- * shard through the ordinary BatchRunner and publishes each finished
- * BatchResult as `<outDir>/job-<planIndex>.tpr` — the serialized
- * result wrapped in sim/result_io's checksummed envelope, written to
- * a process-unique temp file and published with an atomic rename
- * (the result_cache crash-safety discipline). A tailing driver
- * therefore only ever observes complete, checksum-verified results;
- * a worker that dies mid-job leaves at most an unpublished temp
- * file behind.
+ * The transport is one appendable result stream per shard: the
+ * worker runs its shard through the ordinary BatchRunner and appends
+ * each finished BatchResult — the serialized result wrapped in
+ * sim/result_io's checksummed envelope — to
+ * `<outDir>/shard-<k>.tprs`, flushing after every append. The
+ * envelope framing concatenates cleanly, so a tailing coordinator
+ * (sim::EnvelopeStreamReader) consumes complete, checksum-verified
+ * results as the stream grows; a worker that dies mid-append leaves
+ * at most an incomplete tail, which the reader treats as
+ * not-yet-published, never as data. One stream per shard means a
+ * million-job sweep creates O(shards) result files, not O(jobs).
  *
  * Result indices are parent-plan indices (ShardJob::planIndex), so
  * the driver reassembles global submission order without knowing the
@@ -48,33 +51,49 @@ void serializeBatchResult(const BatchResult &r, std::ostream &out);
 BatchResult deserializeBatchResult(std::istream &in,
                                    const std::string &name);
 
-/** @return the published file name of plan index `i` ("job-i.tpr"). */
-std::string resultFileName(std::uint64_t planIndex);
+/** @return the result-stream file name of shard `k` ("shard-k.tprs"). */
+std::string shardStreamFileName(std::uint32_t shardIndex);
 
 /**
  * Name of a test-only environment variable: when set to a path, the
  * first worker process that publishes a result then manages to
  * create that file (O_EXCL, so exactly one across a fleet) kills
- * itself with SIGKILL. Lets the worker smoke test provoke a
- * deterministic mid-run worker death; unset in normal operation.
+ * itself with SIGKILL. Lets the worker and dispatch smoke tests
+ * provoke a deterministic mid-shard worker death; unset in normal
+ * operation.
  */
 inline constexpr const char *kKillOnceEnvVar =
     "TASKPOINT_WORKER_KILL_ONCE";
+
+/**
+ * Honour kKillOnceEnvVar (exposed for the dispatch runner, which
+ * publishes through the same hook): a no-op unless the variable
+ * names a path this process is the first in the fleet to create.
+ */
+void maybeKillSelfForTest();
 
 /** Execution options of one worker process. */
 struct WorkerOptions
 {
     /** Serialized PlanShard to execute. */
     std::string shardPath;
-    /** Directory result files are published into (created). */
+    /** Directory the result stream is appended into (created). */
     std::string outDir;
+    /**
+     * File name of the result stream under outDir; empty derives
+     * shardStreamFileName(shard.shardIndex). Dispatch runners
+     * override it with the task name, which additionally encodes
+     * the steal generation (see harness/dispatch).
+     */
+    std::string streamName;
     /** Execution environment (threads, progress, cache). */
     BatchOptions batch;
 };
 
 /**
  * The taskpoint_worker main loop: load the shard, resolve its seeds
- * (see shardPlan), run it, and publish one result file per job.
+ * (see shardPlan), run it, and append one envelope per finished job
+ * to the shard's result stream.
  *
  * @return the number of results published
  * @throws IoError when the shard file is damaged; SimError on

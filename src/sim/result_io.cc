@@ -1,6 +1,7 @@
 #include "sim/result_io.hh"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/binary_io.hh"
 #include "common/hash.hh"
@@ -151,6 +152,75 @@ readEnvelope(std::istream &in, const std::string &name)
         throwIoError("'%s': envelope checksum mismatch",
                      name.c_str());
     return payload;
+}
+
+EnvelopeStreamReader::EnvelopeStreamReader(std::string path)
+    : path_(std::move(path))
+{
+}
+
+std::size_t
+EnvelopeStreamReader::poll(std::vector<std::string> &out)
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return 0; // the writer has not created the stream yet
+
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    if (end < 0)
+        throwIoError("'%s': cannot determine stream size",
+                     path_.c_str());
+    const auto size = static_cast<std::uint64_t>(end);
+    if (size < offset_)
+        throwIoError("'%s': stream shrank below read offset %llu",
+                     path_.c_str(),
+                     static_cast<unsigned long long>(offset_));
+
+    // Header = magic(8) + version(4) + payload length(8); the
+    // trailer is the 8-byte payload checksum.
+    constexpr std::uint64_t kHeader = 8 + 4 + 8;
+    constexpr std::uint64_t kTrailer = 8;
+
+    std::size_t consumed = 0;
+    while (size - offset_ >= kHeader) {
+        in.clear();
+        in.seekg(static_cast<std::streamoff>(offset_));
+        BinaryReader r(in, path_);
+        if (r.pod<std::uint64_t>() != kEnvelopeMagic)
+            throwIoError("'%s': bad envelope magic at offset %llu",
+                         path_.c_str(),
+                         static_cast<unsigned long long>(offset_));
+        if (r.pod<std::uint32_t>() != kEnvelopeFormatVersion)
+            throwIoError("'%s': unsupported envelope version at "
+                         "offset %llu",
+                         path_.c_str(),
+                         static_cast<unsigned long long>(offset_));
+        const auto len = r.pod<std::uint64_t>();
+        // An incomplete tail is the normal live-stream state: the
+        // writer appended the header (or part of the payload) but
+        // not yet the rest. Leave the cursor for the next poll.
+        if (size - offset_ < kHeader + len + kTrailer)
+            break;
+        std::string payload(static_cast<std::size_t>(len), '\0');
+        in.read(payload.data(), static_cast<std::streamsize>(len));
+        if (!in)
+            throwIoError("'%s': short read at offset %llu",
+                         path_.c_str(),
+                         static_cast<unsigned long long>(offset_));
+        const std::uint64_t checksum = r.pod<std::uint64_t>();
+        // All bytes of this envelope are present, so a mismatch is
+        // definite corruption, not an in-flight append.
+        if (checksum != fnv1a(payload.data(), payload.size()))
+            throwIoError("'%s': envelope checksum mismatch at "
+                         "offset %llu",
+                         path_.c_str(),
+                         static_cast<unsigned long long>(offset_));
+        offset_ += kHeader + len + kTrailer;
+        out.push_back(std::move(payload));
+        ++consumed;
+    }
+    return consumed;
 }
 
 void

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/sim_result.hh"
 
@@ -89,6 +90,50 @@ void writeEnvelope(std::ostream &out, const std::string &payload);
  *         mismatch
  */
 std::string readEnvelope(std::istream &in, const std::string &name);
+
+/**
+ * Incremental reader over a *live* stream of concatenated envelopes.
+ *
+ * The envelope framing concatenates cleanly, so a worker can append
+ * one envelope per finished job to a single `shard-<k>.tprs` stream
+ * file and a coordinator can tail it while it grows — a million-job
+ * sweep then produces one result file per shard, not per job. A
+ * partially appended tail (the writer died, or the bytes are still in
+ * flight) is *not* corruption: poll() consumes every complete,
+ * checksum-verified envelope past the cursor and leaves an incomplete
+ * tail for the next poll. Bytes that can never become a valid
+ * envelope — wrong magic or version, a verifiably wrong checksum, or
+ * a stream that shrank below the cursor — raise IoError; the caller
+ * treats the whole stream (and hence the shard attempt behind it) as
+ * failed.
+ *
+ * The reader holds no file handle between polls; it reopens and
+ * seeks, so it works over shared filesystems where the writer is
+ * another machine.
+ */
+class EnvelopeStreamReader
+{
+  public:
+    /** Tail `path`; the file may not exist yet (poll() finds 0). */
+    explicit EnvelopeStreamReader(std::string path);
+
+    /**
+     * Append every newly completed envelope payload to `out`.
+     *
+     * @return the number of envelopes appended
+     * @throws IoError on definite corruption (see class comment)
+     */
+    std::size_t poll(std::vector<std::string> &out);
+
+    /** @return byte offset of the first unconsumed envelope. */
+    std::uint64_t offset() const { return offset_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::uint64_t offset_ = 0;
+};
 
 /** Write a whole sampled outcome (payload only, no framing). */
 void serializeSampledOutcome(const harness::SampledOutcome &o,

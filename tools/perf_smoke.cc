@@ -2,7 +2,7 @@
  * @file
  * Fixed-scenario performance smoke: the simulator's speed trajectory.
  *
- *   ./perf_smoke [--out=BENCH_7.json] [--repeat=N] [--scale=S]
+ *   ./perf_smoke [--out=BENCH_8.json] [--repeat=N] [--scale=S]
  *
  * Times a small fixed suite — three workloads, each in full-detailed,
  * lazy-sampled, checkpoint-recording and adaptive-sampled mode, at
@@ -14,16 +14,28 @@
  * check; the timing fields are what the BENCH_*.json trajectory
  * tracks across PRs. Each scenario runs `--repeat` times (default 3)
  * and reports the fastest run, damping scheduler noise.
+ *
+ * The report also times one fixed plan executed in-process
+ * (BatchRunner) and as a spool-based dispatch campaign with
+ * in-process runner threads; the delta is the coordination cost of
+ * harness/dispatch (task publishing, claiming, stream tailing and
+ * per-runner trace generation) with no fork/exec noise in it.
  */
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "harness/batch_runner.hh"
+#include "harness/dispatch.hh"
 #include "harness/experiment.hh"
 #include "sampling/taskpoint.hh"
 #include "sim/checkpoint.hh"
@@ -105,6 +117,86 @@ nowSeconds()
         .count();
 }
 
+/** Dispatch-vs-in-process timing of one fixed plan. */
+struct DispatchOverhead
+{
+    std::size_t jobs = 0;
+    double inprocSeconds = 0.0;
+    double dispatchSeconds = 0.0;
+};
+
+/**
+ * Time a six-job sampled plan once through BatchRunner and once as a
+ * dispatch campaign over a temp spool with two runner threads
+ * (fastest of `repeat` each). Everything is in one process, so the
+ * delta isolates the spool protocol itself.
+ */
+DispatchOverhead
+measureDispatchOverhead(const work::WorkloadParams &wp,
+                        const harness::RunSpec &spec,
+                        std::uint64_t repeat)
+{
+    harness::ExperimentPlan plan;
+    plan.baseSeed = 42;
+    for (std::size_t i = 0; i < 6; ++i) {
+        harness::JobSpec j;
+        j.label = "dispatch job " + std::to_string(i);
+        j.workload = i % 2 == 0
+                         ? "histogram"
+                         : "sparse-matrix-vector-multiplication";
+        j.workloadParams = wp;
+        j.spec = spec;
+        j.sampling = sampling::SamplingParams::lazy();
+        j.mode = harness::BatchMode::Sampled;
+        plan.jobs.push_back(j);
+    }
+
+    DispatchOverhead oh;
+    oh.jobs = plan.jobs.size();
+
+    oh.inprocSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        harness::CollectingSink sink;
+        const double t0 = nowSeconds();
+        harness::BatchRunner().run(plan, sink);
+        const double wall = nowSeconds() - t0;
+        if (oh.inprocSeconds < 0.0 || wall < oh.inprocSeconds)
+            oh.inprocSeconds = wall;
+    }
+
+    namespace fs = std::filesystem;
+    const fs::path spoolDir =
+        fs::temp_directory_path() /
+        ("tp_perf_dispatch_" + std::to_string(::getpid()));
+    oh.dispatchSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        fs::remove_all(spoolDir);
+        fs::create_directories(spoolDir);
+        harness::DispatchOptions dopt;
+        dopt.spoolDir = spoolDir.string();
+        dopt.shards = 4;
+        std::vector<std::thread> runners;
+        for (int i = 0; i < 2; ++i) {
+            harness::DispatchRunnerOptions ro;
+            ro.spoolDir = dopt.spoolDir;
+            ro.runnerId = "perf-" + std::to_string(i);
+            runners.emplace_back([ro] {
+                (void)harness::runDispatchRunner(ro);
+            });
+        }
+        harness::CollectingSink sink;
+        const double t0 = nowSeconds();
+        harness::runDispatchCampaign(plan, dopt, sink);
+        const double wall = nowSeconds() - t0;
+        for (std::thread &t : runners)
+            t.join();
+        if (oh.dispatchSeconds < 0.0 || wall < oh.dispatchSeconds)
+            oh.dispatchSeconds = wall;
+    }
+    fs::remove_all(spoolDir);
+    return oh;
+}
+
 } // namespace
 
 int
@@ -112,12 +204,12 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        {{"out", "JSON report path (default BENCH_7.json)"},
+        {{"out", "JSON report path (default BENCH_8.json)"},
          {"repeat",
           "timed repetitions per scenario, fastest wins (default 3)"},
          {"scale", "workload scale override (default 0.02)"}});
     const std::string out_path =
-        args.getString("out", "BENCH_7.json");
+        args.getString("out", "BENCH_8.json");
     const std::uint64_t repeat = args.getUintIn("repeat", 3, 1, 100);
     const double scale = args.getDoubleIn("scale", 0.02, 1e-4, 10.0);
 
@@ -186,7 +278,7 @@ main(int argc, char **argv)
     if (f == nullptr)
         fatal("cannot write %s", out_path.c_str());
     std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n");
-    std::fprintf(f, "  \"pr\": 7,\n");
+    std::fprintf(f, "  \"pr\": 8,\n");
     std::fprintf(f, "  \"threads\": %u,\n", spec.threads);
     std::fprintf(f, "  \"scale\": %g,\n", scale);
     std::fprintf(f, "  \"repeat\": %llu,\n",
@@ -220,6 +312,22 @@ main(int argc, char **argv)
         }
     }
     std::fprintf(f, "  ],\n");
+
+    const DispatchOverhead oh =
+        measureDispatchOverhead(wp, spec, repeat);
+    std::fprintf(f,
+                 "  \"dispatch\": {\"jobs\": %zu, "
+                 "\"inproc_wall_seconds\": %.6f, "
+                 "\"campaign_wall_seconds\": %.6f, "
+                 "\"overhead_seconds\": %.6f},\n",
+                 oh.jobs, oh.inprocSeconds, oh.dispatchSeconds,
+                 oh.dispatchSeconds - oh.inprocSeconds);
+    harness::progress(strprintf(
+        "dispatch: %zu jobs, %.3fs in-process vs %.3fs campaign "
+        "(overhead %.3fs)",
+        oh.jobs, oh.inprocSeconds, oh.dispatchSeconds,
+        oh.dispatchSeconds - oh.inprocSeconds));
+
     std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
     std::fprintf(f, "  \"detailed_wall_seconds\": %.6f,\n",
                  detailed_wall);

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Distributed campaign coordinator and runner (harness/dispatch).
+ *
+ * Coordinator (default role): split a serialized ExperimentPlan into
+ * cost-ordered shard tasks, publish them into a spool directory,
+ * optionally spawn local runner processes, live-tail the result
+ * streams and print the standard streaming report — byte-identical
+ * (host wall-clock aside) to replaying the plan with --jobs=1.
+ *
+ *   taskpoint_dispatch --plan=FILE [--spool=DIR] [--runners=N]
+ *                      [--shards=N] [--jobs=N] [--max-retries=N]
+ *                      [--heartbeat=MS] [--dead-after=MS]
+ *                      [--csv=FILE] [--json=FILE]
+ *                      [--cache-dir=DIR] [--cache=off|ro|rw]
+ *                      [--cost-probe] [--keep-spool]
+ *
+ * Runner: join an existing spool (possibly on another machine via a
+ * shared filesystem), claim tasks, execute them, stream results
+ * back, and exit when the coordinator publishes the stop file.
+ *
+ *   taskpoint_dispatch --runner --spool=DIR [--runner-id=NAME]
+ *                      [--jobs=N] [--heartbeat=MS] [--quiet]
+ *                      [--cache-dir=DIR] [--cache=off|ro|rw]
+ *
+ * See README "Distributed campaigns" for the spool contract.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "harness/dispatch.hh"
+#include "harness/job_spec.hh"
+#include "harness/result_cache.hh"
+#include "harness/result_sink.hh"
+
+using namespace tp;
+
+namespace {
+
+int
+runnerMain(const CliArgs &args)
+{
+    harness::DispatchRunnerOptions ro;
+    ro.spoolDir = args.getString("spool", "");
+    if (ro.spoolDir.empty())
+        fatal("--runner needs --spool=DIR (see --help)");
+    ro.runnerId = args.getString("runner-id", "");
+    ro.heartbeatInterval = std::chrono::milliseconds(
+        args.getUintIn("heartbeat", 200, 10, 60000));
+    ro.progress = !args.has("quiet");
+
+    const std::unique_ptr<harness::ResultCache> cache =
+        harness::resultCacheFromCli(args);
+    ro.batch.jobs = jobsFlag(args, 1);
+    ro.batch.progress = false; // per-job lines drown the heartbeat
+    ro.batch.cache = cache.get();
+
+    const std::size_t executed = harness::runDispatchRunner(ro);
+    if (ro.progress)
+        harness::progress(
+            strprintf("runner: executed %zu tasks", executed));
+    if (cache && ro.progress)
+        harness::progress(cache->statsLine());
+    return 0;
+}
+
+int
+coordinatorMain(const CliArgs &args)
+{
+    const std::string path = args.getString("plan", "");
+    if (path.empty())
+        fatal("--plan=FILE is required (see --help)");
+    const harness::ExperimentPlan plan =
+        harness::deserializePlan(path);
+    std::printf("plan %s: %zu jobs, digest %s\n", path.c_str(),
+                plan.jobs.size(),
+                harness::planDigest(plan).c_str());
+
+    harness::DispatchOptions dopt;
+    dopt.spoolDir = args.getString("spool", "");
+    dopt.shards = static_cast<std::uint32_t>(
+        args.getUintIn("shards", 0, 1, 9999));
+    dopt.maxRetries = maxRetriesFlag(args);
+    dopt.heartbeatInterval = std::chrono::milliseconds(
+        args.getUintIn("heartbeat", 200, 10, 60000));
+    dopt.deadAfter = std::chrono::milliseconds(
+        args.getUintIn("dead-after", 2000, 50, 600000));
+    dopt.localRunners =
+        static_cast<std::size_t>(args.getUintIn("runners", 0, 0, 256));
+    dopt.runnerBinary = args.getString("runner-bin", "");
+    dopt.jobsPerRunner = jobsFlag(args, 1);
+    dopt.cacheDir = args.getString(kCacheDirOption, "");
+    dopt.cacheMode = args.getString(
+        kCacheModeOption, dopt.cacheDir.empty() ? "off" : "rw");
+    if (dopt.cacheMode == "off")
+        dopt.cacheDir.clear();
+    dopt.progress = true;
+    dopt.keepSpool = args.has("keep-spool");
+
+    std::unique_ptr<harness::ResultCache> probe;
+    if (args.has("cost-probe")) {
+        if (dopt.cacheDir.empty())
+            fatal("--cost-probe needs a result cache "
+                  "(--cache-dir) to probe");
+        probe = harness::resultCacheFromCli(args);
+        dopt.probeCache = probe.get();
+    }
+
+    harness::TableSink table("dispatched plan " + path);
+    harness::StatsSink stats;
+    std::vector<harness::ResultSink *> sinks = {&table, &stats};
+    std::unique_ptr<harness::CsvSink> csv;
+    if (const std::string f = args.getString("csv", ""); !f.empty())
+        sinks.push_back(
+            (csv = std::make_unique<harness::CsvSink>(f)).get());
+    std::unique_ptr<harness::JsonSink> json;
+    if (const std::string f = args.getString("json", ""); !f.empty())
+        sinks.push_back(
+            (json = std::make_unique<harness::JsonSink>(f)).get());
+    harness::TeeSink tee(std::move(sinks));
+
+    harness::runDispatchCampaign(plan, dopt, tee);
+
+    if (stats.errorStats().count() > 0) {
+        const RunningStats &err = stats.errorStats();
+        std::printf("error over %zu comparisons: mean %.2f%%, "
+                    "max %.2f%%\n",
+                    err.count(), err.mean(), err.max());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const CliArgs args(
+            argc, argv,
+            {{"plan",
+              "serialized experiment plan to dispatch (coordinator; "
+              "required)"},
+             {"spool",
+              "spool directory shared with the runners (default: "
+              "coordinator creates a temp spool)"},
+             {"runners",
+              "local runner processes the coordinator spawns "
+              "(default 0: external runners join via --runner)"},
+             {"shards",
+              "shard tasks to split the plan into (default "
+              "2x runners; one result stream exists per task)"},
+             {"runner", "run as a runner joining --spool"},
+             {"runner-id",
+              "runner identity in the spool (default host-pid)"},
+             {"runner-bin",
+              "binary spawned as a local runner (default: this "
+              "executable)"},
+             {"heartbeat",
+              "runner heartbeat interval in ms (default 200)"},
+             {"dead-after",
+              "heartbeat-stall span in ms after which a runner is "
+              "declared dead and its work stolen (default 2000)"},
+             {"cost-probe",
+              "probe --cache-dir per job and schedule fully "
+              "cache-hit shards first"},
+             {"keep-spool",
+              "keep a coordinator-created temp spool for "
+              "post-mortems"},
+             {"csv", "also stream results to this file as CSV rows"},
+             {"json",
+              "also stream results to this file as a JSON array"},
+             {"quiet", "suppress runner progress lines"},
+             jobsCliOption(), maxRetriesCliOption(),
+             cacheDirCliOption(), cacheModeCliOption()});
+        if (args.has("runner"))
+            return runnerMain(args);
+        return coordinatorMain(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "taskpoint_dispatch: %s\n", e.what());
+        return 1;
+    }
+}

@@ -8,12 +8,14 @@
  *                    [--checkpoint-dir=DIR] [--quiet]
  *
  * Reads a serialized plan shard (harness/plan_shard), executes it
- * through the ordinary BatchRunner, and publishes one checksummed
- * result file per job into --out-dir (atomic rename; see
- * harness/worker). Exit code 0 means every job of the shard was
- * published; any error — corrupt shard, invalid job, I/O failure —
- * exits nonzero, which the coordinating driver treats as a shard
- * failure and retries.
+ * through the ordinary BatchRunner, and appends each finished job's
+ * result to the shard's checksummed envelope stream in --out-dir
+ * (see harness/worker; the coordinator live-tails the stream, so a
+ * half-flushed tail reads as "not ready yet", never as corruption).
+ * Exit code 0 means every job of the shard was published; any
+ * error — corrupt shard, invalid job, I/O failure — exits nonzero,
+ * which the coordinating driver treats as a shard failure and
+ * retries (--max-retries attempts, each with a fresh stream).
  *
  * Drivers normally spawn this binary themselves (--workers=N), but
  * it also works by hand for debugging a single shard.
