@@ -29,6 +29,7 @@
 #include "harness/experiment.hh"
 #include "harness/process_pool.hh"
 #include "harness/result_cache.hh"
+#include "harness/trace_report.hh"
 
 namespace tp::bench {
 
@@ -67,6 +68,15 @@ struct FigureOptions
      * per-run sampling-diagnostics table. 0 = figure default.
      */
     double targetError = 0.0;
+    /**
+     * Execution tracing (--trace-out/--trace-stats): merged Chrome
+     * trace-event JSON and per-core timeline statistics CSV over
+     * every job the figure runs (see harness/trace_report.hh).
+     * Observational only — never part of the plan, never changes a
+     * figure's deterministic output.
+     */
+    std::string traceOut;
+    std::string traceStats;
 };
 
 /** Whether a figure driver supports --plan/--save-plan. */
@@ -121,6 +131,8 @@ parseFigureOptions(int argc, char **argv,
         cacheModeCliOption(),
         checkpointDirCliOption(),
         targetErrorCliOption(),
+        traceOutCliOption(),
+        traceStatsCliOption(),
     };
     if (plan == PlanCli::Supported) {
         options.push_back(
@@ -157,6 +169,8 @@ parseFigureOptions(int argc, char **argv,
         o.savePlanFile = args.getString("save-plan", "");
     }
     o.targetError = targetErrorFlag(args);
+    o.traceOut = args.getString(kTraceOutOption, "");
+    o.traceStats = args.getString(kTraceStatsOption, "");
     return o;
 }
 
@@ -260,8 +274,49 @@ figureBatchOptions(const FigureOptions &opts)
     bo.progress = true;
     bo.cache = opts.cache.get();
     bo.checkpoints = opts.checkpoints.get();
+    bo.collectTimelines =
+        !opts.traceOut.empty() || !opts.traceStats.empty();
     return bo;
 }
+
+/**
+ * Copies each figure result into the executor's trace sinks while
+ * forwarding the original to the figure's own sink. Trace-sink
+ * begin()/end() are deliberately not forwarded: one executor can run
+ * several plans (references, then a sampled sweep) and the merged
+ * trace document must span all of them — it is closed when the
+ * executor is destroyed.
+ */
+class FigureTraceTee final : public harness::ResultSink
+{
+  public:
+    FigureTraceTee(harness::ResultSink &inner,
+                   const std::vector<harness::ResultSink *> &taps)
+        : inner_(&inner), taps_(&taps)
+    {}
+
+    void
+    begin(std::size_t totalJobs) override
+    {
+        inner_->begin(totalJobs);
+    }
+
+    void
+    consume(harness::BatchResult &&result) override
+    {
+        for (harness::ResultSink *tap : *taps_) {
+            harness::BatchResult copy = result;
+            tap->consume(std::move(copy));
+        }
+        inner_->consume(std::move(result));
+    }
+
+    void end() override { inner_->end(); }
+
+  private:
+    harness::ResultSink *inner_;
+    const std::vector<harness::ResultSink *> *taps_;
+};
 
 /**
  * Executes a figure's plans either in-process or multi-process.
@@ -273,22 +328,44 @@ figureBatchOptions(const FigureOptions &opts)
  * delegated to a ProcessPool of spawned taskpoint_worker processes;
  * both paths honour the same ordered-sink contract, so a figure's
  * deterministic output is byte-identical either way.
+ *
+ * `--trace-out`/`--trace-stats` tee every run's results into a
+ * ChromeTraceSink / TimelineStatsSink spanning all plans the
+ * executor runs; the trace documents close on destruction.
  */
 class PlanExecutor
 {
   public:
     explicit PlanExecutor(const FigureOptions &opts)
         : opts_(&opts), runner_(figureBatchOptions(opts))
-    {}
+    {
+        if (!opts.traceOut.empty()) {
+            traceSinks_.push_back(
+                std::make_unique<harness::ChromeTraceSink>(
+                    opts.traceOut));
+        }
+        if (!opts.traceStats.empty()) {
+            auto stats =
+                std::make_unique<harness::TimelineStatsSink>(
+                    opts.traceStats);
+            // One CSV header for the whole executor, not per plan.
+            stats->begin(0);
+            traceSinks_.push_back(std::move(stats));
+        }
+        for (const auto &sink : traceSinks_)
+            taps_.push_back(sink.get());
+    }
 
     void
     run(const harness::ExperimentPlan &plan,
         harness::ResultSink &sink) const
     {
-        if (opts_->pool.workers > 0)
-            harness::ProcessPool(opts_->pool).run(plan, sink);
-        else
-            runner_.run(plan, sink);
+        if (taps_.empty()) {
+            runRaw(plan, sink);
+        } else {
+            FigureTraceTee tee(sink, taps_);
+            runRaw(plan, tee);
+        }
     }
 
     /** Convenience: run `plan` collecting into a vector. */
@@ -308,8 +385,20 @@ class PlanExecutor
     }
 
   private:
+    void
+    runRaw(const harness::ExperimentPlan &plan,
+           harness::ResultSink &sink) const
+    {
+        if (opts_->pool.workers > 0)
+            harness::ProcessPool(opts_->pool).run(plan, sink);
+        else
+            runner_.run(plan, sink);
+    }
+
     const FigureOptions *opts_;
     harness::BatchRunner runner_;
+    std::vector<std::unique_ptr<harness::ResultSink>> traceSinks_;
+    std::vector<harness::ResultSink *> taps_;
 };
 
 /** Execute one figure plan (see PlanExecutor). */

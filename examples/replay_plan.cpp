@@ -6,6 +6,7 @@
  *   ./replay_plan --plan=FILE [--jobs=N|auto] [--list]
  *                 [--workers=N|auto] [--worker-bin=PATH]
  *                 [--csv=FILE] [--json=FILE]
+ *                 [--trace-out=FILE] [--trace-stats=FILE]
  *                 [--cache-dir=DIR] [--cache=off|ro|rw]
  *                 [--checkpoint-dir=DIR]
  *
@@ -29,6 +30,7 @@
 #include "harness/batch_runner.hh"
 #include "harness/process_pool.hh"
 #include "harness/result_cache.hh"
+#include "harness/trace_report.hh"
 
 using namespace tp;
 
@@ -61,7 +63,8 @@ main(int argc, char **argv)
          {"json", "also stream results to this file as a JSON array"},
          jobsCliOption(), workersCliOption(), workerBinCliOption(),
          maxRetriesCliOption(), cacheDirCliOption(),
-         cacheModeCliOption(), checkpointDirCliOption()});
+         cacheModeCliOption(), checkpointDirCliOption(),
+         traceOutCliOption(), traceStatsCliOption()});
     const std::string path = args.getString("plan", "");
     if (path.empty())
         fatal("--plan=FILE is required (see --help)");
@@ -103,13 +106,31 @@ main(int argc, char **argv)
     if (const std::string f = args.getString("json", ""); !f.empty())
         sinks.push_back(
             (json = std::make_unique<harness::JsonSink>(f)).get());
+    const std::string traceOut =
+        args.getString(kTraceOutOption, "");
+    const std::string traceStats =
+        args.getString(kTraceStatsOption, "");
+    std::unique_ptr<harness::ChromeTraceSink> trace;
+    if (!traceOut.empty())
+        sinks.push_back(
+            (trace = std::make_unique<harness::ChromeTraceSink>(
+                 traceOut))
+                .get());
+    std::unique_ptr<harness::TimelineStatsSink> coreStats;
+    if (!traceStats.empty())
+        sinks.push_back(
+            (coreStats =
+                 std::make_unique<harness::TimelineStatsSink>(
+                     traceStats))
+                .get());
     harness::TeeSink tee(std::move(sinks));
 
     const harness::ProcessPoolOptions poolOpts =
         harness::processPoolFromCli(args);
     if (poolOpts.workers > 0) {
         // Multi-process: workers consult the cache and checkpoint
-        // store themselves (the pool forwards the directories).
+        // store themselves (the pool forwards the directories) and
+        // ship timelines back when a trace sink is active.
         harness::ProcessPool(poolOpts).run(plan, tee);
     } else {
         const std::unique_ptr<harness::ResultCache> cache =
@@ -122,6 +143,8 @@ main(int argc, char **argv)
         opts.progress = true;
         opts.cache = cache.get();
         opts.checkpoints = checkpoints.get();
+        opts.collectTimelines =
+            !traceOut.empty() || !traceStats.empty();
         harness::BatchRunner(opts).run(plan, tee);
         if (cache)
             harness::progress(cache->statsLine());

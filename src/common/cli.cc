@@ -202,6 +202,8 @@ const char *const kCacheModeOption = "cache";
 const char *const kTargetErrorOption = "target-error";
 const char *const kCheckpointDirOption = "checkpoint-dir";
 const char *const kMaxRetriesOption = "max-retries";
+const char *const kTraceOutOption = "trace-out";
+const char *const kTraceStatsOption = "trace-stats";
 
 CliOption
 jobsCliOption()
@@ -316,6 +318,25 @@ maxRetriesCliOption()
             "distributed run fails: spawn retries for --workers, "
             "steal/re-split rounds for taskpoint_dispatch "
             "(default 3, range 1-100)"};
+}
+
+CliOption
+traceOutCliOption()
+{
+    return {kTraceOutOption,
+            "write a Chrome trace-event JSON timeline of every "
+            "executed job to this file (load in chrome://tracing or "
+            "Perfetto); observational only — deterministic report "
+            "columns stay byte-identical"};
+}
+
+CliOption
+traceStatsCliOption()
+{
+    return {kTraceStatsOption,
+            "write per-core timeline statistics (busy/idle/mode/"
+            "phase-occupancy cycles per core and job) to this file "
+            "as CSV; observational only, fully deterministic"};
 }
 
 std::size_t

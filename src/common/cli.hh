@@ -146,6 +146,16 @@ extern const char *const kCheckpointDirOption;
  */
 extern const char *const kMaxRetriesOption;
 
+/**
+ * Canonical names of the trace-report options: "trace-out" writes a
+ * merged Chrome trace-event JSON of every executed job, "trace-stats"
+ * writes per-core timeline statistics CSV (see
+ * harness/trace_report.hh). Both are execution-environment options —
+ * they never change plan digests or deterministic report columns.
+ */
+extern const char *const kTraceOutOption;
+extern const char *const kTraceStatsOption;
+
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
 
@@ -165,6 +175,10 @@ CliOption checkpointDirCliOption();
 
 /** --max-retries with its canonical help text. */
 CliOption maxRetriesCliOption();
+
+/** --trace-out / --trace-stats with their canonical help texts. */
+CliOption traceOutCliOption();
+CliOption traceStatsCliOption();
 
 /**
  * Shard attempt budget from `--max-retries=N` (range-validated to

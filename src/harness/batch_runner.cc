@@ -204,7 +204,16 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
             }
         }
         if (!r.reference) {
-            r.reference = runDetailed(trace, job.spec);
+            // Reference-only jobs trace the detailed run; Both-mode
+            // jobs trace the sampled run below (one primary timeline
+            // per result).
+            sim::TimelineRecorder recorder;
+            const bool record = options_.collectTimelines &&
+                                job.mode == BatchMode::Reference;
+            r.reference = runDetailed(trace, job.spec,
+                                      record ? &recorder : nullptr);
+            if (record)
+                r.timeline = recorder.take();
             if (options_.cache != nullptr)
                 options_.cache->store(key, *r.reference);
         }
@@ -280,8 +289,14 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
                     };
                 }
             }
+            sim::TimelineRecorder recorder;
             r.sampled = runSampled(trace, job.spec, job.sampling,
-                                   useHooks ? &hooks : nullptr);
+                                   useHooks ? &hooks : nullptr,
+                                   options_.collectTimelines
+                                       ? &recorder
+                                       : nullptr);
+            if (options_.collectTimelines)
+                r.timeline = recorder.take();
             // The manifest is published last: its presence promises
             // every checkpoint 1..lastBoundary already exists.
             if (recording)
@@ -320,7 +335,11 @@ BatchRunner::run(const ExperimentPlan &plan, ResultSink &sink) const
     // sampled jobs with recorded checkpoints into per-interval
     // slices and merge the slice stream back so `sink` sees the
     // original plan's results.
-    if (options_.checkpoints != nullptr && options_.expandSlices) {
+    // Timelines cover whole runs, so slice expansion is off under
+    // collectTimelines (restore-vs-replay bit-identity keeps the
+    // deterministic report columns unchanged either way).
+    if (options_.checkpoints != nullptr && options_.expandSlices &&
+        !options_.collectTimelines) {
         std::uint32_t maxSlices = options_.checkpointSlices;
         if (maxSlices == 0) {
             const std::size_t workers =

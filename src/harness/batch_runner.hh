@@ -105,6 +105,16 @@ struct BatchOptions
      * the worker count. Capped by the recorded boundary count.
      */
     std::uint32_t checkpointSlices = 0;
+    /**
+     * Record each job's execution timeline (a TimelineRecorder on
+     * the primary run) into BatchResult::timeline for the trace
+     * sinks in harness/trace_report.hh. Purely observational — the
+     * deterministic report columns are byte-identical with this on
+     * or off. Disables checkpoint-slice expansion (a whole-run
+     * timeline cannot be stitched from slices); checkpoint
+     * *recording* still works. Cache replays carry no timeline.
+     */
+    bool collectTimelines = false;
 };
 
 /** See file comment. */

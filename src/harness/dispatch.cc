@@ -412,6 +412,8 @@ runDispatchCampaign(const ExperimentPlan &plan,
             : static_cast<std::uint32_t>(
                   std::max<std::size_t>(options.localRunners, 1) * 2);
     std::vector<PlanShard> shards = makeShards(plan, shardCount);
+    for (PlanShard &shard : shards)
+        shard.collectTimelines = options.collectTimelines;
 
     struct Ranked
     {
@@ -574,6 +576,7 @@ runDispatchCampaign(const ExperimentPlan &plan,
             piece.planDigest = t.shard.planDigest;
             piece.baseSeed = t.shard.baseSeed;
             piece.deriveSeeds = t.shard.deriveSeeds;
+            piece.collectTimelines = t.shard.collectTimelines;
             piece.shardIndex = nextShardId;
             piece.shardCount = nextShardId + 1; // advisory position
             piece.jobs.assign(

@@ -187,6 +187,13 @@ struct DispatchOptions
     bool progress = false;
     /** Keep a coordinator-created temp spool for post-mortems. */
     bool keepSpool = false;
+    /**
+     * Ask every shard task (including steal re-splits) to record job
+     * timelines and ship them back in its result stream, so a trace
+     * sink on the coordinator merges the whole campaign into one
+     * Chrome trace (see harness/trace_report.hh).
+     */
+    bool collectTimelines = false;
 };
 
 /**

@@ -22,20 +22,24 @@ makeSimConfig(const RunSpec &spec)
 }
 
 sim::SimResult
-runDetailed(const trace::TaskTrace &trace, const RunSpec &spec)
+runDetailed(const trace::TaskTrace &trace, const RunSpec &spec,
+            sim::TraceObserver *observer)
 {
     sim::Engine engine(makeSimConfig(spec), trace);
+    engine.setObserver(observer);
     return engine.run(nullptr);
 }
 
 SampledOutcome
 runSampled(const trace::TaskTrace &trace, const RunSpec &spec,
            const sampling::SamplingParams &params,
-           const sim::CheckpointHooks *hooks)
+           const sim::CheckpointHooks *hooks,
+           sim::TraceObserver *observer)
 {
     sim::SimConfig cfg = makeSimConfig(spec);
     cfg.noise.enabled = false; // sampling never runs under noise
     sim::Engine engine(cfg, trace);
+    engine.setObserver(observer);
     sampling::TaskPointController controller(trace, params);
     SampledOutcome out;
     out.result = engine.run(&controller, hooks);

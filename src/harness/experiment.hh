@@ -42,9 +42,14 @@ struct RunSpec
 /** @return a SimConfig assembled from a RunSpec. */
 sim::SimConfig makeSimConfig(const RunSpec &spec);
 
-/** Run the full-detailed reference simulation. */
+/**
+ * Run the full-detailed reference simulation.
+ * @param observer optional trace observer (sim/trace_observer.hh);
+ *                 read-only, never perturbs the run
+ */
 sim::SimResult runDetailed(const trace::TaskTrace &trace,
-                           const RunSpec &spec);
+                           const RunSpec &spec,
+                           sim::TraceObserver *observer = nullptr);
 
 /** Outcome of one TaskPoint-sampled simulation. */
 struct SampledOutcome
@@ -60,14 +65,17 @@ struct SampledOutcome
 
 /**
  * Run a TaskPoint-sampled simulation.
- * @param hooks optional warm-state checkpoint behaviour (record at
- *              sample boundaries, restore, bounded slice); see
- *              sim/checkpoint.hh
+ * @param hooks    optional warm-state checkpoint behaviour (record at
+ *                 sample boundaries, restore, bounded slice); see
+ *                 sim/checkpoint.hh
+ * @param observer optional trace observer (sim/trace_observer.hh);
+ *                 read-only, never perturbs the run
  */
 SampledOutcome runSampled(const trace::TaskTrace &trace,
                           const RunSpec &spec,
                           const sampling::SamplingParams &params,
-                          const sim::CheckpointHooks *hooks = nullptr);
+                          const sim::CheckpointHooks *hooks = nullptr,
+                          sim::TraceObserver *observer = nullptr);
 
 /** Error/speedup summary of sampled vs. reference. */
 struct ErrorSpeedup

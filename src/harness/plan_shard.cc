@@ -97,6 +97,7 @@ serializeShard(const PlanShard &shard, std::ostream &out)
     w.pod(shard.shardCount);
     w.pod(shard.baseSeed);
     writeBool(w, shard.deriveSeeds);
+    writeBool(w, shard.collectTimelines);
     w.pod<std::uint64_t>(shard.jobs.size());
     for (const ShardJob &sj : shard.jobs) {
         w.pod(sj.planIndex);
@@ -139,6 +140,7 @@ deserializeShard(std::istream &in, const std::string &name)
                      shard.shardCount);
     shard.baseSeed = r.pod<std::uint64_t>();
     shard.deriveSeeds = readBool(r);
+    shard.collectTimelines = readBool(r);
     const auto count = r.pod<std::uint64_t>();
     if (count > r.remainingBytes())
         throwIoError("'%s': corrupt job count", name.c_str());

@@ -70,11 +70,19 @@ struct PlanShard
     /** Seed policy copied from the parent plan. */
     std::uint64_t baseSeed = 42;
     bool deriveSeeds = true;
+    /**
+     * Record per-job execution timelines on the worker and ship them
+     * back inside each BatchResult (BatchOptions::collectTimelines).
+     * Set by coordinators after makeShards(); not part of the parent
+     * plan (tracing is an execution-environment choice, so it never
+     * changes the plan digest).
+     */
+    bool collectTimelines = false;
     std::vector<ShardJob> jobs;
 };
 
 /** Version of the shard file encoding (see kPlanFormatVersion). */
-inline constexpr std::uint32_t kShardFormatVersion = 1;
+inline constexpr std::uint32_t kShardFormatVersion = 2;
 
 /**
  * @return the half-open range [first, last) of parent-plan indices

@@ -97,7 +97,8 @@ ProcessPool::run(const ExperimentPlan &plan, ResultSink &sink) const
     // spread across the fleet; the workers restore the checkpoints
     // (they get --checkpoint-dir) and the merging sink reassembles
     // the original result stream.
-    if (!options_.checkpointDir.empty()) {
+    if (!options_.checkpointDir.empty() &&
+        !options_.collectTimelines) {
         const std::unique_ptr<ResultCache> checkpoints =
             openCheckpointDir(options_.checkpointDir);
         const std::size_t lanes =
@@ -151,6 +152,8 @@ ProcessPool::runSharded(const ExperimentPlan &plan,
 
     std::vector<PlanShard> shards = makeShards(
         plan, static_cast<std::uint32_t>(options_.workers));
+    for (PlanShard &shard : shards)
+        shard.collectTimelines = options_.collectTimelines;
 
     const auto spawnShard = [&](ShardState &st) {
         ++st.attempt;
@@ -322,6 +325,11 @@ processPoolFromCli(const CliArgs &args)
         o.cacheDir.clear();
     o.checkpointDir = args.getString(kCheckpointDirOption, "");
     o.maxAttempts = maxRetriesFlag(args, o.maxAttempts);
+    // Trace sinks live on the coordinator; the workers only need to
+    // know they should record and ship timelines.
+    o.collectTimelines =
+        !args.getString(kTraceOutOption, "").empty() ||
+        !args.getString(kTraceStatsOption, "").empty();
     return o;
 }
 

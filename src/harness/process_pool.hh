@@ -91,6 +91,14 @@ struct ProcessPoolOptions
      * results back (see harness/plan_shard.hh).
      */
     std::string checkpointDir;
+    /**
+     * Ask every worker shard to record job timelines and ship them
+     * back in the result stream (PlanShard::collectTimelines), so a
+     * trace sink on the coordinator side (harness/trace_report.hh)
+     * can merge the whole campaign. Disables checkpoint-slice
+     * expansion, like BatchOptions::collectTimelines.
+     */
+    bool collectTimelines = false;
 };
 
 /**

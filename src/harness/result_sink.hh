@@ -33,6 +33,7 @@
 #include "common/statistics.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "sim/trace_observer.hh"
 
 namespace tp::harness {
 
@@ -51,6 +52,16 @@ struct BatchResult
     bool sampledFromCache = false;
     /** Host seconds the whole job spent on its worker. */
     double hostSeconds = 0.0;
+    /**
+     * Execution timeline of the job's primary run (the sampled run
+     * for Sampled/Both jobs, the reference for Reference-only jobs).
+     * Present iff the batch ran with BatchOptions::collectTimelines
+     * and the run actually executed (cache replays carry none).
+     * Consumed by the trace sinks (harness/trace_report.hh); the
+     * report sinks above ignore it, keeping CSV/JSON reports
+     * byte-identical with tracing on or off.
+     */
+    std::optional<sim::JobTimeline> timeline;
 };
 
 /** See file comment. */

@@ -7,10 +7,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/binary_io.hh"
 #include "common/logging.hh"
+#include "harness/trace_report.hh"
 #include "sim/result_io.hh"
 
 namespace fs = std::filesystem;
@@ -20,8 +23,48 @@ namespace tp::harness {
 namespace {
 
 /**
+ * Remaps shard-local result indices to parent-plan indices before
+ * forwarding: BatchRunner numbered the shard's jobs 0..n-1, but
+ * reports and ordering downstream need the parent-plan index. Sits
+ * in front of whatever sinks the worker composes (publisher, local
+ * trace writer), so they all observe plan indices.
+ */
+class PlanIndexSink final : public ResultSink
+{
+  public:
+    PlanIndexSink(const PlanShard &shard, ResultSink &inner)
+        : shard_(shard), inner_(inner)
+    {}
+
+    void
+    begin(std::size_t totalJobs) override
+    {
+        inner_.begin(totalJobs);
+    }
+
+    void
+    consume(BatchResult &&r) override
+    {
+        tp_assert(r.index < shard_.jobs.size());
+        r.index = static_cast<std::size_t>(
+            shard_.jobs[r.index].planIndex);
+        inner_.consume(std::move(r));
+    }
+
+    void
+    end() override
+    {
+        inner_.end();
+    }
+
+  private:
+    const PlanShard &shard_;
+    ResultSink &inner_;
+};
+
+/**
  * Appends each finished result to the shard's single envelope
- * stream, remapping shard-local indices to parent-plan indices.
+ * stream.
  *
  * Each append is one buffered write of a whole envelope followed by
  * a flush, so a crash between jobs leaves a clean stream boundary
@@ -32,10 +75,8 @@ namespace {
 class StreamPublishingSink final : public ResultSink
 {
   public:
-    StreamPublishingSink(const PlanShard &shard,
-                         const std::string &streamPath)
-        : shard_(shard), out_(streamPath, std::ios::binary),
-          path_(streamPath)
+    explicit StreamPublishingSink(const std::string &streamPath)
+        : out_(streamPath, std::ios::binary), path_(streamPath)
     {
         // The coordinator guarantees a fresh stream name per shard
         // attempt (attempt-unique out dirs, steal-generation-unique
@@ -49,12 +90,6 @@ class StreamPublishingSink final : public ResultSink
     void
     consume(BatchResult &&r) override
     {
-        // BatchRunner numbered the shard's jobs 0..n-1; reports and
-        // ordering downstream need the parent-plan index.
-        tp_assert(r.index < shard_.jobs.size());
-        r.index = static_cast<std::size_t>(
-            shard_.jobs[r.index].planIndex);
-
         std::ostringstream payload(std::ios::binary);
         serializeBatchResult(r, payload);
         std::ostringstream framed(std::ios::binary);
@@ -73,7 +108,6 @@ class StreamPublishingSink final : public ResultSink
     std::size_t published() const { return published_; }
 
   private:
-    const PlanShard &shard_;
     std::ofstream out_;
     std::string path_;
     std::size_t published_ = 0;
@@ -120,6 +154,9 @@ serializeBatchResult(const BatchResult &r, std::ostream &out)
     writeBool(w, r.referenceFromCache);
     writeBool(w, r.sampledFromCache);
     w.pod(r.hostSeconds);
+    writeBool(w, r.timeline.has_value());
+    if (r.timeline)
+        sim::serializeTimeline(*r.timeline, out);
 }
 
 BatchResult
@@ -143,6 +180,8 @@ deserializeBatchResult(std::istream &in, const std::string &name)
     res.referenceFromCache = readBool(r);
     res.sampledFromCache = readBool(r);
     res.hostSeconds = r.pod<double>();
+    if (readBool(r))
+        res.timeline = sim::deserializeTimeline(r);
     return res;
 }
 
@@ -173,15 +212,29 @@ runWorkerShard(const WorkerOptions &options)
         options.streamName.empty()
             ? shardStreamFileName(shard.shardIndex)
             : options.streamName;
-    StreamPublishingSink sink(shard,
-                              (fs::path(options.outDir) / stream)
-                                  .string());
+    StreamPublishingSink publish(
+        (fs::path(options.outDir) / stream).string());
+    // A worker-local --trace-out dumps this shard's timeline slice
+    // straight to a file (debugging one shard by hand); coordinators
+    // normally merge the timelines that ride the result stream.
+    std::unique_ptr<ChromeTraceSink> traceOut;
+    std::vector<ResultSink *> sinks;
+    if (!options.traceOutPath.empty()) {
+        traceOut =
+            std::make_unique<ChromeTraceSink>(options.traceOutPath);
+        sinks.push_back(traceOut.get());
+    }
+    sinks.push_back(&publish);
+    TeeSink tee(std::move(sinks));
+    PlanIndexSink sink(shard, tee);
     BatchOptions batch = options.batch;
     // shardPlan() pre-resolved the parent's derived seeds, so each
     // workload trace is unique to its job: don't retain them.
     batch.memoizeWorkloadTraces = !shard.deriveSeeds;
+    batch.collectTimelines = shard.collectTimelines ||
+                             !options.traceOutPath.empty();
     BatchRunner(batch).run(plan, sink);
-    return sink.published();
+    return publish.published();
 }
 
 } // namespace tp::harness

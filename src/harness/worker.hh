@@ -86,6 +86,14 @@ struct WorkerOptions
      * the steal generation (see harness/dispatch).
      */
     std::string streamName;
+    /**
+     * When nonempty, additionally write this shard's slice of the
+     * execution timeline as a Chrome trace-event JSON to this path
+     * (and force timeline collection on). Coordinators normally
+     * merge the timelines riding the result stream instead; this is
+     * the by-hand debugging path for a single shard.
+     */
+    std::string traceOutPath;
     /** Execution environment (threads, progress, cache). */
     BatchOptions batch;
 };

@@ -232,6 +232,12 @@ class TaskPointController : public sim::ModeController
         return fastPhaseEntries_;
     }
 
+    /** Phase codes match sampling::Phase (see sim/trace_observer.hh). */
+    std::uint8_t observerPhase() const override
+    {
+        return static_cast<std::uint8_t>(phase_);
+    }
+
     /** Serialize the full dynamic controller state. */
     void saveState(BinaryWriter &w) const override;
 

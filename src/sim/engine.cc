@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/trace_observer.hh"
 
 namespace tp::sim {
 
@@ -39,6 +40,20 @@ Engine::status(Cycles now, bool counting_new_task) const
     st.totalCores = config_.numThreads;
     st.completedTasks = runtime_.numCompleted();
     return st;
+}
+
+void
+Engine::pollObserverPhase(Cycles at)
+{
+    // Only called with observer_ != nullptr. Read-only with respect
+    // to simulated state: attaching an observer cannot perturb a run.
+    const std::uint8_t p = controller_ != nullptr
+                               ? controller_->observerPhase()
+                               : kDetailedOnlyPhase;
+    if (p != observerPhase_) {
+        observerPhase_ = p;
+        observer_->onPhaseChange(at, p);
+    }
 }
 
 void
@@ -82,6 +97,12 @@ Engine::startTask(ThreadId core, TaskInstanceId id, Cycles now)
         fastInstsSinceAging_ += inst.instCount;
         events_.update(core, s.finish);
     }
+
+    if (observer_ != nullptr) {
+        pollObserverPhase(now); // decideTask may have moved the phase
+        observer_->onTaskScheduled(core, id, now);
+        observer_->onTaskStart(core, inst, start, decision.mode);
+    }
 }
 
 void
@@ -99,6 +120,7 @@ Engine::completeTask(ThreadId core, Cycles finish)
         finish = s.start + noise_.perturb(dur);
     }
 
+    const Cycles start_cycles = s.start;
     const Cycles dur = finish > s.start ? finish - s.start : Cycles{1};
     const double ipc =
         static_cast<double>(inst.instCount) / static_cast<double>(dur);
@@ -130,6 +152,12 @@ Engine::completeTask(ThreadId core, Cycles finish)
     if (controller_ != nullptr) {
         controller_->taskFinished(inst, core, mode, ipc,
                                   status(finish, false));
+    }
+
+    if (observer_ != nullptr) {
+        pollObserverPhase(finish); // taskFinished may move the phase
+        observer_->onTaskEnd(core, inst, start_cycles, finish, mode,
+                             ipc, runtime_.readyCount());
     }
 
     assignTasks(finish);
@@ -232,6 +260,13 @@ Engine::run(ModeController *controller, const CheckpointHooks *hooks)
     // deterministic event sequence, so the boundary indices — and
     // therefore the interval slices — tile the run exactly.
     std::uint64_t boundary_count = 0;
+    if (observer_ != nullptr) {
+        std::vector<std::string> type_names;
+        type_names.reserve(trace_.types().size());
+        for (const trace::TaskType &t : trace_.types())
+            type_names.push_back(t.name);
+        observer_->onRunBegin(config_.numThreads, type_names);
+    }
     if (hooks != nullptr && hooks->restore != nullptr) {
         if (controller_ == nullptr)
             fatal("checkpoint restore requires a mode controller");
@@ -242,25 +277,34 @@ Engine::run(ModeController *controller, const CheckpointHooks *hooks)
         loadState(r);
         r.expectEof();
         boundary_count = hooks->restore->boundary;
+        if (observer_ != nullptr)
+            pollObserverPhase(lastCompletion_);
     } else {
+        if (observer_ != nullptr)
+            pollObserverPhase(0); // initial phase at cycle 0
         assignTasks(0);
     }
     std::uint64_t seen_epoch =
         controller_ != nullptr ? controller_->phaseEpoch() : 0;
 
     while (!runtime_.allDone()) {
-        if (hooks != nullptr && controller_ != nullptr) {
+        if (controller_ != nullptr &&
+            (hooks != nullptr || observer_ != nullptr)) {
             const std::uint64_t epoch = controller_->phaseEpoch();
             if (epoch != seen_epoch) {
                 seen_epoch = epoch;
                 ++boundary_count;
                 // Stop *before* processing any post-boundary event:
                 // the next slice restores the state captured here.
-                if (hooks->stopBoundary != 0 &&
+                if (hooks != nullptr && hooks->stopBoundary != 0 &&
                     boundary_count >= hooks->stopBoundary) {
                     break;
                 }
-                if (hooks->record) {
+                if (observer_ != nullptr) {
+                    observer_->onSampleBoundary(
+                        boundary_count, lastCompletion_, mem_.stats());
+                }
+                if (hooks != nullptr && hooks->record) {
                     Checkpoint cp;
                     cp.boundary = boundary_count;
                     std::ostringstream os(std::ios::binary);
@@ -312,6 +356,9 @@ Engine::run(ModeController *controller, const CheckpointHooks *hooks)
                   static_cast<double>(lastCompletion_)
             : 0.0;
     result_.memStats = mem_.stats();
+
+    if (observer_ != nullptr)
+        observer_->onRunEnd(lastCompletion_);
 
     controller_ = nullptr;
     return result_;

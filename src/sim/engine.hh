@@ -35,6 +35,8 @@
 
 namespace tp::sim {
 
+class TraceObserver;
+
 /** Full configuration of one simulation. */
 struct SimConfig
 {
@@ -63,6 +65,14 @@ class Engine
      * @param trace  application to simulate (not owned; must outlive)
      */
     Engine(const SimConfig &config, const trace::TaskTrace &trace);
+
+    /**
+     * Attach a trace observer (sim/trace_observer.hh) receiving task
+     * lifecycle, phase-transition and sample-boundary events from the
+     * next run(). Not owned; must outlive the run. Observers are
+     * read-only: attaching one never perturbs simulated behaviour.
+     */
+    void setObserver(TraceObserver *observer) { observer_ = observer; }
 
     /**
      * Run the whole application (or one checkpoint-delimited slice
@@ -102,6 +112,9 @@ class Engine
     /** Finish the task running on `core` at time `finish`. */
     void completeTask(ThreadId core, Cycles finish);
 
+    /** Emit onPhaseChange if the controller's phase moved. */
+    void pollObserverPhase(Cycles at);
+
     /** @return snapshot for controller callbacks. */
     EngineStatus status(Cycles now, bool counting_new_task) const;
 
@@ -121,6 +134,9 @@ class Engine
     rt::RuntimeModel runtime_;
     NoiseModel noise_;
     ModeController *controller_ = nullptr;
+    TraceObserver *observer_ = nullptr;
+    /** Last phase reported to the observer (0xff = none yet). */
+    std::uint8_t observerPhase_ = 0xff;
 
     std::vector<cpu::RobCore> cores_;
     std::vector<CoreState> states_;

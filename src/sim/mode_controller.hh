@@ -84,6 +84,14 @@ class ModeController
     virtual std::uint64_t phaseEpoch() const { return 0; }
 
     /**
+     * Current sampling-phase code for trace observers (see
+     * sim/trace_observer.hh). Controllers without a phase structure
+     * report kDetailedOnlyPhase (3), matching the null-controller
+     * reference simulation.
+     */
+    virtual std::uint8_t observerPhase() const { return 3; }
+
+    /**
      * Serialize the controller's dynamic state into a checkpoint.
      * Must be overridden (together with loadState()) by controllers
      * that advance phaseEpoch().

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Execution-trace smoke (`ctest -L trace`).
+#
+# Proves the tracing contract end to end on a checked-in golden plan:
+#
+#  1. `--trace-out`/`--trace-stats` leave the deterministic CSV
+#     report byte-identical to the untraced run (and to the golden).
+#  2. The Chrome trace-event document is valid JSON (when python3 is
+#     available), Perfetto-loadable in shape, and byte-stable across
+#     reruns — it contains no wall-clock fields.
+#  3. The same flags work across every execution mode: in-process,
+#     --workers=2, and a distributed dispatch campaign with two local
+#     runners — all three produce the identical stripped CSV, and
+#     the multi-process trace documents are byte-identical to the
+#     in-process one (timelines ship through the result streams and
+#     merge in submission order).
+#
+# Usage: trace_smoke.sh <replay-plan-binary> <dispatch-binary> <golden-dir>
+set -euo pipefail
+
+replay="$1"
+dispatch="$2"
+golden_dir="$3"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+plan="$golden_dir/fig07_histogram_spmv.tpplan"
+golden="$golden_dir/fig07_histogram_spmv.golden.csv"
+test -f "$plan"
+test -f "$golden"
+
+strip_host_cols() {
+    # The two host-timing columns are last by design (see CsvSink).
+    sed -E 's/(,[^,]*){2}$//' "$1"
+}
+
+json_check() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+phases = {e["ph"] for e in events}
+assert "X" in phases and "M" in phases, phases
+print(f"{sys.argv[1]}: {len(events)} events ok")
+EOF
+    else
+        # Fallback shape check without a JSON parser.
+        grep -q '"traceEvents"' "$1"
+        grep -q '"ph":"X"' "$1"
+    fi
+}
+
+# --- 1. untraced baseline vs golden -------------------------------
+"$replay" --plan="$plan" --csv="$work/plain.csv" \
+    >"$work/plain.out" 2>&1
+strip_host_cols "$work/plain.csv" >"$work/plain.stripped.csv"
+diff -u "$golden" "$work/plain.stripped.csv"
+
+# --- 2. traced in-process run: CSV identical, JSON valid ----------
+"$replay" --plan="$plan" --csv="$work/traced.csv" \
+    --trace-out="$work/trace.json" \
+    --trace-stats="$work/stats.csv" >"$work/traced.out" 2>&1
+strip_host_cols "$work/traced.csv" >"$work/traced.stripped.csv"
+diff -u "$golden" "$work/traced.stripped.csv"
+json_check "$work/trace.json"
+
+# Per-core stats: header plus one row per (job, core).
+head -1 "$work/stats.csv" | grep -q '^index,label,core,tasks,'
+test "$(wc -l <"$work/stats.csv")" -gt 1
+
+# --- 3. trace byte-stability across reruns ------------------------
+"$replay" --plan="$plan" --trace-out="$work/trace2.json" \
+    >"$work/rerun.out" 2>&1
+cmp "$work/trace.json" "$work/trace2.json"
+
+# --- 4. --workers=2: same CSV, same trace document ----------------
+"$replay" --plan="$plan" --workers=2 --csv="$work/workers.csv" \
+    --trace-out="$work/workers.json" >"$work/workers.out" 2>&1
+strip_host_cols "$work/workers.csv" >"$work/workers.stripped.csv"
+diff -u "$golden" "$work/workers.stripped.csv"
+cmp "$work/trace.json" "$work/workers.json"
+
+# --- 5. dispatch campaign with two runners ------------------------
+"$dispatch" --plan="$plan" --runners=2 --shards=3 \
+    --spool="$work/spool" --csv="$work/dispatch.csv" \
+    --trace-out="$work/dispatch.json" \
+    --trace-stats="$work/dispatch-stats.csv" \
+    >"$work/dispatch.out" 2>&1
+strip_host_cols "$work/dispatch.csv" >"$work/dispatch.stripped.csv"
+diff -u "$golden" "$work/dispatch.stripped.csv"
+cmp "$work/trace.json" "$work/dispatch.json"
+cmp "$work/stats.csv" "$work/dispatch-stats.csv"
+json_check "$work/dispatch.json"
+
+echo "trace smoke ok"

@@ -2,7 +2,7 @@
  * @file
  * Fixed-scenario performance smoke: the simulator's speed trajectory.
  *
- *   ./perf_smoke [--out=BENCH_8.json] [--repeat=N] [--scale=S]
+ *   ./perf_smoke [--series=N] [--out=FILE] [--repeat=N] [--scale=S]
  *
  * Times a small fixed suite — three workloads, each in full-detailed,
  * lazy-sampled, checkpoint-recording and adaptive-sampled mode, at
@@ -19,7 +19,10 @@
  * (BatchRunner) and as a spool-based dispatch campaign with
  * in-process runner threads; the delta is the coordination cost of
  * harness/dispatch (task publishing, claiming, stream tailing and
- * per-runner trace generation) with no fork/exec noise in it.
+ * per-runner trace generation) with no fork/exec noise in it. A
+ * second probe times one sampled scenario with and without a
+ * TimelineRecorder attached, tracking the cost of execution tracing
+ * (sim/trace_observer) against its zero-overhead-when-off contract.
  */
 
 #include <unistd.h>
@@ -39,6 +42,7 @@
 #include "harness/experiment.hh"
 #include "sampling/taskpoint.hh"
 #include "sim/checkpoint.hh"
+#include "sim/trace_observer.hh"
 #include "workloads/workloads.hh"
 
 using namespace tp;
@@ -197,6 +201,56 @@ measureDispatchOverhead(const work::WorkloadParams &wp,
     return oh;
 }
 
+/** Tracing-vs-plain timing of one fixed sampled scenario. */
+struct TraceOverhead
+{
+    double plainSeconds = 0.0;
+    double tracedSeconds = 0.0;
+    std::uint64_t taskEvents = 0;
+    std::uint64_t phaseEvents = 0;
+};
+
+/**
+ * Time the histogram lazy-sampled scenario once bare and once with a
+ * TimelineRecorder observing every task and phase event (fastest of
+ * `repeat` each). The delta is the cost of execution tracing; the
+ * bare run exercises the null-observer fast path the engine promises
+ * is free.
+ */
+TraceOverhead
+measureTraceOverhead(const work::WorkloadParams &wp,
+                     const harness::RunSpec &spec,
+                     std::uint64_t repeat)
+{
+    const trace::TaskTrace trace =
+        work::generateWorkload("histogram", wp);
+    const sampling::SamplingParams params =
+        sampling::SamplingParams::lazy();
+
+    TraceOverhead oh;
+    oh.plainSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        const double t0 = nowSeconds();
+        (void)harness::runSampled(trace, spec, params);
+        const double wall = nowSeconds() - t0;
+        if (oh.plainSeconds < 0.0 || wall < oh.plainSeconds)
+            oh.plainSeconds = wall;
+    }
+    oh.tracedSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        sim::TimelineRecorder recorder;
+        const double t0 = nowSeconds();
+        (void)harness::runSampled(trace, spec, params, nullptr,
+                                  &recorder);
+        const double wall = nowSeconds() - t0;
+        if (oh.tracedSeconds < 0.0 || wall < oh.tracedSeconds)
+            oh.tracedSeconds = wall;
+        oh.taskEvents = recorder.timeline().tasks.size();
+        oh.phaseEvents = recorder.timeline().phases.size();
+    }
+    return oh;
+}
+
 } // namespace
 
 int
@@ -204,12 +258,18 @@ main(int argc, char **argv)
 {
     const CliArgs args(
         argc, argv,
-        {{"out", "JSON report path (default BENCH_8.json)"},
+        {{"series",
+          "BENCH series number: sets the report's \"pr\" field and "
+          "the default --out=BENCH_<series>.json (default 9)"},
+         {"out",
+          "JSON report path (default BENCH_<series>.json)"},
          {"repeat",
           "timed repetitions per scenario, fastest wins (default 3)"},
          {"scale", "workload scale override (default 0.02)"}});
-    const std::string out_path =
-        args.getString("out", "BENCH_8.json");
+    const std::uint64_t series = args.getUintIn("series", 9, 1, 9999);
+    const std::string out_path = args.getString(
+        "out", strprintf("BENCH_%llu.json",
+                         static_cast<unsigned long long>(series)));
     const std::uint64_t repeat = args.getUintIn("repeat", 3, 1, 100);
     const double scale = args.getDoubleIn("scale", 0.02, 1e-4, 10.0);
 
@@ -278,7 +338,8 @@ main(int argc, char **argv)
     if (f == nullptr)
         fatal("cannot write %s", out_path.c_str());
     std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n");
-    std::fprintf(f, "  \"pr\": 8,\n");
+    std::fprintf(f, "  \"pr\": %llu,\n",
+                 static_cast<unsigned long long>(series));
     std::fprintf(f, "  \"threads\": %u,\n", spec.threads);
     std::fprintf(f, "  \"scale\": %g,\n", scale);
     std::fprintf(f, "  \"repeat\": %llu,\n",
@@ -327,6 +388,25 @@ main(int argc, char **argv)
         "(overhead %.3fs)",
         oh.jobs, oh.inprocSeconds, oh.dispatchSeconds,
         oh.dispatchSeconds - oh.inprocSeconds));
+
+    const TraceOverhead toh =
+        measureTraceOverhead(wp, spec, repeat);
+    std::fprintf(f,
+                 "  \"trace\": {\"plain_wall_seconds\": %.6f, "
+                 "\"traced_wall_seconds\": %.6f, "
+                 "\"overhead_seconds\": %.6f, "
+                 "\"task_events\": %llu, "
+                 "\"phase_events\": %llu},\n",
+                 toh.plainSeconds, toh.tracedSeconds,
+                 toh.tracedSeconds - toh.plainSeconds,
+                 static_cast<unsigned long long>(toh.taskEvents),
+                 static_cast<unsigned long long>(toh.phaseEvents));
+    harness::progress(strprintf(
+        "trace: %.3fs plain vs %.3fs recorded (%llu task events, "
+        "overhead %.3fs)",
+        toh.plainSeconds, toh.tracedSeconds,
+        static_cast<unsigned long long>(toh.taskEvents),
+        toh.tracedSeconds - toh.plainSeconds));
 
     std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
     std::fprintf(f, "  \"detailed_wall_seconds\": %.6f,\n",

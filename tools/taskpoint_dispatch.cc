@@ -12,6 +12,7 @@
  *                      [--shards=N] [--jobs=N] [--max-retries=N]
  *                      [--heartbeat=MS] [--dead-after=MS]
  *                      [--csv=FILE] [--json=FILE]
+ *                      [--trace-out=FILE] [--trace-stats=FILE]
  *                      [--cache-dir=DIR] [--cache=off|ro|rw]
  *                      [--cost-probe] [--keep-spool]
  *
@@ -37,6 +38,7 @@
 #include "harness/job_spec.hh"
 #include "harness/result_cache.hh"
 #include "harness/result_sink.hh"
+#include "harness/trace_report.hh"
 
 using namespace tp;
 
@@ -101,6 +103,13 @@ coordinatorMain(const CliArgs &args)
         dopt.cacheDir.clear();
     dopt.progress = true;
     dopt.keepSpool = args.has("keep-spool");
+    // Trace sinks live here on the coordinator; the shard tasks only
+    // carry the "record timelines" bit to the runner fleet.
+    const std::string traceOut = args.getString(kTraceOutOption, "");
+    const std::string traceStats =
+        args.getString(kTraceStatsOption, "");
+    dopt.collectTimelines =
+        !traceOut.empty() || !traceStats.empty();
 
     std::unique_ptr<harness::ResultCache> probe;
     if (args.has("cost-probe")) {
@@ -122,6 +131,19 @@ coordinatorMain(const CliArgs &args)
     if (const std::string f = args.getString("json", ""); !f.empty())
         sinks.push_back(
             (json = std::make_unique<harness::JsonSink>(f)).get());
+    std::unique_ptr<harness::ChromeTraceSink> trace;
+    if (!traceOut.empty())
+        sinks.push_back(
+            (trace = std::make_unique<harness::ChromeTraceSink>(
+                 traceOut))
+                .get());
+    std::unique_ptr<harness::TimelineStatsSink> coreStats;
+    if (!traceStats.empty())
+        sinks.push_back(
+            (coreStats =
+                 std::make_unique<harness::TimelineStatsSink>(
+                     traceStats))
+                .get());
     harness::TeeSink tee(std::move(sinks));
 
     harness::runDispatchCampaign(plan, dopt, tee);
@@ -177,7 +199,8 @@ main(int argc, char **argv)
               "also stream results to this file as a JSON array"},
              {"quiet", "suppress runner progress lines"},
              jobsCliOption(), maxRetriesCliOption(),
-             cacheDirCliOption(), cacheModeCliOption()});
+             cacheDirCliOption(), cacheModeCliOption(),
+             traceOutCliOption(), traceStatsCliOption()});
         if (args.has("runner"))
             return runnerMain(args);
         return coordinatorMain(args);

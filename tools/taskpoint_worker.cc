@@ -5,7 +5,8 @@
  *
  *   taskpoint_worker --shard=FILE --out-dir=DIR [--jobs=N|auto]
  *                    [--cache-dir=DIR] [--cache=off|ro|rw]
- *                    [--checkpoint-dir=DIR] [--quiet]
+ *                    [--checkpoint-dir=DIR] [--trace-out=FILE]
+ *                    [--quiet]
  *
  * Reads a serialized plan shard (harness/plan_shard), executes it
  * through the ordinary BatchRunner, and appends each finished job's
@@ -44,10 +45,12 @@ main(int argc, char **argv)
               "(required)"},
              {"quiet", "suppress per-job progress lines"},
              jobsCliOption(), cacheDirCliOption(),
-             cacheModeCliOption(), checkpointDirCliOption()});
+             cacheModeCliOption(), checkpointDirCliOption(),
+             traceOutCliOption()});
         harness::WorkerOptions wo;
         wo.shardPath = args.getString("shard", "");
         wo.outDir = args.getString("out-dir", "");
+        wo.traceOutPath = args.getString(kTraceOutOption, "");
         if (wo.shardPath.empty() || wo.outDir.empty())
             fatal("--shard=FILE and --out-dir=DIR are required "
                   "(see --help)");
