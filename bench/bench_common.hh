@@ -133,6 +133,7 @@ parseFigureOptions(int argc, char **argv,
         targetErrorCliOption(),
         traceOutCliOption(),
         traceStatsCliOption(),
+        faultPlanCliOption(),
     };
     if (plan == PlanCli::Supported) {
         options.push_back(

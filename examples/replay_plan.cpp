@@ -64,7 +64,8 @@ main(int argc, char **argv)
          jobsCliOption(), workersCliOption(), workerBinCliOption(),
          maxRetriesCliOption(), cacheDirCliOption(),
          cacheModeCliOption(), checkpointDirCliOption(),
-         traceOutCliOption(), traceStatsCliOption()});
+         traceOutCliOption(), traceStatsCliOption(),
+         faultPlanCliOption()});
     const std::string path = args.getString("plan", "");
     if (path.empty())
         fatal("--plan=FILE is required (see --help)");

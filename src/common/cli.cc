@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace tp {
@@ -100,6 +101,19 @@ CliArgs::CliArgs(int argc, const char *const *argv,
                   "the options this binary understands",
                   key.c_str(), base.c_str());
         values_[key] = std::move(value);
+    }
+
+    // Fault-plan activation (common/fault_injection.hh). The flag
+    // wins over the environment and re-exports it so spawned
+    // workers and runners inherit the schedule; with only the
+    // variable set, install once (idempotent across repeated CliArgs
+    // constructions, which must not reset fault occurrence counts).
+    const std::string faultPlan = getString(kFaultPlanOption, "");
+    if (!faultPlan.empty()) {
+        ::setenv(fault::kFaultPlanEnvVar, faultPlan.c_str(), 1);
+        fault::installFaultPlan(fault::loadFaultPlan(faultPlan));
+    } else {
+        fault::initFaultPlanFromEnv();
     }
 }
 
@@ -204,6 +218,7 @@ const char *const kCheckpointDirOption = "checkpoint-dir";
 const char *const kMaxRetriesOption = "max-retries";
 const char *const kTraceOutOption = "trace-out";
 const char *const kTraceStatsOption = "trace-stats";
+const char *const kFaultPlanOption = "fault-plan";
 
 CliOption
 jobsCliOption()
@@ -337,6 +352,16 @@ traceStatsCliOption()
             "write per-core timeline statistics (busy/idle/mode/"
             "phase-occupancy cycles per core and job) to this file "
             "as CSV; observational only, fully deterministic"};
+}
+
+CliOption
+faultPlanCliOption()
+{
+    return {kFaultPlanOption,
+            "load a deterministic fault-injection schedule from "
+            "this file and export TASKPOINT_FAULT_PLAN so spawned "
+            "workers and runners inherit it (chaos testing; see "
+            "README)"};
 }
 
 std::size_t

@@ -156,6 +156,16 @@ extern const char *const kMaxRetriesOption;
 extern const char *const kTraceOutOption;
 extern const char *const kTraceStatsOption;
 
+/**
+ * Canonical name of the fault-injection option ("fault-plan"): path
+ * of a deterministic fault schedule (common/fault_injection.hh).
+ * Every CliArgs construction also honors the TASKPOINT_FAULT_PLAN
+ * environment variable, so binaries that do not list the option —
+ * and spawned workers and runners — still load the plan; the flag
+ * form re-exports the variable so children inherit it.
+ */
+extern const char *const kFaultPlanOption;
+
 /** --jobs with its canonical help text. */
 CliOption jobsCliOption();
 
@@ -179,6 +189,9 @@ CliOption maxRetriesCliOption();
 /** --trace-out / --trace-stats with their canonical help texts. */
 CliOption traceOutCliOption();
 CliOption traceStatsCliOption();
+
+/** --fault-plan with its canonical help text. */
+CliOption faultPlanCliOption();
 
 /**
  * Shard attempt budget from `--max-retries=N` (range-validated to

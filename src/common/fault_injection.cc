@@ -1,0 +1,473 @@
+#include "common/fault_injection.hh"
+
+#include <fcntl.h>
+#include <csignal>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "common/binary_io.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::fault {
+
+namespace {
+
+constexpr const char *kHeader = "taskpoint-fault-plan v1";
+
+/** splitmix64 finalizer: spreads (seed, site, occurrence) mixes. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic corruption position source for one firing. */
+std::uint64_t
+ruleNoise(std::uint64_t seed, const FaultRule &rule)
+{
+    return mix64(seed ^
+                 fnv1a(rule.site.data(), rule.site.size()) ^
+                 (rule.occurrence * 0x9e3779b97f4a7c15ULL));
+}
+
+std::string
+describeAction(const FaultAction &a)
+{
+    switch (a.kind) {
+    case FaultKind::ShortWrite:
+        return strprintf("short-write %llu",
+                         static_cast<unsigned long long>(a.arg));
+    case FaultKind::TornRename:
+        return "torn-rename";
+    case FaultKind::BitFlip:
+        return "bit-flip";
+    case FaultKind::ErrnoFault:
+        return "errno " + errnoToken(a.arg);
+    case FaultKind::Delay:
+        return strprintf("delay %llu",
+                         static_cast<unsigned long long>(a.arg));
+    case FaultKind::Abort:
+        return "abort";
+    }
+    return "?";
+}
+
+/**
+ * Claim `path` with O_CREAT|O_EXCL. True when this process created
+ * it; false when another claimant won (or the path is unwritable —
+ * a chaos plan pointing at a bad prefix degrades to never firing,
+ * which the byte-identity assertion then surfaces).
+ */
+bool
+claimOnceMarker(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                          0644);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+}
+
+std::uint64_t
+parseUint(const std::string &tok, const std::string &name,
+          std::size_t lineNo, const char *what)
+{
+    std::uint64_t v = 0;
+    std::size_t pos = 0;
+    try {
+        v = std::stoull(tok, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos == 0 || pos != tok.size())
+        throwIoError("'%s' line %zu: bad %s '%s'", name.c_str(),
+                     lineNo, what, tok.c_str());
+    return v;
+}
+
+FaultAction
+parseAction(const std::vector<std::string> &tok, std::size_t from,
+            const std::string &name, std::size_t lineNo)
+{
+    const std::string &verb = tok[from];
+    const std::size_t extra = tok.size() - from - 1;
+    const auto arg1 = [&]() -> const std::string & {
+        if (extra != 1)
+            throwIoError("'%s' line %zu: action '%s' takes exactly "
+                         "one argument", name.c_str(), lineNo,
+                         verb.c_str());
+        return tok[from + 1];
+    };
+    FaultAction a;
+    if (verb == "short-write") {
+        a.kind = FaultKind::ShortWrite;
+        a.arg = parseUint(arg1(), name, lineNo, "byte count");
+    } else if (verb == "torn-rename") {
+        a.kind = FaultKind::TornRename;
+    } else if (verb == "bit-flip") {
+        a.kind = FaultKind::BitFlip;
+    } else if (verb == "errno") {
+        a.kind = FaultKind::ErrnoFault;
+        const std::string &e = arg1();
+        if (e == "ENOSPC")
+            a.arg = ENOSPC;
+        else if (e == "EIO")
+            a.arg = EIO;
+        else
+            a.arg = parseUint(e, name, lineNo, "errno");
+    } else if (verb == "delay") {
+        a.kind = FaultKind::Delay;
+        a.arg = parseUint(arg1(), name, lineNo, "delay");
+    } else if (verb == "abort") {
+        a.kind = FaultKind::Abort;
+    } else {
+        throwIoError("'%s' line %zu: unknown fault action '%s'",
+                     name.c_str(), lineNo, verb.c_str());
+    }
+    if (a.kind == FaultKind::TornRename ||
+        a.kind == FaultKind::BitFlip || a.kind == FaultKind::Abort) {
+        if (extra != 0)
+            throwIoError("'%s' line %zu: action '%s' takes no "
+                         "argument", name.c_str(), lineNo,
+                         verb.c_str());
+    }
+    return a;
+}
+
+std::vector<std::string>
+splitTokens(const std::string &line)
+{
+    std::vector<std::string> tok;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        tok.push_back(std::move(t));
+    return tok;
+}
+
+/** Owner of the installed injector; g_injector is the fast path. */
+std::mutex g_installMu;
+std::unique_ptr<FaultInjector> g_installed;
+
+} // namespace
+
+namespace detail {
+std::atomic<FaultInjector *> g_injector{nullptr};
+} // namespace detail
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ShortWrite:
+        return "short-write";
+    case FaultKind::TornRename:
+        return "torn-rename";
+    case FaultKind::BitFlip:
+        return "bit-flip";
+    case FaultKind::ErrnoFault:
+        return "errno";
+    case FaultKind::Delay:
+        return "delay";
+    case FaultKind::Abort:
+        return "abort";
+    }
+    return "?";
+}
+
+std::string
+errnoToken(std::uint64_t err)
+{
+    if (err == ENOSPC)
+        return "ENOSPC";
+    if (err == EIO)
+        return "EIO";
+    return strprintf("%llu", static_cast<unsigned long long>(err));
+}
+
+FaultPlan
+parseFaultPlan(std::istream &in, const std::string &name)
+{
+    FaultPlan plan;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::vector<std::string> tok = splitTokens(line);
+        if (tok.empty() || tok.front().front() == '#')
+            continue;
+        if (!sawHeader) {
+            // The first meaningful line must be the exact header —
+            // any damage to it fails the whole plan, which the
+            // corruption battery relies on.
+            if (line != kHeader)
+                throwIoError("'%s' line %zu: expected '%s' header",
+                             name.c_str(), lineNo, kHeader);
+            sawHeader = true;
+            continue;
+        }
+        if (tok[0] == "seed") {
+            if (tok.size() != 2)
+                throwIoError("'%s' line %zu: seed takes one value",
+                             name.c_str(), lineNo);
+            plan.seed = parseUint(tok[1], name, lineNo, "seed");
+        } else if (tok[0] == "once") {
+            if (tok.size() != 2)
+                throwIoError("'%s' line %zu: once takes one marker "
+                             "path prefix", name.c_str(), lineNo);
+            plan.oncePrefix = tok[1];
+        } else if (tok[0] == "on") {
+            if (tok.size() < 4)
+                throwIoError("'%s' line %zu: want 'on <site> "
+                             "<occurrence> <action> [arg]'",
+                             name.c_str(), lineNo);
+            FaultRule rule;
+            rule.site = tok[1];
+            rule.occurrence =
+                parseUint(tok[2], name, lineNo, "occurrence");
+            if (rule.occurrence == 0)
+                throwIoError("'%s' line %zu: occurrences are "
+                             "1-based", name.c_str(), lineNo);
+            rule.action = parseAction(tok, 3, name, lineNo);
+            plan.rules.push_back(std::move(rule));
+        } else {
+            throwIoError("'%s' line %zu: unknown directive '%s'",
+                         name.c_str(), lineNo, tok[0].c_str());
+        }
+    }
+    if (!sawHeader)
+        throwIoError("'%s': missing '%s' header", name.c_str(),
+                     kHeader);
+    return plan;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &text, const std::string &name)
+{
+    std::istringstream in(text);
+    return parseFaultPlan(in, name);
+}
+
+FaultPlan
+loadFaultPlan(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throwIoError("cannot open fault plan '%s'", path.c_str());
+    return parseFaultPlan(in, path);
+}
+
+std::string
+formatFaultPlan(const FaultPlan &plan)
+{
+    std::string out = std::string(kHeader) + "\n";
+    out += strprintf("seed %llu\n", static_cast<unsigned long long>(
+                                        plan.seed));
+    if (!plan.oncePrefix.empty())
+        out += "once " + plan.oncePrefix + "\n";
+    for (const FaultRule &r : plan.rules)
+        out += strprintf("on %s %llu %s\n", r.site.c_str(),
+                         static_cast<unsigned long long>(
+                             r.occurrence),
+                         describeAction(r.action).c_str());
+    return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan))
+{
+}
+
+const FaultRule *
+FaultInjector::fire(const char *site)
+{
+    const FaultRule *match = nullptr;
+    std::uint64_t n = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        n = ++hits_[site];
+        for (const FaultRule &r : plan_.rules) {
+            if (r.occurrence == n && r.site == site) {
+                match = &r;
+                break;
+            }
+        }
+    }
+    if (match == nullptr)
+        return nullptr;
+    if (!plan_.oncePrefix.empty()) {
+        const std::string marker = strprintf(
+            "%s.%s.%llu", plan_.oncePrefix.c_str(), site,
+            static_cast<unsigned long long>(n));
+        if (!claimOnceMarker(marker))
+            return nullptr;
+    }
+    // One deterministic, greppable line per firing: chaos tests
+    // match the site name here to prove the schedule actually ran.
+    warn("fault injection: site '%s' occurrence %llu: %s", site,
+         static_cast<unsigned long long>(n),
+         describeAction(match->action).c_str());
+    if (match->action.kind == FaultKind::Delay)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(match->action.arg));
+    else if (match->action.kind == FaultKind::Abort)
+        ::raise(SIGKILL);
+    return match;
+}
+
+std::uint64_t
+FaultInjector::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hits_.find(site);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+const FaultRule *
+fire(const char *site)
+{
+    FaultInjector *inj =
+        detail::g_injector.load(std::memory_order_acquire);
+    return inj == nullptr ? nullptr : inj->fire(site);
+}
+
+void
+installFaultPlan(FaultPlan plan)
+{
+    std::lock_guard<std::mutex> lock(g_installMu);
+    auto next = std::make_unique<FaultInjector>(std::move(plan));
+    detail::g_injector.store(next.get(),
+                             std::memory_order_release);
+    g_installed = std::move(next);
+}
+
+void
+clearFaultPlan()
+{
+    std::lock_guard<std::mutex> lock(g_installMu);
+    detail::g_injector.store(nullptr, std::memory_order_release);
+    g_installed.reset();
+}
+
+void
+initFaultPlanFromEnv()
+{
+    if (active())
+        return;
+    const char *path = std::getenv(kFaultPlanEnvVar);
+    if (path == nullptr || *path == '\0')
+        return;
+    installFaultPlan(loadFaultPlan(path));
+}
+
+bool
+corruptBytes(const FaultRule &rule, std::string &bytes)
+{
+    std::uint64_t seed = 1;
+    if (FaultInjector *inj =
+            detail::g_injector.load(std::memory_order_acquire))
+        seed = inj->plan().seed;
+    switch (rule.action.kind) {
+    case FaultKind::ShortWrite: {
+        if (bytes.empty())
+            return false;
+        const std::size_t cut = std::min<std::size_t>(
+            bytes.size(),
+            std::max<std::uint64_t>(rule.action.arg, 1));
+        bytes.resize(bytes.size() - cut);
+        return true;
+    }
+    case FaultKind::TornRename:
+        if (bytes.empty())
+            return false;
+        bytes.resize(bytes.size() / 2);
+        return true;
+    case FaultKind::BitFlip: {
+        if (bytes.empty())
+            return false;
+        // Damage lands in the last 64 bytes so the most recently
+        // appended envelope of a stream is what gets hit.
+        const std::size_t window =
+            std::min<std::size_t>(bytes.size(), 64);
+        const std::uint64_t noise = ruleNoise(seed, rule);
+        const std::size_t pos =
+            bytes.size() - 1 - (noise % window);
+        bytes[pos] = static_cast<char>(
+            static_cast<unsigned char>(bytes[pos]) ^
+            (1u << ((noise >> 32) % 8)));
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+bool
+corruptFile(const FaultRule &rule, const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec || size == 0)
+        return false;
+    switch (rule.action.kind) {
+    case FaultKind::ShortWrite: {
+        const std::uintmax_t cut = std::min<std::uintmax_t>(
+            size, std::max<std::uint64_t>(rule.action.arg, 1));
+        fs::resize_file(path, size - cut, ec);
+        return !ec;
+    }
+    case FaultKind::TornRename:
+        fs::resize_file(path, size / 2, ec);
+        return !ec;
+    case FaultKind::BitFlip: {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        if (!f)
+            return false;
+        std::uint64_t seed = 1;
+        if (FaultInjector *inj = detail::g_injector.load(
+                std::memory_order_acquire))
+            seed = inj->plan().seed;
+        const std::uintmax_t window =
+            std::min<std::uintmax_t>(size, 64);
+        const std::uint64_t noise = ruleNoise(seed, rule);
+        const std::uintmax_t pos = size - 1 - (noise % window);
+        f.seekg(static_cast<std::streamoff>(pos));
+        char byte = 0;
+        f.read(&byte, 1);
+        if (!f)
+            return false;
+        byte = static_cast<char>(
+            static_cast<unsigned char>(byte) ^
+            (1u << ((noise >> 32) % 8)));
+        f.seekp(static_cast<std::streamoff>(pos));
+        f.write(&byte, 1);
+        f.flush();
+        return f.good();
+    }
+    default:
+        return false;
+    }
+}
+
+} // namespace tp::fault

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace tp {
@@ -60,6 +61,16 @@ Subprocess::spawn(const std::vector<std::string> &argv,
 {
     if (argv.empty())
         panic("Subprocess::spawn with empty argv");
+
+    // Spawning is the one boundary with no quieter degradation: a
+    // coordinator that cannot start processes must fail loudly (the
+    // same way a real fork failure below does), naming the site.
+    if (const fault::FaultRule *r = FAULT_CHECK("subprocess.spawn"))
+        if (r->action.kind == fault::FaultKind::ErrnoFault)
+            fatal("injected %s spawning '%s' (fault site "
+                  "subprocess.spawn)",
+                  fault::errnoToken(r->action.arg).c_str(),
+                  argv[0].c_str());
 
     std::vector<char *> cargv;
     cargv.reserve(argv.size() + 1);

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/binary_io.hh"
+#include "common/fault_injection.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -257,8 +258,21 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
                     job.startBoundary > 0) {
                     const std::string bkey = checkpointBlobKey(
                         memDigest, jobDigest, job.startBoundary);
-                    if (std::optional<std::string> blob =
-                            options_.checkpoints->loadBlob(bkey)) {
+                    std::optional<std::string> blob =
+                        options_.checkpoints->loadBlob(bkey);
+                    // Injected errno is a lost read (a miss); data
+                    // faults damage the blob so the envelope
+                    // checksum rejects it — either way the slice
+                    // must cold-replay to the same answer.
+                    if (const fault::FaultRule *r =
+                            FAULT_CHECK("checkpoint.restore")) {
+                        if (r->action.kind ==
+                            fault::FaultKind::ErrnoFault)
+                            blob.reset();
+                        else if (blob)
+                            fault::corruptBytes(*r, *blob);
+                    }
+                    if (blob) {
                         try {
                             restore = sim::deserializeCheckpoint(
                                 *blob, bkey);
@@ -282,10 +296,24 @@ BatchRunner::runJob(const JobSpec &job, std::size_t index,
                     useHooks = true;
                     hooks.record = [&](sim::Checkpoint &&cp) {
                         lastBoundary = cp.boundary;
+                        std::string blob =
+                            sim::serializeCheckpoint(cp);
+                        // Injected damage to the serialized warm
+                        // state must be caught by the restore-time
+                        // checksum (cold replay); errno loses the
+                        // blob, which a restoring run treats as a
+                        // plain miss.
+                        if (const fault::FaultRule *r =
+                                FAULT_CHECK("checkpoint.record")) {
+                            if (r->action.kind ==
+                                fault::FaultKind::ErrnoFault)
+                                return;
+                            fault::corruptBytes(*r, blob);
+                        }
                         options_.checkpoints->storeBlob(
                             checkpointBlobKey(memDigest, jobDigest,
                                               cp.boundary),
-                            sim::serializeCheckpoint(cp));
+                            blob);
                     };
                 }
             }

@@ -15,6 +15,7 @@
 
 #include "common/backoff.hh"
 #include "common/binary_io.hh"
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "common/subprocess.hh"
 #include "harness/result_cache.hh"
@@ -236,7 +237,15 @@ HeartbeatWriter::loop()
 {
     std::uint64_t counter = 0;
     while (true) {
-        {
+        // Injected errno loses this beat (one write that never hit
+        // the disk); delay stalls the writer thread so the content
+        // stops changing — the coordinator's dead-runner case.
+        bool skipBeat = false;
+        if (const fault::FaultRule *r =
+                FAULT_CHECK("dispatch.heartbeat"))
+            skipBeat =
+                r->action.kind == fault::FaultKind::ErrnoFault;
+        if (!skipBeat) {
             // Rewriting in place is enough: the watcher only looks
             // for *changed* content, so even a torn read counts as
             // liveness — which it is.
@@ -300,6 +309,13 @@ runDispatchRunner(const DispatchRunnerOptions &options)
         for (const std::string &task : queued) {
             const std::string claim = spool.claimedFile(id, task);
             std::error_code rec;
+            // An injected errno simulates losing the claim race;
+            // abort/delay kill or wedge the runner at the moment it
+            // owns no task yet.
+            if (const fault::FaultRule *r =
+                    FAULT_CHECK("dispatch.claim"))
+                if (r->action.kind == fault::FaultKind::ErrnoFault)
+                    continue;
             // A coordinator starting after us wipes claimed/ to
             // clear the previous campaign; re-ensure our directory
             // so the claim rename has a target.
@@ -348,6 +364,14 @@ struct TaskState
     bool failed = false;
     /** Remaining jobs were re-split; never steal a task twice. */
     bool stolen = false;
+    /** Seen in some runner's claimed/ directory. */
+    bool claimed = false;
+    /**
+     * Last observed forward motion: publish, first sighting of the
+     * claim, or results arriving on the stream. Drives the
+     * stalled-stream watchdog.
+     */
+    std::chrono::steady_clock::time_point lastProgress;
 };
 
 /** Liveness tracking of one observed runner. */
@@ -450,6 +474,19 @@ runDispatchCampaign(const ExperimentPlan &plan,
         const std::string tmp =
             (fs::path(spool.root) / (task + ".tmp")).string();
         serializeShard(shard, tmp);
+        // Injected errno fails the publish like a real rename error
+        // below (the coordinator has no quieter degradation); data
+        // faults damage the task file, so the claiming runner must
+        // die parsing it and the dead-runner steal re-publishes.
+        if (const fault::FaultRule *r =
+                FAULT_CHECK("dispatch.publish")) {
+            if (r->action.kind == fault::FaultKind::ErrnoFault)
+                fatal("dispatch: injected %s publishing task '%s' "
+                      "(fault site dispatch.publish)",
+                      fault::errnoToken(r->action.arg).c_str(),
+                      task.c_str());
+            fault::corruptFile(*r, tmp);
+        }
         std::error_code ec;
         fs::rename(tmp, spool.queueFile(task), ec);
         if (ec)
@@ -460,6 +497,7 @@ runDispatchCampaign(const ExperimentPlan &plan,
         st.name = name;
         st.reader = std::make_unique<sim::EnvelopeStreamReader>(
             spool.streamFile(task));
+        st.lastProgress = std::chrono::steady_clock::now();
         tasks.emplace(task, std::move(st));
     };
 
@@ -542,6 +580,7 @@ runDispatchCampaign(const ExperimentPlan &plan,
     const auto stealTask = [&](TaskState &t, const char *why) {
         if (t.stolen)
             return;
+        FAULT_POINT("dispatch.steal");
         t.stolen = true;
         std::vector<ShardJob> remaining;
         for (const ShardJob &sj : t.shard.jobs)
@@ -603,6 +642,7 @@ runDispatchCampaign(const ExperimentPlan &plan,
     try {
         while (!merger.complete()) {
             bool progressed = false;
+            const auto now = std::chrono::steady_clock::now();
 
             for (auto &[task, t] : tasks) {
                 if (t.failed)
@@ -610,6 +650,8 @@ runDispatchCampaign(const ExperimentPlan &plan,
                 try {
                     std::vector<std::string> payloads;
                     t.reader->poll(payloads);
+                    if (!payloads.empty())
+                        t.lastProgress = now;
                     for (std::string &payload : payloads) {
                         std::istringstream ps(payload,
                                               std::ios::binary);
@@ -646,8 +688,6 @@ runDispatchCampaign(const ExperimentPlan &plan,
             }
             if (merger.complete())
                 break;
-
-            const auto now = std::chrono::steady_clock::now();
 
             // Heartbeats: liveness is *content change* against our
             // own monotonic clock — no cross-host time comparison.
@@ -718,6 +758,51 @@ runDispatchCampaign(const ExperimentPlan &plan,
                     progressed = true;
                     std::error_code rec;
                     fs::remove(entry.path(), rec); // best effort
+                }
+            }
+
+            // Stalled-stream watchdog. A runner can wedge with its
+            // heartbeat thread still beating (a stuck job, a hung
+            // filesystem write) — heartbeat liveness never trips,
+            // and without this pass the coordinator would tail the
+            // silent stream forever. A *claimed* task whose stream
+            // has not grown within the stall span is routed into
+            // the same steal path as a dead runner's work; the
+            // original stream stays tailed, so if the slow runner
+            // does finish, its bit-identical duplicates are simply
+            // dropped by the merger.
+            for (const auto &entry :
+                 fs::directory_iterator(spool.claimed, ec)) {
+                if (!entry.is_directory())
+                    continue;
+                std::error_code dec;
+                for (const auto &claim :
+                     fs::directory_iterator(entry.path(), dec)) {
+                    const auto it =
+                        tasks.find(claim.path().stem().string());
+                    if (it == tasks.end() || it->second.claimed)
+                        continue;
+                    it->second.claimed = true;
+                    it->second.lastProgress = now;
+                }
+            }
+            const auto stallBase =
+                options.stalledAfter.count() > 0
+                    ? options.stalledAfter
+                    : std::max(options.deadAfter * 30,
+                               std::chrono::milliseconds(60000));
+            for (auto &[task, t] : tasks) {
+                if (!t.claimed || t.stolen)
+                    continue;
+                // Doubling per generation keeps a genuinely slow
+                // lineage from burning its whole retry budget on
+                // watchdog steals.
+                const auto span =
+                    stallBase *
+                    (1 << std::min(t.name.generation, 10u));
+                if (now - t.lastProgress > span) {
+                    stealTask(t, "result stream stalled");
+                    progressed = true;
                 }
             }
 

@@ -53,6 +53,10 @@
  * when thief and original both finish a job, the duplicates are
  * bit-identical by determinism and the ResultMerger keeps the first
  * arrival. A lineage that dies maxRetries times fails the campaign.
+ * Orthogonally, a *stalled-stream watchdog* steals claimed tasks
+ * whose result stream stops growing (stalledAfter) — the case of a
+ * runner that wedges while its heartbeat thread keeps beating,
+ * which heartbeat liveness can never catch.
  */
 
 #ifndef TP_HARNESS_DISPATCH_HH
@@ -161,6 +165,19 @@ struct DispatchOptions
     std::chrono::milliseconds heartbeatInterval{200};
     /** Heartbeat-stall span after which a runner is declared dead. */
     std::chrono::milliseconds deadAfter{2000};
+    /**
+     * Span after which a *claimed* task whose result stream has not
+     * grown is declared stalled and its uncollected jobs stolen —
+     * the net under a runner that wedges while its heartbeat thread
+     * keeps beating, which heartbeat liveness can never catch. The
+     * span doubles per steal generation so a genuinely slow lineage
+     * does not burn its retry budget; a watchdog steal of a
+     * merely-slow task is wasteful but safe (the original stream
+     * stays tailed and bit-identical duplicates are dropped).
+     * 0 derives max(30 * deadAfter, 60s); long-running jobs want
+     * this raised (--stalled-after) rather than disabled.
+     */
+    std::chrono::milliseconds stalledAfter{0};
     /**
      * Runner processes to spawn on this machine (0 = none; external
      * runners join by pointing `taskpoint_dispatch --runner` at the

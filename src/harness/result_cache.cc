@@ -12,6 +12,7 @@
 
 #include "common/binary_io.hh"
 #include "common/cli.hh"
+#include "common/fault_injection.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "harness/job_spec.hh"
@@ -270,6 +271,11 @@ ResultCache::saveIndexLocked()
     indexDirty_ = false;
     if (options_.mode != CacheMode::ReadWrite)
         return;
+    // The index is a recency hint reconciled against the directory
+    // on load, so every failure mode here is "skip the rewrite".
+    if (const fault::FaultRule *r = FAULT_CHECK("result_cache.index"))
+        if (r->action.kind == fault::FaultKind::ErrnoFault)
+            return;
     const fs::path dir(options_.dir);
     const std::string tmp =
         (dir / strprintf(".index.tmp.%d.%llu",
@@ -408,9 +414,13 @@ ResultCache::store(const std::string &key,
 {
     if (options_.mode != CacheMode::ReadWrite)
         return;
-    std::ostringstream payload(std::ios::binary);
-    sim::serializeResult(result, payload);
-    storePayload(key, payload.str());
+    try {
+        std::ostringstream payload(std::ios::binary);
+        sim::serializeResult(result, payload);
+        storePayload(key, payload.str());
+    } catch (const std::exception &e) {
+        noteStoreFailure(e.what());
+    }
 }
 
 void
@@ -419,9 +429,13 @@ ResultCache::storeSampled(const std::string &key,
 {
     if (options_.mode != CacheMode::ReadWrite)
         return;
-    std::ostringstream payload(std::ios::binary);
-    sim::serializeSampledOutcome(outcome, payload);
-    storePayload(key, payload.str());
+    try {
+        std::ostringstream payload(std::ios::binary);
+        sim::serializeSampledOutcome(outcome, payload);
+        storePayload(key, payload.str());
+    } catch (const std::exception &e) {
+        noteStoreFailure(e.what());
+    }
 }
 
 std::optional<std::string>
@@ -442,7 +456,21 @@ ResultCache::storeBlob(const std::string &key,
 {
     if (options_.mode != CacheMode::ReadWrite)
         return;
-    storePayload(key, blob);
+    try {
+        storePayload(key, blob);
+    } catch (const std::exception &e) {
+        noteStoreFailure(e.what());
+    }
+}
+
+void
+ResultCache::noteStoreFailure(const char *what)
+{
+    if (!warnedStoreFailure_.exchange(true))
+        warn("result cache '%s': store failed (%s); continuing "
+             "uncached", options_.dir.c_str(), what);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failedStores;
 }
 
 void
@@ -481,7 +509,39 @@ ResultCache::storePayload(const std::string &key,
         }
     }
 
+    // Entry bytes hit the disk: an injected errno here stands in for
+    // the write itself failing (ENOSPC mid-entry); data faults damage
+    // the temp file, which the entry checksum turns into a later
+    // lookup miss.
+    if (const fault::FaultRule *r = FAULT_CHECK("result_cache.write")) {
+        if (r->action.kind == fault::FaultKind::ErrnoFault) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            throwIoError("'%s': injected %s at fault site "
+                         "result_cache.write", tmp.c_str(),
+                         fault::errnoToken(r->action.arg).c_str());
+        }
+        fault::corruptFile(*r, tmp);
+    }
+
     const std::string path = entryPath(key);
+
+    // The atomic-rename publish boundary: injected errno stands in
+    // for the rename failing (cross-device, quota); torn-rename
+    // publishes a prefix of the entry, a damage class the rename
+    // itself can never produce but a crashed writer's leftover can.
+    if (const fault::FaultRule *r =
+            FAULT_CHECK("result_cache.publish")) {
+        if (r->action.kind == fault::FaultKind::ErrnoFault) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            throwIoError("'%s': injected %s at fault site "
+                         "result_cache.publish", path.c_str(),
+                         fault::errnoToken(r->action.arg).c_str());
+        }
+        fault::corruptFile(*r, tmp);
+    }
+
     std::error_code ec;
     fs::rename(tmp, path, ec); // atomic publish
     if (ec) {
@@ -546,11 +606,12 @@ ResultCache::statsLine() const
     std::lock_guard<std::mutex> lock(mu_);
     return strprintf(
         "result cache '%s': hits=%llu misses=%llu stores=%llu "
-        "evictions=%llu entries=%zu bytes=%llu",
+        "store-errors=%llu evictions=%llu entries=%zu bytes=%llu",
         options_.dir.c_str(),
         static_cast<unsigned long long>(stats_.hits),
         static_cast<unsigned long long>(stats_.misses),
         static_cast<unsigned long long>(stats_.stores),
+        static_cast<unsigned long long>(stats_.failedStores),
         static_cast<unsigned long long>(stats_.evictions),
         entries_.size(),
         static_cast<unsigned long long>(totalBytes_));

@@ -46,6 +46,7 @@
 #ifndef TP_HARNESS_RESULT_CACHE_HH
 #define TP_HARNESS_RESULT_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -92,6 +93,8 @@ struct ResultCacheStats
     std::uint64_t misses = 0;
     std::uint64_t stores = 0;
     std::uint64_t evictions = 0;
+    /** Stores that failed (ENOSPC, rename error); run continued. */
+    std::uint64_t failedStores = 0;
 };
 
 /**
@@ -249,6 +252,13 @@ class ResultCache
     /** Publish `payload` under `key` (atomic rename), then evict. */
     void storePayload(const std::string &key,
                       const std::string &payload);
+    /**
+     * The cache boundary of every store path: a failed store (disk
+     * full, rename race, serialization error) degrades the run to
+     * uncached — warned once per cache, counted per failure — and
+     * must never propagate into the job that tried to cache.
+     */
+    void noteStoreFailure(const char *what);
     /** Reconcile index.tsv with the directory contents. */
     void loadIndexLocked();
     void saveIndexLocked();
@@ -267,6 +277,8 @@ class ResultCache
      */
     bool indexDirty_ = false;
     ResultCacheStats stats_;
+    /** First store failure already warned (see noteStoreFailure). */
+    std::atomic<bool> warnedStoreFailure_{false};
 };
 
 /**

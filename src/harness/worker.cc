@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/binary_io.hh"
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "harness/trace_report.hh"
 #include "sim/result_io.hh"
@@ -101,6 +102,22 @@ class StreamPublishingSink final : public ResultSink
         out_.flush();
         if (!out_.good())
             fatal("worker: error appending to '%s'", path_.c_str());
+        // The append just became durable — the boundary every
+        // tailer's recovery story is written against. Injected data
+        // faults damage the stream tail on disk (a truncated or
+        // flipped envelope the reader must refuse); errno stands in
+        // for the append itself failing like the fatal above; abort
+        // kills this worker mid-shard and delay wedges it with the
+        // stream silent (the stalled-stream watchdog's case).
+        if (const fault::FaultRule *r =
+                FAULT_CHECK("worker.stream.append")) {
+            if (r->action.kind == fault::FaultKind::ErrnoFault)
+                fatal("worker: injected %s appending to '%s' "
+                      "(fault site worker.stream.append)",
+                      fault::errnoToken(r->action.arg).c_str(),
+                      path_.c_str());
+            fault::corruptFile(*r, path_);
+        }
         ++published_;
         maybeKillSelfForTest();
     }

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/binary_io.hh"
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace tp::trace {
@@ -94,12 +95,25 @@ serializeTrace(const TaskTrace &trace, std::ostream &out)
 void
 serializeTrace(const TaskTrace &trace, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
-    serializeTrace(trace, out);
-    if (!out.good())
-        fatal("error writing trace to '%s'", path.c_str());
+    {
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            fatal("cannot open '%s' for writing", path.c_str());
+        serializeTrace(trace, out);
+        if (!out.good())
+            fatal("error writing trace to '%s'", path.c_str());
+    }
+    // The trace-file durability boundary: injected errno fails like
+    // the real write errors above; data faults damage the file so
+    // the next deserializeTrace must raise IoError, never decode.
+    if (const fault::FaultRule *r = FAULT_CHECK("trace_io.write")) {
+        if (r->action.kind == fault::FaultKind::ErrnoFault)
+            fatal("injected %s writing trace to '%s' (fault site "
+                  "trace_io.write)",
+                  fault::errnoToken(r->action.arg).c_str(),
+                  path.c_str());
+        fault::corruptFile(*r, path);
+    }
 }
 
 TaskTrace

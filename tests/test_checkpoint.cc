@@ -17,6 +17,7 @@
 
 #include "common/binary_io.hh"
 #include "common/hash.hh"
+#include "corruption_battery.hh"
 #include "cpu/arch_config.hh"
 #include "harness/batch_runner.hh"
 #include "harness/plan_shard.hh"
@@ -56,29 +57,20 @@ TEST(CheckpointEnvelope, RoundTripPreservesBoundaryAndState)
 
 TEST(CheckpointEnvelope, EveryTruncationIsRecoverable)
 {
-    const std::string blob =
-        sim::serializeCheckpoint(sampleCheckpoint());
-    for (std::size_t len = 0; len < blob.size(); ++len) {
-        EXPECT_THROW(sim::deserializeCheckpoint(blob.substr(0, len),
-                                                "trunc"),
-                     IoError)
-            << "prefix of " << len << " bytes";
-    }
+    test::expectTruncationsThrow<IoError>(
+        sim::serializeCheckpoint(sampleCheckpoint()),
+        [](const std::string &bad) {
+            sim::deserializeCheckpoint(bad, "trunc");
+        });
 }
 
 TEST(CheckpointEnvelope, EveryBitFlipIsRecoverable)
 {
-    const std::string blob =
-        sim::serializeCheckpoint(sampleCheckpoint());
-    for (std::size_t byte = 0; byte < blob.size(); ++byte) {
-        for (int bit = 0; bit < 8; ++bit) {
-            std::string bad = blob;
-            bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
-            EXPECT_THROW(sim::deserializeCheckpoint(bad, "flip"),
-                         IoError)
-                << "byte " << byte << " bit " << bit;
-        }
-    }
+    test::expectBitFlipsThrow<IoError>(
+        sim::serializeCheckpoint(sampleCheckpoint()),
+        [](const std::string &bad) {
+            sim::deserializeCheckpoint(bad, "flip");
+        });
 }
 
 /** Rewrite `blob`'s trailing checksum so only the named field is

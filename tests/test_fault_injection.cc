@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests of the deterministic fault-injection framework
+ * (common/fault_injection): plan text parse/format round-trips, the
+ * corruption battery over the plan format itself (header damage
+ * always fails; body damage is rejected or legally parsed, never a
+ * crash), occurrence counting and rule matching, once-marker
+ * arbitration, seed-deterministic corruption helpers, and
+ * environment-variable activation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.hh"
+#include "common/fault_injection.hh"
+#include "corruption_battery.hh"
+
+namespace fs = std::filesystem;
+
+namespace tp::fault {
+namespace {
+
+/** One rule of every kind, plus seed and once marker. */
+FaultPlan
+fullPlan()
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.oncePrefix = "/tmp/chaos/fired";
+    plan.rules = {
+        {"worker.stream.append", 1, {FaultKind::Abort, 0}},
+        {"result_cache.publish", 2, {FaultKind::ErrnoFault, ENOSPC}},
+        {"checkpoint.record", 1, {FaultKind::BitFlip, 0}},
+        {"dispatch.publish", 1, {FaultKind::TornRename, 0}},
+        {"worker.stream.append", 3, {FaultKind::ShortWrite, 7}},
+        {"trace_io.write", 1, {FaultKind::Delay, 5}},
+    };
+    return plan;
+}
+
+TEST(FaultPlanFormat, FormatParsesBackIdentically)
+{
+    const FaultPlan plan = fullPlan();
+    const std::string text = formatFaultPlan(plan);
+    const FaultPlan back = parseFaultPlan(text, "round-trip");
+    EXPECT_EQ(back.seed, plan.seed);
+    EXPECT_EQ(back.oncePrefix, plan.oncePrefix);
+    ASSERT_EQ(back.rules.size(), plan.rules.size());
+    for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(back.rules[i].site, plan.rules[i].site);
+        EXPECT_EQ(back.rules[i].occurrence,
+                  plan.rules[i].occurrence);
+        EXPECT_EQ(back.rules[i].action.kind,
+                  plan.rules[i].action.kind);
+        EXPECT_EQ(back.rules[i].action.arg,
+                  plan.rules[i].action.arg);
+    }
+    EXPECT_EQ(formatFaultPlan(back), text)
+        << "format(parse(format(p))) must be byte-identical";
+}
+
+TEST(FaultPlanFormat, MinimalAndCommentedPlansParse)
+{
+    const FaultPlan minimal =
+        parseFaultPlan("taskpoint-fault-plan v1\n", "minimal");
+    EXPECT_EQ(minimal.seed, 1u);
+    EXPECT_TRUE(minimal.oncePrefix.empty());
+    EXPECT_TRUE(minimal.rules.empty());
+
+    const FaultPlan commented = parseFaultPlan(
+        "# leading comment\n"
+        "\n"
+        "taskpoint-fault-plan v1\r\n"
+        "# a CRLF line above, a blank below\n"
+        "\n"
+        "on a.b 3 errno EIO\r\n",
+        "commented");
+    ASSERT_EQ(commented.rules.size(), 1u);
+    EXPECT_EQ(commented.rules[0].site, "a.b");
+    EXPECT_EQ(commented.rules[0].occurrence, 3u);
+    EXPECT_EQ(commented.rules[0].action.kind,
+              FaultKind::ErrnoFault);
+    EXPECT_EQ(commented.rules[0].action.arg,
+              static_cast<std::uint64_t>(EIO));
+}
+
+TEST(FaultPlanFormat, MalformedPlansRaiseIoErrorNamingTheLine)
+{
+    const char *bad[] = {
+        "",                                         // no header
+        "not a fault plan\n",                       // wrong header
+        "taskpoint-fault-plan v2\n",                // wrong version
+        "taskpoint-fault-plan v1\nfrob x\n",        // directive
+        "taskpoint-fault-plan v1\nseed\n",          // missing value
+        "taskpoint-fault-plan v1\nseed 1 2\n",      // extra value
+        "taskpoint-fault-plan v1\nseed banana\n",   // non-numeric
+        "taskpoint-fault-plan v1\nonce\n",          // missing prefix
+        "taskpoint-fault-plan v1\non a.b 1\n",      // no action
+        "taskpoint-fault-plan v1\non a.b 0 abort\n",    // 0-based
+        "taskpoint-fault-plan v1\non a.b x abort\n",    // bad occ
+        "taskpoint-fault-plan v1\non a.b 1 explode\n",  // action
+        "taskpoint-fault-plan v1\non a.b 1 short-write\n", // no arg
+        "taskpoint-fault-plan v1\non a.b 1 abort 3\n",  // extra arg
+        "taskpoint-fault-plan v1\non a.b 1 errno EBAD\n", // errno
+        "taskpoint-fault-plan v1\non a.b 1 delay soon\n", // delay
+    };
+    for (const char *text : bad) {
+        SCOPED_TRACE(text);
+        try {
+            parseFaultPlan(text, "<bad-plan>");
+            FAIL() << "malformed plan must raise IoError";
+        } catch (const IoError &e) {
+            EXPECT_NE(std::string(e.what()).find("<bad-plan>"),
+                      std::string::npos)
+                << "error must name the source, got: " << e.what();
+        }
+    }
+}
+
+TEST(FaultPlanFormat, ErrnoTokensRoundTrip)
+{
+    EXPECT_EQ(errnoToken(ENOSPC), "ENOSPC");
+    EXPECT_EQ(errnoToken(EIO), "EIO");
+    EXPECT_EQ(errnoToken(12345), "12345");
+    const FaultPlan p = parseFaultPlan(
+        "taskpoint-fault-plan v1\n"
+        "on a 1 errno ENOSPC\n"
+        "on b 1 errno 28\n",
+        "errno");
+    EXPECT_EQ(p.rules[0].action.arg,
+              static_cast<std::uint64_t>(ENOSPC));
+    EXPECT_EQ(p.rules[1].action.arg, 28u);
+}
+
+TEST(FaultPlanFormat, HeaderDamageAlwaysFails)
+{
+    // The corruption-battery contract for every durable format
+    // extends to the fault plan itself: any single-bit flip inside
+    // the header line fails the whole plan, so a damaged schedule
+    // can never silently run a different schedule.
+    const std::string text = formatFaultPlan(fullPlan());
+    const std::string head = "taskpoint-fault-plan v1";
+    ASSERT_EQ(text.substr(0, head.size()), head);
+    const std::string rest = text.substr(head.size());
+    test::expectBitFlipsThrow<IoError>(
+        head, [&](const std::string &damagedHead) {
+            (void)parseFaultPlan(damagedHead + rest, "<flip>");
+        });
+    test::expectTruncationsThrow<IoError>(
+        head, [](const std::string &damagedHead) {
+            (void)parseFaultPlan(damagedHead, "<trunc>");
+        });
+}
+
+TEST(FaultPlanFormat, BodyDamageIsRejectedOrParsesCleanly)
+{
+    // Body damage is weaker by design — a flipped site-name byte is
+    // a legal plan for a different site — but must never crash, and
+    // a parse that succeeds must re-format (internally consistent).
+    const std::string text = formatFaultPlan(fullPlan());
+    test::expectBitFlipsHandled(
+        text, [](const std::string &bad) {
+            (void)formatFaultPlan(parseFaultPlan(bad, "<flip>"));
+        });
+    test::expectTruncationsHandled(
+        text, [](const std::string &bad) {
+            (void)formatFaultPlan(parseFaultPlan(bad, "<trunc>"));
+        });
+}
+
+TEST(FaultInjectorTest, CountsOccurrencesPerSite)
+{
+    FaultPlan plan;
+    plan.rules = {
+        {"site.a", 2, {FaultKind::ShortWrite, 3}},
+        {"site.b", 1, {FaultKind::TornRename, 0}},
+    };
+    FaultInjector inj(plan);
+    EXPECT_EQ(inj.fire("site.a"), nullptr) << "occurrence 1 unarmed";
+    const FaultRule *r = inj.fire("site.a");
+    ASSERT_NE(r, nullptr) << "occurrence 2 must fire";
+    EXPECT_EQ(r->action.kind, FaultKind::ShortWrite);
+    EXPECT_EQ(r->action.arg, 3u);
+    EXPECT_EQ(inj.fire("site.a"), nullptr) << "occurrence 3 unarmed";
+    ASSERT_NE(inj.fire("site.b"), nullptr)
+        << "site.b counts independently";
+    EXPECT_EQ(inj.fire("site.unlisted"), nullptr);
+    EXPECT_EQ(inj.hits("site.a"), 3u);
+    EXPECT_EQ(inj.hits("site.b"), 1u);
+    EXPECT_EQ(inj.hits("site.never-hit"), 0u);
+}
+
+TEST(FaultInjectorTest, OnceMarkerArbitratesToOneClaimant)
+{
+    const std::string prefix =
+        testing::TempDir() + "tp_fault_once_marker";
+    FaultPlan plan;
+    plan.oncePrefix = prefix;
+    plan.rules = {{"site.a", 1, {FaultKind::ShortWrite, 1}}};
+    const std::string marker = prefix + ".site.a.1";
+    std::remove(marker.c_str());
+
+    FaultInjector first(plan);
+    EXPECT_NE(first.fire("site.a"), nullptr)
+        << "first claimant wins the marker";
+    EXPECT_TRUE(fs::exists(marker));
+
+    FaultInjector second(plan); // fresh hit counters, same marker
+    EXPECT_EQ(second.fire("site.a"), nullptr)
+        << "a later claimant must lose the O_EXCL race";
+    std::remove(marker.c_str());
+}
+
+TEST(FaultInjectorTest, MacrosAreInertWithoutAPlanAndFireWithOne)
+{
+    clearFaultPlan();
+    EXPECT_FALSE(active());
+    EXPECT_EQ(FAULT_CHECK("site.a"), nullptr);
+    FAULT_POINT("site.a"); // must be a no-op, not a crash
+
+    FaultPlan plan;
+    plan.rules = {{"site.a", 1, {FaultKind::ShortWrite, 2}}};
+    installFaultPlan(plan);
+    EXPECT_TRUE(active());
+    const FaultRule *r = FAULT_CHECK("site.a");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->action.kind, FaultKind::ShortWrite);
+    EXPECT_EQ(FAULT_CHECK("site.a"), nullptr)
+        << "occurrence already consumed";
+
+    clearFaultPlan();
+    EXPECT_FALSE(active());
+    EXPECT_EQ(FAULT_CHECK("site.a"), nullptr);
+}
+
+TEST(FaultInjectorTest, EnvVariableActivatesThePlan)
+{
+    clearFaultPlan();
+    const std::string path =
+        testing::TempDir() + "tp_fault_env_plan.txt";
+    {
+        std::ofstream out(path);
+        out << "taskpoint-fault-plan v1\n"
+               "on env.site 1 short-write 1\n";
+    }
+    ASSERT_EQ(::setenv(kFaultPlanEnvVar, path.c_str(), 1), 0);
+    initFaultPlanFromEnv();
+    EXPECT_TRUE(active());
+    EXPECT_NE(FAULT_CHECK("env.site"), nullptr);
+    initFaultPlanFromEnv(); // idempotent: must not reinstall
+    EXPECT_EQ(FAULT_CHECK("env.site"), nullptr)
+        << "hit counters must survive a second init call";
+
+    clearFaultPlan();
+    ::unsetenv(kFaultPlanEnvVar);
+    std::remove(path.c_str());
+    initFaultPlanFromEnv(); // without the variable: stays inert
+    EXPECT_FALSE(active());
+}
+
+class CorruptionHelpers : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        clearFaultPlan();
+    }
+
+    static FaultRule
+    rule(FaultKind kind, std::uint64_t arg = 0)
+    {
+        return {"site.x", 1, {kind, arg}};
+    }
+
+    static std::string
+    payload(std::size_t n = 200)
+    {
+        std::string s(n, '\0');
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = static_cast<char>('a' + i % 26);
+        return s;
+    }
+};
+
+TEST_F(CorruptionHelpers, ShortWriteTruncatesAtLeastOneByte)
+{
+    std::string b = payload();
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::ShortWrite, 0), b));
+    EXPECT_EQ(b.size(), payload().size() - 1)
+        << "arg 0 still drops one byte";
+    b = payload();
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::ShortWrite, 7), b));
+    EXPECT_EQ(b, payload().substr(0, payload().size() - 7));
+    b = payload();
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::ShortWrite, 10000), b));
+    EXPECT_TRUE(b.empty()) << "over-long cut clamps to the file";
+    b.clear();
+    EXPECT_FALSE(corruptBytes(rule(FaultKind::ShortWrite, 1), b));
+}
+
+TEST_F(CorruptionHelpers, TornRenameKeepsTheFirstHalf)
+{
+    std::string b = payload(101);
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::TornRename), b));
+    EXPECT_EQ(b, payload(101).substr(0, 50));
+}
+
+TEST_F(CorruptionHelpers, BitFlipIsSeedDeterministicAndNearTheEnd)
+{
+    std::string a = payload();
+    std::string b = payload();
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::BitFlip), a));
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::BitFlip), b));
+    EXPECT_EQ(a, b) << "same seed, same rule: same damage";
+    ASSERT_NE(a, payload());
+    std::size_t diff = 0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != payload()[i]) {
+            diff = i;
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, 1u) << "exactly one byte changes";
+    EXPECT_GE(diff, a.size() - 64)
+        << "damage lands in the appended tail window";
+
+    // The installed plan's seed steers the position/bit choice.
+    FaultPlan seeded;
+    seeded.seed = 777;
+    installFaultPlan(seeded);
+    std::string c = payload();
+    std::string d = payload();
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::BitFlip), c));
+    EXPECT_TRUE(corruptBytes(rule(FaultKind::BitFlip), d));
+    EXPECT_EQ(c, d) << "deterministic under the installed seed too";
+}
+
+TEST_F(CorruptionHelpers, FileAndBufferCorruptionAgree)
+{
+    const std::string path =
+        testing::TempDir() + "tp_fault_corrupt_file.bin";
+    for (const FaultRule &r :
+         {rule(FaultKind::ShortWrite, 5),
+          rule(FaultKind::TornRename), rule(FaultKind::BitFlip)}) {
+        SCOPED_TRACE(faultKindName(r.action.kind));
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            const std::string b = payload();
+            out.write(b.data(),
+                      static_cast<std::streamsize>(b.size()));
+        }
+        EXPECT_TRUE(corruptFile(r, path));
+        std::string expected = payload();
+        EXPECT_TRUE(corruptBytes(r, expected));
+        std::ifstream in(path, std::ios::binary);
+        std::string got((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+        EXPECT_EQ(got, expected);
+    }
+    std::remove(path.c_str());
+    EXPECT_FALSE(
+        corruptFile(rule(FaultKind::ShortWrite, 1), path))
+        << "missing file: no damage, no crash";
+    EXPECT_FALSE(corruptFile(rule(FaultKind::Delay, 1), path))
+        << "non-data kinds never touch the file";
+}
+
+} // namespace
+} // namespace tp::fault

@@ -17,6 +17,7 @@
 
 #include "common/binary_io.hh"
 #include "common/cli.hh"
+#include "corruption_battery.hh"
 #include "harness/batch_runner.hh"
 #include "harness/process_pool.hh"
 #include "harness/worker.hh"
@@ -80,27 +81,22 @@ TEST(ResultEnvelope, TruncationRaisesRecoverableIoError)
 {
     std::ostringstream out(std::ios::binary);
     sim::writeEnvelope(out, "the payload under test");
-    const std::string good = out.str();
-    for (std::size_t len = 0; len < good.size(); ++len) {
-        std::istringstream in(good.substr(0, len),
-                              std::ios::binary);
-        EXPECT_THROW((void)sim::readEnvelope(in, "trunc"), IoError)
-            << "truncated at " << len;
-    }
+    test::expectTruncationsThrow<IoError>(
+        out.str(), [](const std::string &bad) {
+            std::istringstream in(bad, std::ios::binary);
+            (void)sim::readEnvelope(in, "trunc");
+        });
 }
 
 TEST(ResultEnvelope, BitFlipsAnywhereRaiseIoError)
 {
     std::ostringstream out(std::ios::binary);
     sim::writeEnvelope(out, "checksummed payload bytes here");
-    const std::string good = out.str();
-    for (std::size_t pos = 0; pos < good.size(); ++pos) {
-        std::string bad = good;
-        bad[pos] = static_cast<char>(bad[pos] ^ 0x01);
-        std::istringstream in(bad, std::ios::binary);
-        EXPECT_THROW((void)sim::readEnvelope(in, "flip"), IoError)
-            << "flip at " << pos;
-    }
+    test::expectBitFlipsThrow<IoError>(
+        out.str(), [](const std::string &bad) {
+            std::istringstream in(bad, std::ios::binary);
+            (void)sim::readEnvelope(in, "flip");
+        });
 }
 
 TEST(ResultEnvelope, TrailingBytesRaiseIoError)

@@ -23,6 +23,11 @@
  * second probe times one sampled scenario with and without a
  * TimelineRecorder attached, tracking the cost of execution tracing
  * (sim/trace_observer) against its zero-overhead-when-off contract.
+ * A third probe holds the fault-injection hooks
+ * (common/fault_injection) to theirs: the per-call cost of an
+ * inactive FAULT_POINT and the wall-time of one sampled scenario
+ * with no plan vs an inert plan installed must both stay at noise
+ * level.
  */
 
 #include <unistd.h>
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "harness/batch_runner.hh"
 #include "harness/dispatch.hh"
@@ -251,6 +257,94 @@ measureTraceOverhead(const work::WorkloadParams &wp,
     return oh;
 }
 
+/** Fault-hook cost of one fixed sampled scenario. */
+struct FaultOverhead
+{
+    /** Per-call cost of an inactive FAULT_POINT, nanoseconds. */
+    double pointNs = 0.0;
+    double plainSeconds = 0.0;
+    double inertPlanSeconds = 0.0;
+};
+
+/**
+ * Keep the FAULT_POINT loop an out-of-line call per iteration so the
+ * probe times the macro as sites actually use it, not a hoisted
+ * remnant of it.
+ */
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+std::uint64_t
+faultPointOnce(std::uint64_t i)
+{
+    FAULT_POINT("perf.fault.probe");
+    return i;
+}
+
+/**
+ * Hold the fault hooks to their zero-overhead-when-off contract:
+ * time a tight loop of inactive FAULT_POINTs (per-call ns), then the
+ * histogram lazy-sampled scenario with no plan installed vs with an
+ * inert plan (one rule on a site that never fires, so every
+ * instrumented site takes the slow path into the injector and
+ * misses). Both deltas must stay at noise level.
+ */
+FaultOverhead
+measureFaultOverhead(const work::WorkloadParams &wp,
+                     const harness::RunSpec &spec,
+                     std::uint64_t repeat)
+{
+    FaultOverhead oh;
+
+    fault::clearFaultPlan();
+    constexpr std::uint64_t kCalls = 20'000'000;
+    std::uint64_t sink = 0;
+    oh.pointNs = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        const double t0 = nowSeconds();
+        for (std::uint64_t i = 0; i < kCalls; ++i)
+            sink += faultPointOnce(i);
+        const double ns = (nowSeconds() - t0) * 1e9 / kCalls;
+        if (oh.pointNs < 0.0 || ns < oh.pointNs)
+            oh.pointNs = ns;
+    }
+    if (sink == 0xdead) // keep the accumulator observable
+        harness::progress("fault: improbable checksum");
+
+    const trace::TaskTrace trace =
+        work::generateWorkload("histogram", wp);
+    const sampling::SamplingParams params =
+        sampling::SamplingParams::lazy();
+
+    oh.plainSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        const double t0 = nowSeconds();
+        (void)harness::runSampled(trace, spec, params);
+        const double wall = nowSeconds() - t0;
+        if (oh.plainSeconds < 0.0 || wall < oh.plainSeconds)
+            oh.plainSeconds = wall;
+    }
+
+    fault::FaultPlan inert;
+    inert.seed = 1;
+    fault::FaultRule never;
+    never.site = "perf.fault.never";
+    never.occurrence = 1;
+    never.action.kind = fault::FaultKind::Delay;
+    inert.rules.push_back(never);
+    fault::installFaultPlan(inert);
+    oh.inertPlanSeconds = -1.0;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        const double t0 = nowSeconds();
+        (void)harness::runSampled(trace, spec, params);
+        const double wall = nowSeconds() - t0;
+        if (oh.inertPlanSeconds < 0.0 || wall < oh.inertPlanSeconds)
+            oh.inertPlanSeconds = wall;
+    }
+    fault::clearFaultPlan();
+    return oh;
+}
+
 } // namespace
 
 int
@@ -260,13 +354,14 @@ main(int argc, char **argv)
         argc, argv,
         {{"series",
           "BENCH series number: sets the report's \"pr\" field and "
-          "the default --out=BENCH_<series>.json (default 9)"},
+          "the default --out=BENCH_<series>.json (default 10)"},
          {"out",
           "JSON report path (default BENCH_<series>.json)"},
          {"repeat",
           "timed repetitions per scenario, fastest wins (default 3)"},
          {"scale", "workload scale override (default 0.02)"}});
-    const std::uint64_t series = args.getUintIn("series", 9, 1, 9999);
+    const std::uint64_t series =
+        args.getUintIn("series", 10, 1, 9999);
     const std::string out_path = args.getString(
         "out", strprintf("BENCH_%llu.json",
                          static_cast<unsigned long long>(series)));
@@ -407,6 +502,20 @@ main(int argc, char **argv)
         toh.plainSeconds, toh.tracedSeconds,
         static_cast<unsigned long long>(toh.taskEvents),
         toh.tracedSeconds - toh.plainSeconds));
+
+    const FaultOverhead foh = measureFaultOverhead(wp, spec, repeat);
+    std::fprintf(f,
+                 "  \"fault\": {\"point_ns_inactive\": %.3f, "
+                 "\"plain_wall_seconds\": %.6f, "
+                 "\"inert_plan_wall_seconds\": %.6f, "
+                 "\"overhead_seconds\": %.6f},\n",
+                 foh.pointNs, foh.plainSeconds, foh.inertPlanSeconds,
+                 foh.inertPlanSeconds - foh.plainSeconds);
+    harness::progress(strprintf(
+        "fault: %.2fns per inactive FAULT_POINT, %.3fs plain vs "
+        "%.3fs inert plan (overhead %.3fs)",
+        foh.pointNs, foh.plainSeconds, foh.inertPlanSeconds,
+        foh.inertPlanSeconds - foh.plainSeconds));
 
     std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
     std::fprintf(f, "  \"detailed_wall_seconds\": %.6f,\n",

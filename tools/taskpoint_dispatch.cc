@@ -11,9 +11,10 @@
  *   taskpoint_dispatch --plan=FILE [--spool=DIR] [--runners=N]
  *                      [--shards=N] [--jobs=N] [--max-retries=N]
  *                      [--heartbeat=MS] [--dead-after=MS]
- *                      [--csv=FILE] [--json=FILE]
- *                      [--trace-out=FILE] [--trace-stats=FILE]
- *                      [--cache-dir=DIR] [--cache=off|ro|rw]
+ *                      [--stalled-after=MS] [--csv=FILE]
+ *                      [--json=FILE] [--trace-out=FILE]
+ *                      [--trace-stats=FILE] [--cache-dir=DIR]
+ *                      [--cache=off|ro|rw] [--fault-plan=FILE]
  *                      [--cost-probe] [--keep-spool]
  *
  * Runner: join an existing spool (possibly on another machine via a
@@ -92,6 +93,8 @@ coordinatorMain(const CliArgs &args)
         args.getUintIn("heartbeat", 200, 10, 60000));
     dopt.deadAfter = std::chrono::milliseconds(
         args.getUintIn("dead-after", 2000, 50, 600000));
+    dopt.stalledAfter = std::chrono::milliseconds(
+        args.getUintIn("stalled-after", 0, 0, 3600000));
     dopt.localRunners =
         static_cast<std::size_t>(args.getUintIn("runners", 0, 0, 256));
     dopt.runnerBinary = args.getString("runner-bin", "");
@@ -188,6 +191,10 @@ main(int argc, char **argv)
              {"dead-after",
               "heartbeat-stall span in ms after which a runner is "
               "declared dead and its work stolen (default 2000)"},
+             {"stalled-after",
+              "span in ms after which a claimed task's silent "
+              "result stream is declared stalled and its jobs "
+              "stolen (default 0 = max(30*dead-after, 60s))"},
              {"cost-probe",
               "probe --cache-dir per job and schedule fully "
               "cache-hit shards first"},
@@ -200,7 +207,8 @@ main(int argc, char **argv)
              {"quiet", "suppress runner progress lines"},
              jobsCliOption(), maxRetriesCliOption(),
              cacheDirCliOption(), cacheModeCliOption(),
-             traceOutCliOption(), traceStatsCliOption()});
+             traceOutCliOption(), traceStatsCliOption(),
+             faultPlanCliOption()});
         if (args.has("runner"))
             return runnerMain(args);
         return coordinatorMain(args);

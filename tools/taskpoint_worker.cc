@@ -46,7 +46,7 @@ main(int argc, char **argv)
              {"quiet", "suppress per-job progress lines"},
              jobsCliOption(), cacheDirCliOption(),
              cacheModeCliOption(), checkpointDirCliOption(),
-             traceOutCliOption()});
+             traceOutCliOption(), faultPlanCliOption()});
         harness::WorkerOptions wo;
         wo.shardPath = args.getString("shard", "");
         wo.outDir = args.getString("out-dir", "");
